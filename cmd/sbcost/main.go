@@ -1,0 +1,81 @@
+// Command sbcost evaluates the Section 5.2 cost model: Table 2 at a given
+// scale and the Figure 5 sweep.
+//
+// Usage:
+//
+//	sbcost -k 48 -n 1           # Table 2 at one design point
+//	sbcost -sweep -n 1,4        # Figure 5 sweep over k
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sharebackup"
+	"sharebackup/internal/metrics"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 48, "fat-tree parameter")
+		nStr  = flag.String("n", "1", "backup switches per failure group (comma-separated for -sweep)")
+		sweep = flag.Bool("sweep", false, "sweep k like Figure 5 instead of a single design point")
+		ksStr = flag.String("ks", "8,16,24,32,40,48,56,64", "k values for -sweep")
+	)
+	flag.Parse()
+
+	ns, err := parseInts(*nStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sweep {
+		ks, err := parseInts(*ksStr)
+		if err != nil {
+			fatal(err)
+		}
+		series, err := sharebackup.Fig5(ks, ns)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := metrics.RenderSeries("Figure 5 — additional cost relative to fat-tree", series...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	tbl, err := sharebackup.Table2(*k, ns[0])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(tbl.String())
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbcost:", err)
+	os.Exit(1)
+}

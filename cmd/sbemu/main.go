@@ -1,0 +1,125 @@
+// Command sbemu traces a packet through the physical ShareBackup network —
+// a traceroute over the live circuit state and preloaded impersonation
+// tables. It can fail switches along the way and re-trace, showing that the
+// logical path survives while the physical switches change (Section 4.3).
+//
+// Usage:
+//
+//	sbemu -k 6 -n 1 -src 0/0/0 -dst 3/1/2
+//	sbemu -k 6 -n 1 -src 0/0/0 -dst 3/1/2 -fail-path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sharebackup"
+	"sharebackup/internal/emu"
+	"sharebackup/internal/sbnet"
+	"sharebackup/internal/topo"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 6, "fat-tree parameter")
+		n        = flag.Int("n", 1, "backup switches per failure group")
+		srcStr   = flag.String("src", "0/0/0", "source host as pod/rack/pos")
+		dstStr   = flag.String("dst", "1/0/0", "destination host as pod/rack/pos")
+		failPath = flag.Bool("fail-path", false, "fail every switch on the path, recover, and re-trace")
+	)
+	flag.Parse()
+
+	src, err := parseHost(*srcStr)
+	if err != nil {
+		fatal(err)
+	}
+	dst, err := parseHost(*dstStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	sys, err := sharebackup.New(sharebackup.Config{K: *k, N: *n})
+	if err != nil {
+		fatal(err)
+	}
+	em, err := emu.New(sys.Network)
+	if err != nil {
+		fatal(err)
+	}
+
+	walk, err := em.Deliver(src, dst)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace %s -> %s:\n", *srcStr, *dstStr)
+	printWalk(sys, walk)
+
+	if !*failPath {
+		return
+	}
+	fmt.Println("\nfailing every switch on the path...")
+	for _, h := range walk {
+		if h.Switch == sbnet.NoSwitch {
+			continue
+		}
+		if sys.Network.Switch(h.Switch).Role != sbnet.RoleActive {
+			continue
+		}
+		rec, err := sys.FailNode(h.Switch, time.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %s -> %s (%v)\n",
+			sys.Network.Name(rec.Failed[0]), sys.Network.Name(rec.Backup[0]), rec.Total())
+	}
+	walk2, err := em.Deliver(src, dst)
+	if err != nil {
+		fatal(fmt.Errorf("delivery after failover: %w", err))
+	}
+	fmt.Println("\nre-trace through the backups:")
+	printWalk(sys, walk2)
+	if em.Fingerprint(walk).Equal(em.Fingerprint(walk2)) {
+		fmt.Println("\nlogical path identical; only the physical switches changed")
+	} else {
+		fatal(fmt.Errorf("logical path changed — impersonation broken"))
+	}
+}
+
+func printWalk(sys *sharebackup.System, walk []emu.Hop) {
+	for i, h := range walk {
+		if h.Host != nil {
+			fmt.Printf("  %2d. host %d/%d/%d\n", i, h.Host.Pod, h.Host.Rack, h.Host.Pos)
+			continue
+		}
+		sw := sys.Network.Switch(h.Switch)
+		fmt.Printf("  %2d. %-8s (%s slot %d, physical member %d)\n",
+			i, sys.Network.Name(h.Switch), kindName(sw.Kind), h.Slot, sw.Member)
+	}
+}
+
+func kindName(k topo.Kind) string { return k.String() }
+
+func parseHost(s string) (emu.Host, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return emu.Host{}, fmt.Errorf("sbemu: host %q must be pod/rack/pos", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return emu.Host{}, fmt.Errorf("sbemu: host %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	return emu.Host{Pod: vals[0], Rack: vals[1], Pos: vals[2]}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbemu:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package sharebackup
+
+import (
+	"fmt"
+
+	"sharebackup/internal/failure"
+	"sharebackup/internal/groups"
+	"sharebackup/internal/metrics"
+	"sharebackup/internal/topo"
+)
+
+// This file mechanizes the paper's Section 6 (conclusion) extensions:
+// sharable backup on other topologies via generalized failure-group plans,
+// non-uniform backup allocation weighted by device criticality, and
+// activating idle backups for extra bandwidth.
+
+// PlanRow is one failure-group plan's summary in the extensions study.
+type PlanRow struct {
+	Name          string
+	Groups        int
+	Switches      int
+	Backups       int
+	BackupRatio   float64
+	MaxCSPorts    int     // largest circuit switch the plan needs
+	WeightedRisk  float64 // sum over groups of criticality x overflow prob
+	ExpectedUnpro float64 // expected number of overflowed groups
+}
+
+// planRow summarizes one plan under the paper's failure rate, weighting each
+// group's overflow probability by its summed coverage criticality.
+func planRow(name string, t *topo.Topology, plan *groups.Plan) PlanRow {
+	row := PlanRow{
+		Name:        name,
+		Groups:      len(plan.Groups),
+		Switches:    plan.TotalSwitches(),
+		Backups:     plan.TotalBackups(),
+		BackupRatio: plan.BackupRatio(),
+	}
+	for i := range plan.Groups {
+		g := &plan.Groups[i]
+		if p := g.CircuitPortsNeeded(); p > row.MaxCSPorts {
+			row.MaxCSPorts = p
+		}
+		crit := 0.0
+		for _, m := range g.Members {
+			crit += groups.CoverageCriticality(t, m)
+		}
+		over := g.OverflowProbability(failure.SwitchFailureRate)
+		row.WeightedRisk += crit * over
+		row.ExpectedUnpro += over
+	}
+	return row
+}
+
+// ExtensionStudy compares failure-group plans across the paper's Section 6
+// directions on a k-ary fat-tree and a similarly sized Jellyfish network:
+//
+//   - the paper's uniform fat-tree plan (n per group);
+//   - a non-uniform plan with the same total budget, weighted by coverage
+//     criticality (edge switches with single-homed racks get more backup);
+//   - a degree-homogeneous plan for Jellyfish.
+//
+// The non-uniform plan must not increase the criticality-weighted risk at
+// equal budget — the quantitative form of "more backup on critical devices
+// and less backup on unimportant ones".
+func ExtensionStudy(k int, seed int64) ([]PlanRow, error) {
+	ft, err := topo.NewFatTree(topo.Config{K: k})
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := groups.FatTreePlan(ft, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows := []PlanRow{planRow("fat-tree uniform n=1", ft.Topology, uniform)}
+
+	nonUniform, err := groups.FatTreePlan(ft, 0)
+	if err != nil {
+		return nil, err
+	}
+	budget := uniform.TotalBackups()
+	if err := groups.AllocateGreedy(ft.Topology, nonUniform, budget,
+		failure.SwitchFailureRate, groups.CoverageCriticality); err != nil {
+		return nil, err
+	}
+	rows = append(rows, planRow("fat-tree non-uniform (greedy coverage-weighted, same budget)", ft.Topology, nonUniform))
+
+	// A Jellyfish fabric with a comparable switch count.
+	switches := 5 * k * k / 4
+	deg := k / 2
+	if switches*deg%2 != 0 {
+		switches++
+	}
+	jf, err := topo.NewJellyfish(topo.JellyfishConfig{
+		Switches: switches, Ports: k, NetDegree: deg, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jplan, err := groups.ByDegreePlan(jf.Topology, k/2, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := jplan.Validate(jf.Topology); err != nil {
+		return nil, err
+	}
+	rows = append(rows, planRow(fmt.Sprintf("jellyfish (%d switches) by-degree n=1", switches), jf.Topology, jplan))
+	return rows, nil
+}
+
+// AugmentationRow reports the idle-backup activation measurement.
+type AugmentationRow struct {
+	Pod                 int
+	FabricLinksAdded    int
+	HostBandwidthAdded  float64
+	SurvivedFailover    bool // backup still usable for recovery afterwards
+	InvariantsHeldAfter bool
+}
+
+// AugmentationStudy activates idle backups in every pod, measures what they
+// add, then fails a switch per pod to confirm fault tolerance is untouched.
+func AugmentationStudy(k int) ([]AugmentationRow, error) {
+	sys, err := New(Config{K: k, N: 1})
+	if err != nil {
+		return nil, err
+	}
+	net := sys.Network
+	var rows []AugmentationRow
+	for pod := 0; pod < k; pod++ {
+		aug, err := net.ActivateIdleBackups(pod)
+		if err != nil {
+			return nil, err
+		}
+		row := AugmentationRow{
+			Pod:                pod,
+			FabricLinksAdded:   aug.AddedFabricCapacity(),
+			HostBandwidthAdded: aug.AddedHostBandwidth(),
+		}
+		// Guaranteed fault tolerance: the augmented backup must still
+		// cover a failure.
+		victim := net.AggGroup(pod).Slots()[0]
+		backup, _, err := net.Replace(victim)
+		row.SurvivedFailover = err == nil && backup == aug.AggSw
+		row.InvariantsHeldAfter = net.CheckInvariants() == nil
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderExtensionStudy renders the plan comparison as a table.
+func RenderExtensionStudy(rows []PlanRow) *metrics.Table {
+	tbl := &metrics.Table{
+		Title:   "Section 6 extensions — failure-group plans",
+		Headers: []string{"plan", "groups", "switches", "backups", "ratio", "max CS ports", "weighted risk", "E[overflowed groups]"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Name, r.Groups, r.Switches, r.Backups, r.BackupRatio, r.MaxCSPorts, r.WeightedRisk, r.ExpectedUnpro)
+	}
+	return tbl
+}

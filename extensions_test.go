@@ -1,0 +1,63 @@
+package sharebackup
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionStudy(t *testing.T) {
+	rows, err := ExtensionStudy(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	uniform, nonUniform, jelly := rows[0], rows[1], rows[2]
+	if uniform.Backups != nonUniform.Backups {
+		t.Fatalf("budgets differ: %d vs %d", uniform.Backups, nonUniform.Backups)
+	}
+	// The criticality-weighted allocation must not be worse than uniform
+	// under the weighted-risk metric it optimizes for.
+	if nonUniform.WeightedRisk > uniform.WeightedRisk*(1+1e-9) {
+		t.Errorf("non-uniform weighted risk %v worse than uniform %v",
+			nonUniform.WeightedRisk, uniform.WeightedRisk)
+	}
+	if uniform.Groups != 10 { // 5k/2 at k=4
+		t.Errorf("uniform groups = %d", uniform.Groups)
+	}
+	if uniform.MaxCSPorts != 4/2+1+2 {
+		t.Errorf("uniform max CS ports = %d, want k/2+n+2", uniform.MaxCSPorts)
+	}
+	if jelly.Switches < 20 {
+		t.Errorf("jellyfish study too small: %d switches", jelly.Switches)
+	}
+	out := RenderExtensionStudy(rows).String()
+	if !strings.Contains(out, "jellyfish") || !strings.Contains(out, "non-uniform") {
+		t.Errorf("rendering missing plans:\n%s", out)
+	}
+}
+
+func TestAugmentationStudy(t *testing.T) {
+	rows, err := AugmentationStudy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want one per pod", len(rows))
+	}
+	for _, r := range rows {
+		if r.FabricLinksAdded != 2 { // k/2
+			t.Errorf("pod %d: fabric links = %d, want k/2", r.Pod, r.FabricLinksAdded)
+		}
+		if r.HostBandwidthAdded != 0 {
+			t.Errorf("pod %d: host bandwidth = %v, want 0 (the measured finding)", r.Pod, r.HostBandwidthAdded)
+		}
+		if !r.SurvivedFailover {
+			t.Errorf("pod %d: augmented backup unusable for failover", r.Pod)
+		}
+		if !r.InvariantsHeldAfter {
+			t.Errorf("pod %d: invariants broken after failover", r.Pod)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package sharebackup
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sharebackup/internal/coflow"
+	"sharebackup/internal/failure"
+	"sharebackup/internal/fluid"
+	"sharebackup/internal/metrics"
+	"sharebackup/internal/routing"
+	"sharebackup/internal/topo"
+)
+
+// Fig1cConfig parameterizes the Figure 1(c) reproduction: the CDF of coflow
+// completion time (CCT) slowdown under a single node or link failure, for
+// fat-tree with global-optimal rerouting, F10 with local rerouting, and
+// ShareBackup with hardware replacement.
+type Fig1cConfig struct {
+	// K is the fat-tree parameter. Default 8 (a 32-rack study that runs
+	// in seconds); pass 16 for the paper's scale.
+	K int
+	// Seed drives workload generation, ECMP hashing and scenario
+	// sampling.
+	Seed int64
+	// Window is the trace window length in seconds (the paper uses
+	// 5-minute partitions). Default 300.
+	Window float64
+	// Coflows is the number of coflows in the window. Default 30.
+	Coflows int
+	// Scenarios is the number of single-failure scenarios to run (half
+	// node failures, half link failures). Default 12.
+	Scenarios int
+	// Oversub is the edge oversubscription ratio. Default 10.
+	Oversub float64
+	// Windows is the number of trace windows (the paper partitions its
+	// one-hour trace into 5-minute windows and runs one failure per
+	// window). Scenarios are spread round-robin over the windows.
+	// Default 1.
+	Windows int
+}
+
+func (c *Fig1cConfig) setDefaults() {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Window == 0 {
+		c.Window = 300
+	}
+	if c.Coflows == 0 {
+		c.Coflows = 30
+	}
+	if c.Scenarios == 0 {
+		c.Scenarios = 12
+	}
+	if c.Oversub == 0 {
+		c.Oversub = 10
+	}
+	if c.Windows == 0 {
+		c.Windows = 1
+	}
+}
+
+// ArchSlowdowns is one architecture's curve in Figure 1(c).
+type ArchSlowdowns struct {
+	Name string
+	// Slowdowns holds CCT-with-failure / CCT-without-failure for every
+	// affected coflow across all scenarios.
+	Slowdowns []float64
+	// Disconnected counts affected coflows that could not complete at
+	// all under the architecture's recovery scheme (infinite slowdown;
+	// excluded from Slowdowns).
+	Disconnected int
+}
+
+// CDF returns the slowdown distribution.
+func (a *ArchSlowdowns) CDF() *metrics.CDF { return metrics.NewCDF(a.Slowdowns) }
+
+// rerouteScheme is how an architecture reacts to a failure.
+type rerouteScheme int
+
+const (
+	schemeGlobalOptimal rerouteScheme = iota // fat-tree baseline
+	schemeF10Local                           // F10 local 3-hop rerouting
+	schemeShareBackup                        // hardware replacement
+)
+
+// Fig1c runs the CCT-slowdown study and returns one entry per architecture:
+// fat-tree (global-optimal rerouting), F10 (local rerouting), and
+// ShareBackup.
+func Fig1c(cfg Fig1cConfig) ([]ArchSlowdowns, error) {
+	cfg.setDefaults()
+
+	// Topologies: fat-tree for the fat-tree and ShareBackup runs
+	// (ShareBackup's logical topology IS the fat-tree, restored exactly
+	// after replacement), AB fat-tree for F10.
+	ft, err := topo.NewFatTree(topo.Config{
+		K: cfg.K, HostsPerEdge: 1, HostCapacity: cfg.Oversub * float64(cfg.K/2),
+	})
+	if err != nil {
+		return nil, err
+	}
+	f10, err := topo.NewFatTree(topo.Config{
+		K: cfg.K, HostsPerEdge: 1, HostCapacity: cfg.Oversub * float64(cfg.K/2), AB: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One long trace partitioned into windows, exactly as the paper
+	// treats its one-hour trace.
+	full, err := coflow.Generate(coflow.GenConfig{
+		Racks:      ft.NumHosts(),
+		NumCoflows: cfg.Coflows * cfg.Windows,
+		Duration:   cfg.Window * float64(cfg.Windows),
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	windows, err := full.Partition(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	// Drop empty windows (possible at small coflow counts).
+	kept := windows[:0]
+	for _, w := range windows {
+		if len(w.Coflows) > 0 {
+			kept = append(kept, w)
+		}
+	}
+	windows = kept
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("sharebackup: Fig1c: empty trace")
+	}
+
+	// Failure scenarios: single node (agg/core) and single link failures,
+	// sampled uniformly. Scenarios are shared across architectures (the
+	// same element index is failed in ft and f10 — node/link IDs are
+	// structurally aligned between the two builds).
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	inj := failure.NewInjector(ft, cfg.Seed+1)
+	nodeCands := inj.ReroutableSwitches()
+	linkCands := inj.FabricLinks()
+	var scenarios []failure.Scenario
+	for i := 0; i < cfg.Scenarios; i++ {
+		if i%2 == 0 {
+			scenarios = append(scenarios, failure.Scenario{
+				Node: nodeCands[rng.Intn(len(nodeCands))], Link: topo.NoLink, Repair: cfg.Window,
+			})
+		} else {
+			scenarios = append(scenarios, failure.Scenario{
+				Node: topo.None, Link: linkCands[rng.Intn(len(linkCands))], Repair: cfg.Window,
+			})
+		}
+	}
+
+	type arch struct {
+		name   string
+		ft     *topo.FatTree
+		scheme rerouteScheme
+	}
+	archs := []arch{
+		{"fat-tree", ft, schemeGlobalOptimal},
+		{"F10", f10, schemeF10Local},
+		{"ShareBackup", ft, schemeShareBackup},
+	}
+	var out []ArchSlowdowns
+	for _, a := range archs {
+		// Per-window routed flows and no-failure baselines, computed
+		// lazily and cached across this architecture's scenarios.
+		flowsByWin := make([][]flowRef, len(windows))
+		baseByWin := make([][]float64, len(windows))
+		prepare := func(wi int) error {
+			if flowsByWin[wi] != nil {
+				return nil
+			}
+			flows, err := routeTrace(a.ft, windows[wi], cfg.Seed)
+			if err != nil {
+				return err
+			}
+			baseline, err := simulateCCT(a.ft, windows[wi], flows, nil)
+			if err != nil {
+				return fmt.Errorf("sharebackup: %s window %d baseline: %w", a.name, wi, err)
+			}
+			flowsByWin[wi] = flows
+			baseByWin[wi] = baseline
+			return nil
+		}
+		res := ArchSlowdowns{Name: a.name}
+		for si, sc := range scenarios {
+			wi := si % len(windows)
+			if err := prepare(wi); err != nil {
+				return nil, err
+			}
+			tr := windows[wi]
+			flows, baseline := flowsByWin[wi], baseByWin[wi]
+			blocked := sc.Blocked()
+			rerouted, disconnected := applyScheme(a.ft, flows, blocked, a.scheme)
+			cct, err := simulateCCT(a.ft, tr, rerouted, blocked)
+			if err != nil {
+				return nil, fmt.Errorf("sharebackup: %s scenario: %w", a.name, err)
+			}
+			for ci := range tr.Coflows {
+				if !coflowAffected(flows, ci, blocked) {
+					continue
+				}
+				if disconnected[ci] || math.IsInf(cct[ci], 1) {
+					res.Disconnected++
+					continue
+				}
+				if baseline[ci] > 0 {
+					res.Slowdowns = append(res.Slowdowns, cct[ci]/baseline[ci])
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// applyScheme produces each flow's post-failure path under the
+// architecture's recovery scheme, plus the set of coflows with at least one
+// unroutable flow.
+func applyScheme(ft *topo.FatTree, flows []flowRef, blocked *topo.Blocked, scheme rerouteScheme) ([]flowRef, map[int]bool) {
+	disconnected := make(map[int]bool)
+	if scheme == schemeShareBackup {
+		// Replacement restores the exact logical topology: every flow
+		// keeps its path, at full capacity. (The sub-second recovery
+		// window is negligible against 5-minute coflows; the latency
+		// experiment quantifies it separately.)
+		return flows, disconnected
+	}
+	out := make([]flowRef, len(flows))
+	load := routing.NewLinkLoad(ft.Topology)
+	for _, f := range flows {
+		if blocked.PathOK(f.path) {
+			load.Add(f.path, 1)
+		}
+	}
+	for i, f := range flows {
+		out[i] = f
+		if blocked.PathOK(f.path) {
+			continue
+		}
+		src := hostIndexOf(ft, f.path.Nodes[0])
+		dst := hostIndexOf(ft, f.path.Nodes[len(f.path.Nodes)-1])
+		var np topo.Path
+		var ok bool
+		switch scheme {
+		case schemeGlobalOptimal:
+			np, ok = routing.GlobalOptimalReroute(ft, src, dst, blocked, load)
+		case schemeF10Local:
+			np, ok = routing.F10LocalReroute(ft, f.path, blocked)
+			if !ok {
+				// F10 falls back to pushback (upstream) rerouting
+				// when no local detour exists.
+				np, ok = routing.GlobalOptimalReroute(ft, src, dst, blocked, load)
+			}
+		}
+		if !ok {
+			out[i].path = topo.Path{} // stalled: disconnected
+			disconnected[f.coflow] = true
+			continue
+		}
+		out[i].path = np
+		load.Add(np, 1)
+	}
+	return out, disconnected
+}
+
+// hostIndexOf maps a host node back to its global host index.
+func hostIndexOf(ft *topo.FatTree, id topo.NodeID) int {
+	return ft.Node(id).Index
+}
+
+// coflowAffected reports whether any of the coflow's original paths crosses
+// the failure.
+func coflowAffected(flows []flowRef, ci int, blocked *topo.Blocked) bool {
+	for _, f := range flows {
+		if f.coflow == ci && !blocked.PathOK(f.path) {
+			return true
+		}
+	}
+	return false
+}
+
+// simulateCCT runs the fluid simulator over the routed flows and returns
+// each coflow's completion time (max flow lifetime). Coflows whose flows
+// cannot all finish get +Inf.
+func simulateCCT(ft *topo.FatTree, tr *coflow.Trace, flows []flowRef, blocked *topo.Blocked) ([]float64, error) {
+	sim := fluid.New(ft.Topology)
+	// Flow IDs are dense over the routed flow list; byte sizes come from
+	// re-walking the trace in the same order as routeTrace.
+	type meta struct {
+		coflow  int
+		arrival float64
+	}
+	metas := make([]meta, 0, len(flows))
+	racks := ft.NumHosts()
+	idx := 0
+	for ci := range tr.Coflows {
+		c := &tr.Coflows[ci]
+		for _, f := range c.Flows {
+			if f.Src%racks == f.Dst%racks {
+				continue
+			}
+			if idx >= len(flows) {
+				return nil, fmt.Errorf("sharebackup: flow list shorter than trace")
+			}
+			if err := sim.AddFlow(fluid.FlowID(idx), f.Bytes, c.Arrival, flows[idx].path); err != nil {
+				return nil, err
+			}
+			metas = append(metas, meta{coflow: ci, arrival: c.Arrival})
+			idx++
+		}
+	}
+	if idx != len(flows) {
+		return nil, fmt.Errorf("sharebackup: flow list longer than trace")
+	}
+	_ = blocked // capacity of failed elements is expressed via the paths
+	horizon := tr.Duration() + 1
+	// Run in bounded steps so stalled flows do not spin RunToCompletion.
+	if err := sim.Run(horizon); err != nil {
+		return nil, err
+	}
+	for iter := 0; sim.ActiveCount() > 0 || sim.PendingCount() > 0; iter++ {
+		if iter > 10000 {
+			break // only permanently stalled flows remain
+		}
+		allStalled := true
+		for i := range metas {
+			f := sim.Flow(fluid.FlowID(i))
+			if !f.Done() && !f.Stalled() {
+				allStalled = false
+				break
+			}
+		}
+		if allStalled && sim.PendingCount() == 0 {
+			break
+		}
+		horizon *= 2
+		if err := sim.Run(horizon); err != nil {
+			return nil, err
+		}
+	}
+	cct := make([]float64, len(tr.Coflows))
+	for i, m := range metas {
+		f := sim.Flow(fluid.FlowID(i))
+		if !f.Done() {
+			cct[m.coflow] = math.Inf(1)
+			continue
+		}
+		if life := f.Finish() - m.arrival; life > cct[m.coflow] {
+			cct[m.coflow] = life
+		}
+	}
+	return cct, nil
+}

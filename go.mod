@@ -1,0 +1,3 @@
+module sharebackup
+
+go 1.22

@@ -1,0 +1,241 @@
+package coflow
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `3 2
+0 0 2 0 1 1 2:6
+1 1500 1 2 2 0:3 2:4
+`
+
+func TestParse(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRacks != 3 || len(tr.Coflows) != 2 {
+		t.Fatalf("parsed %d racks, %d coflows", tr.NumRacks, len(tr.Coflows))
+	}
+	c0 := tr.Coflows[0]
+	// Coflow 0: mappers {0,1}, reducer 2 with 6 MB -> 2 flows of 3 MB.
+	if c0.Width() != 2 {
+		t.Fatalf("coflow 0 width = %d, want 2", c0.Width())
+	}
+	for _, f := range c0.Flows {
+		if f.Dst != 2 || math.Abs(f.Bytes-3*MB) > 1 {
+			t.Errorf("coflow 0 flow = %+v", f)
+		}
+	}
+	// Coflow 1: mapper {2}, reducers 0 (3MB) and 2 (4MB). The 2->2 flow
+	// is rack-local and dropped.
+	c1 := tr.Coflows[1]
+	if c1.Width() != 1 {
+		t.Fatalf("coflow 1 width = %d, want 1 (local flow dropped)", c1.Width())
+	}
+	if c1.Flows[0].Src != 2 || c1.Flows[0].Dst != 0 || math.Abs(c1.Flows[0].Bytes-3*MB) > 1 {
+		t.Errorf("coflow 1 flow = %+v", c1.Flows[0])
+	}
+	if c1.Arrival != 1.5 {
+		t.Errorf("coflow 1 arrival = %v s, want 1.5", c1.Arrival)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"short header", "3\n"},
+		{"count mismatch", "3 5\n0 0 1 0 1 1:1\n"},
+		{"mapper out of range", "3 1\n0 0 1 9 1 1:1\n"},
+		{"reducer out of range", "3 1\n0 0 1 0 1 9:1\n"},
+		{"bad reducer format", "3 1\n0 0 1 0 1 1-1\n"},
+		{"zero mappers", "3 1\n0 0 0 1 1:1\n"},
+		{"negative size", "3 1\n0 0 1 0 1 1:-2\n"},
+		{"truncated", "3 1\n0 0 2 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: parse accepted", c.name)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	tr, err := Generate(GenConfig{Racks: 20, NumCoflows: 30, Duration: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\nfile:\n%s", err, buf.String())
+	}
+	if len(back.Coflows) != len(tr.Coflows) {
+		t.Fatalf("round trip lost coflows: %d -> %d", len(tr.Coflows), len(back.Coflows))
+	}
+	// Total bytes are preserved within formatting precision. (Width can
+	// legitimately change: Format regroups flows into full m x r
+	// rectangles.)
+	for i := range tr.Coflows {
+		a, b := tr.Coflows[i].TotalBytes(), back.Coflows[i].TotalBytes()
+		if math.Abs(a-b)/a > 1e-6 && math.Abs(a-b) > 1 {
+			t.Errorf("coflow %d bytes %v -> %v", i, a, b)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 9, NumCoflows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 9, NumCoflows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Coflows) != len(b.Coflows) {
+		t.Fatal("nondeterministic coflow count")
+	}
+	for i := range a.Coflows {
+		if a.Coflows[i].Arrival != b.Coflows[i].Arrival || a.Coflows[i].Width() != b.Coflows[i].Width() {
+			t.Fatalf("coflow %d differs between same-seed runs", i)
+		}
+	}
+	c, err := Generate(GenConfig{Seed: 10, NumCoflows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Coflows {
+		if a.Coflows[i].Width() != c.Coflows[i].Width() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateMarginals(t *testing.T) {
+	tr, err := Generate(GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRacks != 150 || len(tr.Coflows) != 526 {
+		t.Fatalf("defaults: %d racks, %d coflows", tr.NumRacks, len(tr.Coflows))
+	}
+	widths := make([]int, len(tr.Coflows))
+	for i := range tr.Coflows {
+		w := tr.Coflows[i].Width()
+		if w < 1 {
+			t.Fatalf("coflow %d has no flows", i)
+		}
+		widths[i] = w
+	}
+	sort.Ints(widths)
+	median := widths[len(widths)/2]
+	max := widths[len(widths)-1]
+	// Heavy tail: the median coflow is narrow, the widest is orders of
+	// magnitude wider (the Facebook trace spans 1 to >20k flows).
+	if median > 60 {
+		t.Errorf("median width = %d; want mostly narrow coflows", median)
+	}
+	if max < 100 {
+		t.Errorf("max width = %d; tail not heavy enough", max)
+	}
+	// Arrivals within horizon and sorted.
+	last := -1.0
+	for i := range tr.Coflows {
+		a := tr.Coflows[i].Arrival
+		if a < last {
+			t.Fatal("arrivals not sorted")
+		}
+		if a < 0 || a > 3600 {
+			t.Fatalf("arrival %v outside horizon", a)
+		}
+		last = a
+	}
+	// All endpoints in range and no rack-local flows.
+	for i := range tr.Coflows {
+		for _, f := range tr.Coflows[i].Flows {
+			if f.Src == f.Dst {
+				t.Fatalf("coflow %d has a rack-local flow", i)
+			}
+			if f.Src < 0 || f.Src >= 150 || f.Dst < 0 || f.Dst >= 150 {
+				t.Fatalf("coflow %d flow endpoint out of range: %+v", i, f)
+			}
+			if f.Bytes <= 0 {
+				t.Fatalf("coflow %d non-positive flow size", i)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Racks: 1}); err == nil {
+		t.Error("1-rack config accepted")
+	}
+	if _, err := Generate(GenConfig{NumCoflows: -5}); err == nil {
+		t.Error("negative coflow count accepted")
+	}
+	if _, err := Generate(GenConfig{Duration: -1}); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	tr := &Trace{NumRacks: 4, Coflows: []Coflow{
+		{ID: 0, Arrival: 10, Flows: []Flow{{0, 1, 1}}},
+		{ID: 1, Arrival: 310, Flows: []Flow{{1, 2, 1}}},
+		{ID: 2, Arrival: 320, Flows: []Flow{{2, 3, 1}}},
+		{ID: 3, Arrival: 900, Flows: []Flow{{0, 3, 1}}},
+	}}
+	windows, err := tr.Partition(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 4 {
+		t.Fatalf("windows = %d, want 4 (0-300, 300-600, 600-900, 900-1200)", len(windows))
+	}
+	if len(windows[0].Coflows) != 1 || len(windows[1].Coflows) != 2 ||
+		len(windows[2].Coflows) != 0 || len(windows[3].Coflows) != 1 {
+		t.Fatalf("window sizes = %d,%d,%d,%d", len(windows[0].Coflows), len(windows[1].Coflows),
+			len(windows[2].Coflows), len(windows[3].Coflows))
+	}
+	// Arrivals rebased to window start.
+	if got := windows[1].Coflows[0].Arrival; got != 10 {
+		t.Errorf("rebased arrival = %v, want 10", got)
+	}
+	if got := windows[3].Coflows[0].Arrival; got != 0 {
+		t.Errorf("rebased arrival = %v, want 0", got)
+	}
+	if _, err := tr.Partition(0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestCoflowHelpers(t *testing.T) {
+	c := Coflow{Flows: []Flow{{0, 1, 5}, {2, 1, 7}}}
+	if c.Width() != 2 {
+		t.Error("width")
+	}
+	if c.TotalBytes() != 12 {
+		t.Error("total bytes")
+	}
+	racks := c.Racks()
+	if len(racks) != 3 || racks[0] != 0 || racks[1] != 1 || racks[2] != 2 {
+		t.Errorf("racks = %v", racks)
+	}
+}

@@ -1,0 +1,95 @@
+package coflow
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzParse hardens the trace parser against malformed input: it must never
+// panic, and anything it accepts must satisfy the trace invariants.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("3 1\n0 0 1 0 1 1:1\n")
+	f.Add("")
+	f.Add("1 0\n")
+	f.Add("150 1\n0 999 3 0 1 2 2 10:5.5 20:0.25\n")
+	f.Add("2 1\n0 0 1 0 1 1:1e309\n") // overflow size
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted traces are internally consistent.
+		last := -1.0
+		for i := range tr.Coflows {
+			c := &tr.Coflows[i]
+			if c.Arrival < last {
+				t.Fatal("arrivals not sorted")
+			}
+			last = c.Arrival
+			for _, fl := range c.Flows {
+				if fl.Src < 0 || fl.Src >= tr.NumRacks || fl.Dst < 0 || fl.Dst >= tr.NumRacks {
+					t.Fatalf("flow endpoint out of range: %+v", fl)
+				}
+				if fl.Src == fl.Dst {
+					t.Fatal("rack-local flow survived parsing")
+				}
+				if !(fl.Bytes > 0) {
+					t.Fatalf("non-positive flow bytes: %v", fl.Bytes)
+				}
+			}
+		}
+	})
+}
+
+// TestQuickGenerateFormatParse: for random generator configs, the generated
+// trace round-trips through Format/Parse preserving coflow count, arrivals
+// (to ms precision), and total bytes.
+func TestQuickGenerateFormatParse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := GenConfig{
+			Racks:      2 + r.Intn(40),
+			NumCoflows: 1 + r.Intn(25),
+			Duration:   1 + r.Float64()*500,
+			Seed:       seed,
+		}
+		tr, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.Format(&buf); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Coflows) != len(tr.Coflows) || back.NumRacks != tr.NumRacks {
+			return false
+		}
+		for i := range tr.Coflows {
+			a, b := tr.Coflows[i].TotalBytes(), back.Coflows[i].TotalBytes()
+			if a <= 0 {
+				return false
+			}
+			rel := (a - b) / a
+			if rel < 0 {
+				rel = -rel
+			}
+			// %g formatting plus ms-truncated arrivals: generous
+			// tolerance, but bytes must essentially survive.
+			if rel > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster models the replicated controller deployment of Section 5.1: the
+// logically centralized controller is a small cluster of machines; switches
+// and hosts report to all of them, and a primary is elected to react to
+// failures. When the primary fails, another replica takes over.
+type Cluster struct {
+	alive   map[int]bool
+	primary int
+	// terms counts elections, for observability.
+	terms int
+}
+
+// NewCluster creates a cluster of n replicas (IDs 0..n-1) and elects a
+// primary.
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("controller: cluster needs at least one replica, got %d", n)
+	}
+	c := &Cluster{alive: make(map[int]bool, n)}
+	for i := 0; i < n; i++ {
+		c.alive[i] = true
+	}
+	c.elect()
+	return c, nil
+}
+
+// elect chooses the lowest-ID live replica (a deterministic bully-style
+// election).
+func (c *Cluster) elect() {
+	ids := make([]int, 0, len(c.alive))
+	for id, ok := range c.alive {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		c.primary = -1
+		return
+	}
+	sort.Ints(ids)
+	if c.primary != ids[0] {
+		c.primary = ids[0]
+		c.terms++
+	}
+}
+
+// Primary returns the current primary's ID, or -1 when no replica is alive.
+func (c *Cluster) Primary() int { return c.primary }
+
+// Terms returns how many elections have completed.
+func (c *Cluster) Terms() int { return c.terms }
+
+// AliveCount returns the number of live replicas.
+func (c *Cluster) AliveCount() int {
+	n := 0
+	for _, ok := range c.alive {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Fail marks a replica dead and re-elects if it was the primary.
+func (c *Cluster) Fail(id int) error {
+	if _, known := c.alive[id]; !known {
+		return fmt.Errorf("controller: unknown replica %d", id)
+	}
+	c.alive[id] = false
+	if id == c.primary {
+		c.elect()
+	}
+	return nil
+}
+
+// Recover marks a replica live again. The current primary keeps its role
+// (no disruptive fail-back), matching the paper's keep-the-backup-online
+// philosophy.
+func (c *Cluster) Recover(id int) error {
+	if _, known := c.alive[id]; !known {
+		return fmt.Errorf("controller: unknown replica %d", id)
+	}
+	c.alive[id] = true
+	if c.primary == -1 {
+		c.elect()
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sharebackup/internal/circuit"
+	"sharebackup/internal/sbnet"
+)
+
+func newCtl(t *testing.T, k, n int) (*Controller, *sbnet.Network) {
+	t.Helper()
+	net, err := sbnet.New(sbnet.Config{K: k, N: n, Tech: circuit.Crosspoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(net, Config{}), net
+}
+
+func TestHeartbeatDetection(t *testing.T) {
+	c, net := newCtl(t, 6, 1)
+	eg := net.EdgeGroup(0)
+	victim := eg.Members[0]
+	other := eg.Members[1]
+
+	// Both switches heartbeat at t=0; the victim then goes silent.
+	c.Heartbeat(victim, 0)
+	c.Heartbeat(other, 0)
+	net.InjectNodeFailure(victim)
+
+	// Before the miss threshold (3 x 1 ms): nothing detected.
+	if got := c.DetectFailures(2 * time.Millisecond); len(got) != 0 {
+		t.Errorf("early detection: %v", got)
+	}
+	c.Heartbeat(other, 2*time.Millisecond)
+
+	got := c.DetectFailures(3 * time.Millisecond)
+	if len(got) != 1 || got[0] != victim {
+		t.Fatalf("DetectFailures = %v, want [%v]", got, victim)
+	}
+}
+
+func TestRecoverNodeLatencyBreakdown(t *testing.T) {
+	c, net := newCtl(t, 6, 1)
+	victim := net.AggGroup(1).Members[0]
+	c.Heartbeat(victim, 0)
+	net.InjectNodeFailure(victim)
+
+	at := 3 * time.Millisecond
+	rec, err := c.RecoverNode(victim, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Detection != 3*time.Millisecond {
+		t.Errorf("detection = %v, want 3ms (time since last heartbeat)", rec.Detection)
+	}
+	if rec.Comm != 200*time.Microsecond {
+		t.Errorf("comm = %v, want 2 x 100µs", rec.Comm)
+	}
+	if rec.Reconfig != 70*time.Nanosecond {
+		t.Errorf("reconfig = %v, want one crosspoint delay", rec.Reconfig)
+	}
+	if rec.Total() != rec.Detection+rec.Comm+rec.Reconfig {
+		t.Error("total is not the sum of parts")
+	}
+	// Section 5.3: ShareBackup's recovery is as fast as rerouting — here
+	// strictly faster, because a circuit reset (70ns) beats a ~1ms SDN
+	// rule update.
+	reroute := c.RerouteRecoveryLatency()
+	sb := rec.Comm + rec.Reconfig + c.Config().ProbeInterval
+	if sb >= reroute+time.Millisecond {
+		t.Errorf("ShareBackup recovery %v not comparable to rerouting %v", sb, reroute)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Switch(victim).Role != sbnet.RoleOffline {
+		t.Error("victim not offline after recovery")
+	}
+}
+
+func TestRecoverNodeNoBackup(t *testing.T) {
+	c, net := newCtl(t, 4, 0)
+	victim := net.EdgeGroup(0).Members[0]
+	if _, err := c.RecoverNode(victim, 0); !errors.Is(err, sbnet.ErrNoBackup) {
+		t.Errorf("err = %v, want ErrNoBackup", err)
+	}
+}
+
+func TestLinkFailureReplacesBothEndsAndQueuesDiagnosis(t *testing.T) {
+	c, net := newCtl(t, 6, 1)
+	half := 3
+	edge := net.EdgeGroup(2).Slots()[0]
+	agg := net.AggGroup(2).Slots()[1]
+	// Edge slot 0's up-port j reaches agg slot (0+j)%3; agg slot 1 is
+	// reached via up-port 1. Ground truth: the edge-side interface broke.
+	if err := net.InjectPortFailure(edge, half+1); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.ReportLinkFailure(
+		EndPoint{Switch: edge, Port: half + 1},
+		EndPoint{Switch: agg, Port: 0},
+		time.Millisecond,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Failed) != 2 || len(rec.Backup) != 2 {
+		t.Fatalf("link recovery replaced %d switches, want 2 (both ends)", len(rec.Failed))
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PendingDiagnosis()) != 1 {
+		t.Fatal("link failure not queued for diagnosis")
+	}
+
+	// Offline diagnosis: the agg side is healthy and must be exonerated;
+	// the edge side is faulty and stays offline.
+	results, err := c.RunDiagnosis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("diagnosis results = %d, want 2", len(results))
+	}
+	byID := map[sbnet.SwitchID]DiagnosisResult{}
+	for _, r := range results {
+		byID[r.Suspect.Switch] = r
+	}
+	if byID[edge].Healthy || byID[edge].Exonerated {
+		t.Error("faulty edge interface exonerated")
+	}
+	if !byID[agg].Healthy || !byID[agg].Exonerated {
+		t.Error("healthy agg not exonerated")
+	}
+	if net.Switch(agg).Role != sbnet.RoleBackup {
+		t.Error("exonerated switch not returned to backup pool")
+	}
+	if net.Switch(edge).Role != sbnet.RoleOffline {
+		t.Error("faulty switch not kept offline")
+	}
+	if len(c.PendingDiagnosis()) != 0 {
+		t.Error("diagnosis queue not drained")
+	}
+	if c.DiagnosisReconfigs() == 0 {
+		t.Error("diagnosis performed no circuit reconfigurations")
+	}
+	// The repaired switch later rejoins as a backup — and is NOT swapped
+	// back into its old slot.
+	if err := c.RepairSwitch(edge); err != nil {
+		t.Fatal(err)
+	}
+	if net.Switch(edge).Role != sbnet.RoleBackup {
+		t.Error("repaired switch not a backup")
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagnosisNodeFailureBothSuspectsFaulty(t *testing.T) {
+	c, net := newCtl(t, 6, 1)
+	edge := net.EdgeGroup(0).Slots()[1]
+	agg := net.AggGroup(0).Slots()[1]
+	// The whole edge node is down: every probe configuration fails for
+	// it; the agg is exonerated.
+	net.InjectNodeFailure(edge)
+	if _, err := c.ReportLinkFailure(
+		EndPoint{Switch: edge, Port: 3},
+		EndPoint{Switch: agg, Port: 1},
+		0,
+	); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.RunDiagnosis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Suspect.Switch == edge && r.Healthy {
+			t.Error("dead node exonerated")
+		}
+		if r.Suspect.Switch == agg && !r.Healthy {
+			t.Error("healthy agg condemned")
+		}
+		if len(r.Partners) == 0 || len(r.Partners) > 3 {
+			t.Errorf("diagnosis used %d partner interfaces, want 1..3", len(r.Partners))
+		}
+	}
+}
+
+func TestDiagnosisSkipsNonOfflineSuspects(t *testing.T) {
+	c, net := newCtl(t, 4, 1)
+	active := net.EdgeGroup(0).Slots()[0]
+	c.pendingDiagnosis = append(c.pendingDiagnosis, LinkSuspects{
+		A: EndPoint{Switch: active, Port: 0},
+		B: EndPoint{Switch: active, Port: 1},
+	})
+	results, err := c.RunDiagnosis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Skipped {
+			t.Errorf("active suspect %v probed, want Skipped", r.Suspect)
+		}
+		if r.Exonerated || r.Healthy {
+			t.Error("skipped suspect must not be judged")
+		}
+	}
+}
+
+func TestCircuitSwitchFailureThreshold(t *testing.T) {
+	c, net := newCtl(t, 8, 4)
+	pod := 0
+	// All reports implicate CS_{2,0,0}: links between edge slot s
+	// (up-port 0) and agg slot s.
+	half := 4
+	for i := 0; i < 3; i++ {
+		edge := net.EdgeGroup(pod).Slots()[i]
+		agg := net.AggGroup(pod).Slots()[i]
+		if _, err := c.ReportLinkFailure(
+			EndPoint{Switch: edge, Port: half + 0},
+			EndPoint{Switch: agg, Port: i},
+			time.Duration(i)*time.Millisecond,
+		); err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+	}
+	// The 4th report within the window crosses the threshold (3): halt.
+	edge := net.EdgeGroup(pod).Slots()[3]
+	agg := net.AggGroup(pod).Slots()[3]
+	_, err := c.ReportLinkFailure(
+		EndPoint{Switch: edge, Port: half + 0},
+		EndPoint{Switch: agg, Port: 3},
+		3*time.Millisecond,
+	)
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("4th report err = %v, want ErrHalted", err)
+	}
+	if !c.Halted() {
+		t.Fatal("controller not halted")
+	}
+	// Everything is refused while halted.
+	if _, err := c.RecoverNode(net.CoreGroup(0).Slots()[0], 0); !errors.Is(err, ErrHalted) {
+		t.Error("node recovery proceeded while halted")
+	}
+	// Human intervention: reboot the circuit switch, re-push config,
+	// resume.
+	cs := net.CS2(pod, 0)
+	cs.Fail()
+	cs.Repair()
+	if _, err := net.SyncCircuit(2, pod, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatalf("after SyncCircuit: %v", err)
+	}
+	c.ResumeAfterIntervention()
+	if c.Halted() {
+		t.Error("still halted after intervention")
+	}
+	if _, err := c.ReportLinkFailure(
+		EndPoint{Switch: edge, Port: half + 0},
+		EndPoint{Switch: agg, Port: 3},
+		4*time.Millisecond,
+	); err != nil {
+		t.Errorf("recovery after intervention failed: %v", err)
+	}
+}
+
+func TestCSReportWindowSlides(t *testing.T) {
+	c, net := newCtl(t, 8, 4)
+	half := 4
+	// Three reports spread over more than the window must not halt.
+	for i := 0; i < 4; i++ {
+		edge := net.EdgeGroup(0).Slots()[i]
+		agg := net.AggGroup(0).Slots()[i]
+		if _, err := c.ReportLinkFailure(
+			EndPoint{Switch: edge, Port: half + 0},
+			EndPoint{Switch: agg, Port: i},
+			time.Duration(i)*2*time.Second, // window is 1s
+		); err != nil {
+			t.Fatalf("spread report %d: %v", i, err)
+		}
+	}
+	if c.Halted() {
+		t.Error("halted on reports outside the window")
+	}
+}
+
+func TestHostLinkFailurePolicy(t *testing.T) {
+	c, net := newCtl(t, 6, 2)
+	edge := net.EdgeGroup(1).Slots()[0]
+
+	// Case 1: the switch really was at fault; replacement fixes it.
+	flagged, err := c.HandleHostLinkFailure(edge, 0, 100, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("host flagged although the switch was at fault")
+	}
+	if net.Switch(edge).Role != sbnet.RoleOffline {
+		t.Error("faulty switch should stay offline")
+	}
+
+	// Case 2: the host was at fault; after replacing the (new) switch the
+	// problem persists, so the switch is exonerated and the host flagged.
+	edge2 := net.EdgeGroup(1).Slots()[1]
+	flagged, err = c.HandleHostLinkFailure(edge2, 1, 101, true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("host not flagged")
+	}
+	if net.Switch(edge2).Role != sbnet.RoleBackup {
+		t.Errorf("exonerated switch role = %v, want backup", net.Switch(edge2).Role)
+	}
+	hosts := c.FlaggedHosts()
+	if len(hosts) != 1 || hosts[0] != 101 {
+		t.Errorf("flagged hosts = %v, want [101]", hosts)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryLog(t *testing.T) {
+	c, net := newCtl(t, 6, 1)
+	victim := net.CoreGroup(0).Slots()[0]
+	net.InjectNodeFailure(victim)
+	if _, err := c.RecoverNode(victim, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Recoveries()
+	if len(recs) != 1 || recs[0].Kind != "node" {
+		t.Fatalf("recovery log = %+v", recs)
+	}
+}
+
+func TestClusterElection(t *testing.T) {
+	cl, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Primary() != 0 {
+		t.Errorf("initial primary = %d, want 0", cl.Primary())
+	}
+	if err := cl.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Primary() != 1 {
+		t.Errorf("primary after failure = %d, want 1", cl.Primary())
+	}
+	// Non-primary failure does not trigger an election.
+	terms := cl.Terms()
+	if err := cl.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Terms() != terms || cl.Primary() != 1 {
+		t.Error("non-primary failure changed leadership")
+	}
+	// Recovery does not fail back.
+	if err := cl.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Primary() != 1 {
+		t.Error("recovered replica stole leadership")
+	}
+	if cl.AliveCount() != 2 {
+		t.Errorf("alive = %d, want 2", cl.AliveCount())
+	}
+	// Total loss and recovery.
+	if err := cl.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Primary() != -1 {
+		t.Errorf("primary with no replicas = %d, want -1", cl.Primary())
+	}
+	if err := cl.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Primary() != 2 {
+		t.Errorf("primary after total loss recovery = %d, want 2", cl.Primary())
+	}
+	if err := cl.Fail(99); err == nil {
+		t.Error("unknown replica accepted")
+	}
+	if _, err := NewCluster(0); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFatTreeCost(t *testing.T) {
+	// k=48, E-DC: 5/4*48^3*60 + 48^3/2*81 = 8,294,400 + 4,478,976.
+	b, err := FatTree(48, EDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SwitchPorts != 8294400 {
+		t.Errorf("switch ports = %v, want 8294400", b.SwitchPorts)
+	}
+	if b.Cables != 4478976 {
+		t.Errorf("cables = %v, want 4478976", b.Cables)
+	}
+	if b.CircuitPorts != 0 {
+		t.Error("fat-tree has no circuit switches")
+	}
+	if b.Total() != 12773376 {
+		t.Errorf("total = %v, want 12773376", b.Total())
+	}
+}
+
+// TestPaperHeadlineNumbers checks the exact claims of Section 5.2: for a
+// k=48 fat-tree with n=1, ShareBackup's additional cost is 6.7% (copper) and
+// 13.3% (optical) of fat-tree, while Aspen Tree costs 6.5x and 3.2x as much
+// as ShareBackup's addition.
+func TestPaperHeadlineNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		p          Prices
+		sbRel      float64 // ShareBackup extra / fat-tree
+		aspenOverS float64 // Aspen extra / ShareBackup extra
+	}{
+		{EDC, 0.067, 6.5},
+		{ODC, 0.133, 3.2},
+	} {
+		sb, err := ShareBackupExtra(48, 1, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Relative(sb, 48, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rel-tc.sbRel) > 0.001 {
+			t.Errorf("%s: ShareBackup relative cost = %.4f, want %.3f", tc.p.Name, rel, tc.sbRel)
+		}
+		aspen, err := AspenExtra(48, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := aspen.Total() / sb.Total()
+		if math.Abs(ratio-tc.aspenOverS) > 0.1 {
+			t.Errorf("%s: Aspen/ShareBackup = %.2f, want %.1f", tc.p.Name, ratio, tc.aspenOverS)
+		}
+	}
+}
+
+func TestOneToOneIsFourTimesFatTree(t *testing.T) {
+	// Section 5.2: "the cost of 1:1 backup is 4x that of fat-tree",
+	// i.e. its additional cost is 3x the baseline.
+	for _, p := range []Prices{EDC, ODC} {
+		oo, err := OneToOneExtra(48, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Relative(oo, 48, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rel-3.0) > 1e-9 {
+			t.Errorf("%s: 1:1 extra relative = %v, want exactly 3", p.Name, rel)
+		}
+	}
+}
+
+func TestShareBackupCheaperThanAspenEvenAtN4(t *testing.T) {
+	// Section 5.2: even n=4 (16.7% backup ratio at k=48) keeps
+	// ShareBackup cheaper than Aspen Tree.
+	for _, p := range []Prices{EDC, ODC} {
+		sb, err := ShareBackupExtra(48, 4, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aspen, err := AspenExtra(48, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.Total() >= aspen.Total() {
+			t.Errorf("%s: ShareBackup(n=4) %v >= Aspen %v", p.Name, sb.Total(), aspen.Total())
+		}
+	}
+}
+
+func TestRelativeCostDecreasesWithScale(t *testing.T) {
+	// Figure 5: for fixed n, ShareBackup's relative cost falls as the
+	// network grows (backups amortize over larger failure groups).
+	prev := math.Inf(1)
+	for _, k := range []int{8, 16, 24, 32, 48, 64} {
+		sb, err := ShareBackupExtra(k, 1, EDC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Relative(sb, k, EDC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel >= prev {
+			t.Errorf("relative cost not decreasing at k=%d: %v >= %v", k, rel, prev)
+		}
+		prev = rel
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rows, err := Compare(48, 1, EDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ordering of Figure 5: ShareBackup < Aspen < 1:1.
+	if !(rows[0].Relative < rows[1].Relative && rows[1].Relative < rows[2].Relative) {
+		t.Errorf("relative costs not ordered: %v %v %v", rows[0].Relative, rows[1].Relative, rows[2].Relative)
+	}
+	if rows[0].Architecture != "ShareBackup(n=1)" {
+		t.Errorf("row 0 = %q", rows[0].Architecture)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FatTree(3, EDC); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := ShareBackupExtra(48, -1, EDC); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := AspenExtra(0, EDC); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := OneToOneExtra(5, EDC); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := Relative(Breakdown{}, 2, EDC); err == nil {
+		t.Error("k=2 accepted")
+	}
+	if _, err := Compare(7, 1, EDC); err == nil {
+		t.Error("odd k accepted in Compare")
+	}
+}

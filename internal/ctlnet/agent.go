@@ -1,0 +1,229 @@
+package ctlnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sharebackup/internal/routing"
+	"sharebackup/internal/sbnet"
+)
+
+// Agent is a switch-side keep-alive client: it registers with the controller
+// server and sends periodic keep-alives until stopped. Stopping the agent
+// without closing the connection models a crashed forwarding engine whose
+// TCP session lingers — exactly the case keep-alive detection exists for.
+type Agent struct {
+	ID sbnet.SwitchID
+
+	conn     net.Conn
+	interval time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	table   *routing.VLANTable
+	quit    chan struct{}
+	done    chan struct{}
+
+	// tableLoaded is closed when the preloaded failure-group table
+	// arrives (Section 4.3 hot-standby provisioning).
+	tableLoaded chan struct{}
+}
+
+// Dial connects an agent for the given switch to the controller server and
+// starts its keep-alive loop.
+func Dial(addr string, id sbnet.SwitchID, interval time.Duration) (*Agent, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("ctlnet: agent interval %v must be positive", interval)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlnet: agent dial: %w", err)
+	}
+	if err := writeFrame(conn, msgHello, encodeHello(id)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ctlnet: agent hello: %w", err)
+	}
+	a := &Agent{
+		ID:          id,
+		conn:        conn,
+		interval:    interval,
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+		tableLoaded: make(chan struct{}),
+	}
+	go a.keepAliveLoop()
+	go a.readLoop()
+	return a, nil
+}
+
+// readLoop handles server-to-agent messages (currently: the preloaded
+// failure-group table). It exits when the connection closes.
+func (a *Agent) readLoop() {
+	for {
+		typ, payload, err := readFrame(a.conn)
+		if err != nil {
+			return
+		}
+		if typ != msgTableLoad {
+			continue
+		}
+		vt, err := routing.UnmarshalVLANTable(payload)
+		if err != nil {
+			continue
+		}
+		a.mu.Lock()
+		first := a.table == nil
+		a.table = vt
+		a.mu.Unlock()
+		if first {
+			close(a.tableLoaded)
+		}
+	}
+}
+
+// Table returns the preloaded failure-group table, or nil if none has
+// arrived (agg/core switches derive their shared tables locally).
+func (a *Agent) Table() *routing.VLANTable {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.table
+}
+
+// WaitTable blocks until the preloaded table arrives or the timeout
+// expires, reporting success.
+func (a *Agent) WaitTable(timeout time.Duration) bool {
+	select {
+	case <-a.tableLoaded:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func (a *Agent) keepAliveLoop() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	seq := uint64(0)
+	for {
+		select {
+		case <-a.quit:
+			return
+		case <-ticker.C:
+			seq++
+			a.mu.Lock()
+			err := writeFrame(a.conn, msgKeepAlive, encodeKeepAlive(a.ID, seq))
+			a.mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ReportLinkFailure sends a link-failure report naming both suspect
+// interfaces (the agent's own and the peer's), as switches on both sides of
+// a failed link do in Section 4.1.
+func (a *Agent) ReportLinkFailure(ownPort int, peer sbnet.SwitchID, peerPort int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return fmt.Errorf("ctlnet: agent %d stopped", a.ID)
+	}
+	return writeFrame(a.conn, msgLinkFail, encodeLinkFail(a.ID, ownPort, peer, peerPort))
+}
+
+// StopHeartbeats silences the agent without closing the connection —
+// simulating a node failure as the controller sees it.
+func (a *Agent) StopHeartbeats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.stopped {
+		a.stopped = true
+		close(a.quit)
+	}
+}
+
+// Close stops the agent and closes its connection.
+func (a *Agent) Close() error {
+	a.StopHeartbeats()
+	<-a.done
+	return a.conn.Close()
+}
+
+// Monitor subscribes to the server's recovery events.
+type Monitor struct {
+	conn   net.Conn
+	Events chan RecoveryEvent
+	errMu  sync.Mutex
+	err    error
+}
+
+// Subscribe connects a monitor and starts decoding recovery events into
+// Events (closed when the connection drops).
+func Subscribe(addr string) (*Monitor, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlnet: monitor dial: %w", err)
+	}
+	if err := writeFrame(conn, msgSubscribe, nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ctlnet: subscribe: %w", err)
+	}
+	// Wait for the acknowledgement so no event published after Subscribe
+	// returns can be missed.
+	typ, _, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ctlnet: subscribe ack: %w", err)
+	}
+	if typ != msgSubAck {
+		conn.Close()
+		return nil, fmt.Errorf("ctlnet: subscribe ack: got message type %d", typ)
+	}
+	m := &Monitor{conn: conn, Events: make(chan RecoveryEvent, 16)}
+	go m.readLoop()
+	return m, nil
+}
+
+func (m *Monitor) readLoop() {
+	defer close(m.Events)
+	for {
+		typ, payload, err := readFrame(m.conn)
+		if err != nil {
+			m.setErr(err)
+			return
+		}
+		if typ != msgRecovery {
+			m.setErr(fmt.Errorf("ctlnet: monitor got message type %d", typ))
+			return
+		}
+		ev, err := decodeRecovery(payload)
+		if err != nil {
+			m.setErr(err)
+			return
+		}
+		m.Events <- ev
+	}
+}
+
+func (m *Monitor) setErr(err error) {
+	m.errMu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.errMu.Unlock()
+}
+
+// Err returns the first read error, if any (net.ErrClosed / io.EOF after
+// Close are normal).
+func (m *Monitor) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
+}
+
+// Close tears down the subscription.
+func (m *Monitor) Close() error { return m.conn.Close() }

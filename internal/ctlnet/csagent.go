@@ -1,0 +1,185 @@
+package ctlnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sharebackup/internal/circuit"
+)
+
+// Circuit-switch control messages.
+const (
+	msgCSReconfig byte = 16 // client -> service: batch of circuit changes
+	msgCSAck      byte = 17 // service -> client: applied, with latency
+	msgCSErr      byte = 18 // service -> client: error text
+)
+
+// CSService exposes one circuit switch's bare-minimum control software
+// (Section 5.1) on a TCP socket: it accepts reconfiguration batches, applies
+// them to the crossbar, and acknowledges with the reconfiguration latency.
+// The paper's availability argument rests on this software being tiny and
+// receiving requests only when failures happen; this implementation is the
+// measurable stand-in for the controller-to-circuit-switch leg of recovery.
+type CSService struct {
+	sw *circuit.Switch
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewCSService starts a control service for the circuit switch on addr.
+func NewCSService(addr string, sw *circuit.Switch) (*CSService, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlnet: cs service listen: %w", err)
+	}
+	s := &CSService{sw: sw, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the service's listen address.
+func (s *CSService) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the service.
+func (s *CSService) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *CSService) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *CSService) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level noise; drop the session.
+			}
+			return
+		}
+		if typ != msgCSReconfig {
+			_ = writeFrame(conn, msgCSErr, []byte(fmt.Sprintf("unexpected message type %d", typ)))
+			return
+		}
+		changes, err := decodeCSReconfig(payload)
+		if err != nil {
+			_ = writeFrame(conn, msgCSErr, []byte(err.Error()))
+			return
+		}
+		s.mu.Lock()
+		d, err := s.sw.Apply(changes)
+		s.mu.Unlock()
+		if err != nil {
+			if werr := writeFrame(conn, msgCSErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		var ack [8]byte
+		binary.BigEndian.PutUint64(ack[:], uint64(d))
+		if err := writeFrame(conn, msgCSAck, ack[:]); err != nil {
+			return
+		}
+	}
+}
+
+// CSClient is the controller-side handle to a circuit switch's control
+// service.
+type CSClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialCS connects to a circuit-switch control service.
+func DialCS(addr string) (*CSClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlnet: cs dial: %w", err)
+	}
+	return &CSClient{conn: conn}, nil
+}
+
+// Reconfigure applies a batch of circuit changes and returns the crossbar's
+// reconfiguration delay plus the measured request round-trip time.
+func (c *CSClient) Reconfigure(changes []circuit.Change) (reconfig time.Duration, rtt time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t0 := time.Now()
+	if err := writeFrame(c.conn, msgCSReconfig, encodeCSReconfig(changes)); err != nil {
+		return 0, 0, err
+	}
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		return 0, 0, err
+	}
+	rtt = time.Since(t0)
+	switch typ {
+	case msgCSAck:
+		if len(payload) != 8 {
+			return 0, rtt, fmt.Errorf("ctlnet: cs ack payload %d bytes", len(payload))
+		}
+		return time.Duration(binary.BigEndian.Uint64(payload)), rtt, nil
+	case msgCSErr:
+		return 0, rtt, fmt.Errorf("ctlnet: cs service: %s", payload)
+	default:
+		return 0, rtt, fmt.Errorf("ctlnet: cs client got message type %d", typ)
+	}
+}
+
+// Close tears the control session down.
+func (c *CSClient) Close() error { return c.conn.Close() }
+
+func encodeCSReconfig(changes []circuit.Change) []byte {
+	b := make([]byte, 4+8*len(changes))
+	binary.BigEndian.PutUint32(b[:4], uint32(len(changes)))
+	for i, ch := range changes {
+		binary.BigEndian.PutUint32(b[4+8*i:], uint32(int32(ch.A)))
+		binary.BigEndian.PutUint32(b[8+8*i:], uint32(int32(ch.B)))
+	}
+	return b
+}
+
+func decodeCSReconfig(p []byte) ([]circuit.Change, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("ctlnet: truncated reconfig")
+	}
+	n := binary.BigEndian.Uint32(p[:4])
+	if uint32(len(p)-4) != n*8 {
+		return nil, fmt.Errorf("ctlnet: reconfig promises %d changes, payload %d bytes", n, len(p)-4)
+	}
+	changes := make([]circuit.Change, n)
+	for i := range changes {
+		changes[i].A = int(int32(binary.BigEndian.Uint32(p[4+8*i:])))
+		changes[i].B = int(int32(binary.BigEndian.Uint32(p[8+8*i:])))
+	}
+	return changes, nil
+}

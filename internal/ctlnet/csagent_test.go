@@ -1,0 +1,135 @@
+package ctlnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sharebackup/internal/circuit"
+)
+
+func newCSService(t *testing.T) (*CSService, *CSClient, *circuit.Switch) {
+	t.Helper()
+	sw, err := circuit.New("cs-test", circuit.Crosspoint, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewCSService("127.0.0.1:0", sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	cli, err := DialCS(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return svc, cli, sw
+}
+
+func TestCSReconfigureOverTCP(t *testing.T) {
+	_, cli, sw := newCSService(t)
+	reconfig, rtt, err := cli.Reconfigure([]circuit.Change{{A: 0, B: 3}, {A: 1, B: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reconfig != 70*time.Nanosecond {
+		t.Errorf("reconfig delay = %v, want one crosspoint reset", reconfig)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Errorf("rtt = %v", rtt)
+	}
+	if sw.BOf(0) != 3 || sw.BOf(1) != 2 {
+		t.Error("changes not applied to the crossbar")
+	}
+	// The Section 5.3 claim: the controller-to-circuit-switch leg is
+	// sub-millisecond with an efficient implementation. Loopback TCP
+	// comfortably demonstrates the order of magnitude.
+	if rtt > 50*time.Millisecond {
+		t.Errorf("loopback reconfiguration RTT %v implausibly slow", rtt)
+	}
+}
+
+func TestCSReconfigureFailover(t *testing.T) {
+	// The actual failover batch: move a B-side port from the failed
+	// member's A-port to the backup's.
+	_, cli, sw := newCSService(t)
+	if _, _, err := cli.Reconfigure([]circuit.Change{{A: 0, B: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Reconfigure([]circuit.Change{{A: 5, B: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.AOf(0) != 5 {
+		t.Errorf("B0 circuits to A%d, want the backup port 5", sw.AOf(0))
+	}
+	if sw.BOf(0) != circuit.Unconnected {
+		t.Error("failed member's circuit survived")
+	}
+}
+
+func TestCSReconfigureErrors(t *testing.T) {
+	_, cli, sw := newCSService(t)
+	// Out-of-range port: service reports the crossbar's error, session
+	// stays usable.
+	if _, _, err := cli.Reconfigure([]circuit.Change{{A: 99, B: 0}}); err == nil {
+		t.Fatal("out-of-range change accepted")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("error %v does not surface the crossbar failure", err)
+	}
+	if _, _, err := cli.Reconfigure([]circuit.Change{{A: 1, B: 1}}); err != nil {
+		t.Fatalf("session unusable after an error: %v", err)
+	}
+	if sw.BOf(1) != 1 {
+		t.Error("follow-up change not applied")
+	}
+	// Failed crossbar.
+	sw.Fail()
+	if _, _, err := cli.Reconfigure([]circuit.Change{{A: 2, B: 2}}); err == nil {
+		t.Error("reconfiguration of failed crossbar accepted")
+	}
+}
+
+func TestCSWireRoundTrip(t *testing.T) {
+	in := []circuit.Change{{A: 1, B: 2}, {A: 3, B: circuit.Unconnected}}
+	out, err := decodeCSReconfig(encodeCSReconfig(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip = %v", out)
+	}
+	if _, err := decodeCSReconfig([]byte{1, 2}); err == nil {
+		t.Error("truncated reconfig accepted")
+	}
+	if _, err := decodeCSReconfig([]byte{0, 0, 0, 2, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCSServiceConcurrentClients(t *testing.T) {
+	svc, _, _ := newCSService(t)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			cli, err := DialCS(svc.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cli.Close()
+			for rep := 0; rep < 20; rep++ {
+				if _, _, err := cli.Reconfigure([]circuit.Change{{A: i, B: (i + rep) % 8}}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

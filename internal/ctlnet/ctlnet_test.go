@@ -1,0 +1,339 @@
+package ctlnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"sharebackup/internal/circuit"
+	"sharebackup/internal/controller"
+	"sharebackup/internal/sbnet"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgHello, encodeHello(42)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgHello {
+		t.Fatalf("type = %d", typ)
+	}
+	id, err := decodeHello(payload)
+	if err != nil || id != 42 {
+		t.Fatalf("hello = %v, %v", id, err)
+	}
+
+	buf.Reset()
+	if err := writeFrame(&buf, msgKeepAlive, encodeKeepAlive(7, 99)); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kid, seq, err := decodeKeepAlive(payload)
+	if err != nil || kid != 7 || seq != 99 {
+		t.Fatalf("keepalive = %v %v %v", kid, seq, err)
+	}
+
+	buf.Reset()
+	if err := writeFrame(&buf, msgLinkFail, encodeLinkFail(1, 5, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ap, b, bp, err := decodeLinkFail(payload)
+	if err != nil || a != 1 || ap != 5 || b != 2 || bp != 0 {
+		t.Fatalf("linkfail = %v %v %v %v %v", a, ap, b, bp, err)
+	}
+
+	ev := RecoveryEvent{Kind: "link", Failed: []sbnet.SwitchID{3, 4}, Backup: []sbnet.SwitchID{9}, Latency: 17 * time.Millisecond}
+	back, err := decodeRecovery(encodeRecovery(ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != "link" || len(back.Failed) != 2 || back.Failed[1] != 4 ||
+		len(back.Backup) != 1 || back.Backup[0] != 9 || back.Latency != 17*time.Millisecond {
+		t.Fatalf("recovery round trip = %+v", back)
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	if _, err := decodeHello([]byte{1, 2}); err == nil {
+		t.Error("short hello accepted")
+	}
+	if _, _, err := decodeKeepAlive(make([]byte, 5)); err == nil {
+		t.Error("short keepalive accepted")
+	}
+	if _, _, _, _, err := decodeLinkFail(make([]byte, 3)); err == nil {
+		t.Error("short linkfail accepted")
+	}
+	if _, err := decodeRecovery([]byte{0}); err == nil {
+		t.Error("short recovery accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // zero-length frame
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func newServer(t *testing.T) (*Server, *sbnet.Network) {
+	t.Helper()
+	net, err := sbnet.New(sbnet.Config{K: 4, N: 1, Tech: circuit.Crosspoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := controller.New(net, controller.Config{ProbeInterval: 5 * time.Millisecond})
+	srv, err := NewServer("127.0.0.1:0", ctl, ServerConfig{
+		Interval:      5 * time.Millisecond,
+		MissThreshold: 3,
+		CheckEvery:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, net
+}
+
+func TestNodeFailoverOverTCP(t *testing.T) {
+	srv, net := newServer(t)
+
+	mon, err := Subscribe(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// Agents for every active switch in pod 0's edge group.
+	var agents []*Agent
+	for _, id := range net.EdgeGroup(0).Slots() {
+		a, err := Dial(srv.Addr(), id, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents = append(agents, a)
+	}
+	// Let heartbeats register.
+	time.Sleep(20 * time.Millisecond)
+
+	// Kill one switch: its agent goes silent.
+	victim := agents[0]
+	victim.StopHeartbeats()
+	t0 := time.Now()
+
+	select {
+	case ev, ok := <-mon.Events:
+		if !ok {
+			t.Fatalf("monitor closed: %v", mon.Err())
+		}
+		wall := time.Since(t0)
+		if ev.Kind != "node" {
+			t.Errorf("event kind = %q", ev.Kind)
+		}
+		if len(ev.Failed) != 1 || ev.Failed[0] != victim.ID {
+			t.Errorf("failed = %v, want [%v]", ev.Failed, victim.ID)
+		}
+		if len(ev.Backup) != 1 {
+			t.Errorf("backup = %v", ev.Backup)
+		}
+		// Detection threshold is 15 ms; the whole failover should land
+		// well within a second even on a loaded machine.
+		if wall > time.Second {
+			t.Errorf("failover took %v", wall)
+		}
+		if ev.Latency <= 0 {
+			t.Errorf("reported latency = %v", ev.Latency)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no recovery event within 2s")
+	}
+
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatalf("network invariants after TCP failover: %v", err)
+	}
+	if net.Switch(victim.ID).Role != sbnet.RoleOffline {
+		t.Error("victim not offline")
+	}
+}
+
+func TestLinkFailureOverTCP(t *testing.T) {
+	srv, net := newServer(t)
+
+	mon, err := Subscribe(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	edge := net.EdgeGroup(1).Slots()[0]
+	agg := net.AggGroup(1).Slots()[0]
+	a, err := Dial(srv.Addr(), edge, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Edge slot 0's up-port 0 reaches agg slot 0 (rotation j=0).
+	if err := a.ReportLinkFailure(2, agg, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev, ok := <-mon.Events:
+		if !ok {
+			t.Fatalf("monitor closed: %v", mon.Err())
+		}
+		if ev.Kind != "link" {
+			t.Errorf("kind = %q", ev.Kind)
+		}
+		if len(ev.Failed) != 2 {
+			t.Errorf("link failover replaced %d switches, want both ends", len(ev.Failed))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no link recovery event within 2s")
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTablePreloadOverTCP(t *testing.T) {
+	srv, net := newServer(t)
+	// An edge-group BACKUP switch gets the combined table too — that is
+	// what makes it a hot standby (Section 4.3).
+	backup := net.EdgeGroup(0).Members[2]
+	a, err := Dial(srv.Addr(), backup, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if !a.WaitTable(2 * time.Second) {
+		t.Fatal("preloaded table never arrived")
+	}
+	vt := a.Table()
+	if vt == nil || vt.K != 4 || vt.Pod != 0 {
+		t.Fatalf("table = %+v", vt)
+	}
+	if got, want := vt.Size(), 4/2+4*4/4; got != want {
+		t.Errorf("table size = %d, want k/2 + k^2/4 = %d", got, want)
+	}
+	// Agg switches get no table push.
+	agg, err := Dial(srv.Addr(), net.AggGroup(0).Members[0], 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	if agg.WaitTable(50 * time.Millisecond) {
+		t.Error("agg switch received an edge table")
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	srv, _ := newServer(t)
+	if _, err := Dial(srv.Addr(), 0, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	a, err := Dial(srv.Addr(), 0, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StopHeartbeats()
+	if err := a.ReportLinkFailure(0, 1, 0); err == nil {
+		t.Error("report after stop accepted")
+	}
+	a.Close()
+	a.Close() // double close must be safe
+}
+
+func TestServerDropsProtocolViolations(t *testing.T) {
+	srv, _ := newServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Unknown message type: the server terminates the session.
+	if err := writeFrame(conn, 0xEE, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := readFrame(conn); err == nil {
+		t.Error("server kept a session alive after a protocol violation")
+	}
+
+	// Malformed hello: also terminated.
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := writeFrame(conn2, msgHello, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := readFrame(conn2); err == nil {
+		t.Error("server kept a session alive after a malformed hello")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := newServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestNoRecoveryForUnregisteredSwitch(t *testing.T) {
+	// A switch that never sent Hello must not be failed over by the
+	// detector, no matter how long the server runs.
+	srv, net := newServer(t)
+	mon, err := Subscribe(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	time.Sleep(60 * time.Millisecond) // several detection periods
+	select {
+	case ev := <-mon.Events:
+		t.Fatalf("spurious recovery event: %+v", ev)
+	default:
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseUnblocksMonitor(t *testing.T) {
+	srv, _ := newServer(t)
+	mon, err := Subscribe(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	select {
+	case _, ok := <-mon.Events:
+		if ok {
+			t.Error("unexpected event")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor not unblocked by server close")
+	}
+}

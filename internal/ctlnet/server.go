@@ -1,0 +1,334 @@
+package ctlnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sharebackup/internal/controller"
+	"sharebackup/internal/routing"
+	"sharebackup/internal/sbnet"
+	"sharebackup/internal/topo"
+)
+
+// ServerConfig tunes the TCP control plane.
+type ServerConfig struct {
+	// Interval is the expected keep-alive interval. Default 5 ms.
+	Interval time.Duration
+	// MissThreshold is how many missed intervals declare a node dead.
+	// Default 3.
+	MissThreshold int
+	// CheckEvery is the detector's scan period. Default Interval.
+	CheckEvery time.Duration
+	// Logf, if set, receives server diagnostics (default: discarded).
+	Logf func(format string, args ...interface{})
+}
+
+func (c *ServerConfig) setDefaults() {
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Millisecond
+	}
+	if c.MissThreshold == 0 {
+		c.MissThreshold = 3
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = c.Interval
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// Server is the controller endpoint: it accepts switch agents and monitors,
+// tracks keep-alives on the wall clock, and drives failover on the
+// underlying network when a switch goes silent.
+type Server struct {
+	cfg   ServerConfig
+	ctl   *controller.Controller
+	ln    net.Listener
+	start time.Time
+
+	mu       sync.Mutex
+	lastSeen map[sbnet.SwitchID]time.Time
+	subs     []net.Conn
+	tables   map[int][]byte // per-pod serialized combined tables
+	closed   bool
+
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// NewServer starts a controller server listening on addr (use
+// "127.0.0.1:0" for tests). The controller's virtual clock is driven from
+// the wall clock relative to server start.
+func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Server, error) {
+	cfg.setDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlnet: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ctl:      ctl,
+		ln:       ln,
+		start:    time.Now(),
+		lastSeen: make(map[sbnet.SwitchID]time.Time),
+		quit:     make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.detectLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	subs := s.subs
+	s.subs = nil
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range subs {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			s.cfg.Logf("ctlnet: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	subscribed := false
+	defer func() {
+		if !subscribed {
+			conn.Close()
+		}
+	}()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("ctlnet: conn %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch typ {
+		case msgHello:
+			id, err := decodeHello(payload)
+			if err != nil {
+				s.cfg.Logf("ctlnet: %v", err)
+				return
+			}
+			s.seen(id)
+			// Hot-standby provisioning (Section 4.3): edge-group
+			// switches — regular and backup alike — receive their
+			// pod's combined failure-group table on registration.
+			if tbl := s.tableFor(id); tbl != nil {
+				if err := writeFrame(conn, msgTableLoad, tbl); err != nil {
+					s.cfg.Logf("ctlnet: table push to %d: %v", id, err)
+					return
+				}
+			}
+		case msgKeepAlive:
+			id, _, err := decodeKeepAlive(payload)
+			if err != nil {
+				s.cfg.Logf("ctlnet: %v", err)
+				return
+			}
+			s.seen(id)
+		case msgLinkFail:
+			aSw, aPort, bSw, bPort, err := decodeLinkFail(payload)
+			if err != nil {
+				s.cfg.Logf("ctlnet: %v", err)
+				return
+			}
+			s.handleLinkFail(aSw, aPort, bSw, bPort)
+		case msgSubscribe:
+			s.mu.Lock()
+			if !s.closed {
+				s.subs = append(s.subs, conn)
+				subscribed = true
+			}
+			s.mu.Unlock()
+			if !subscribed {
+				return
+			}
+			if err := writeFrame(conn, msgSubAck, nil); err != nil {
+				s.cfg.Logf("ctlnet: subscribe ack: %v", err)
+				return
+			}
+		default:
+			s.cfg.Logf("ctlnet: unknown message type %d", typ)
+			return
+		}
+	}
+}
+
+// tableFor builds (and caches) the serialized combined table for an
+// edge-group switch's pod; nil for agg/core switches, whose shared tables
+// are a degenerate case the agents already derive from k.
+func (s *Server) tableFor(id sbnet.SwitchID) []byte {
+	net := s.ctl.Network()
+	sw := net.Switch(id)
+	if sw.Kind != topo.KindEdge {
+		return nil
+	}
+	pod := net.Group(sw.Group).Pod
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tables == nil {
+		s.tables = make(map[int][]byte)
+	}
+	if b, ok := s.tables[pod]; ok {
+		return b
+	}
+	vt, err := routing.BuildVLANTable(net.K(), pod)
+	if err != nil {
+		s.cfg.Logf("ctlnet: building table for pod %d: %v", pod, err)
+		return nil
+	}
+	b, err := vt.MarshalBinary()
+	if err != nil {
+		s.cfg.Logf("ctlnet: encoding table for pod %d: %v", pod, err)
+		return nil
+	}
+	s.tables[pod] = b
+	return b
+}
+
+func (s *Server) seen(id sbnet.SwitchID) {
+	now := time.Now()
+	s.mu.Lock()
+	s.lastSeen[id] = now
+	s.ctl.Heartbeat(id, now.Sub(s.start))
+	s.mu.Unlock()
+}
+
+func (s *Server) handleLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) {
+	t0 := time.Now()
+	s.mu.Lock()
+	rec, err := s.ctl.ReportLinkFailure(
+		controller.EndPoint{Switch: aSw, Port: aPort},
+		controller.EndPoint{Switch: bSw, Port: bPort},
+		t0.Sub(s.start),
+	)
+	s.mu.Unlock()
+	if err != nil {
+		s.cfg.Logf("ctlnet: link recovery: %v", err)
+		if rec == nil {
+			return
+		}
+	}
+	s.publish(RecoveryEvent{
+		Kind:    "link",
+		Failed:  rec.Failed,
+		Backup:  rec.Backup,
+		Latency: time.Since(t0),
+	})
+}
+
+// detectLoop scans for silent switches and fails them over.
+func (s *Server) detectLoop() {
+	defer s.wg.Done()
+	deadline := time.Duration(s.cfg.MissThreshold) * s.cfg.Interval
+	ticker := time.NewTicker(s.cfg.CheckEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case now := <-ticker.C:
+			var dead []sbnet.SwitchID
+			var silence []time.Duration
+			s.mu.Lock()
+			for id, last := range s.lastSeen {
+				if now.Sub(last) >= deadline && s.ctl.Network().Switch(id).Role == sbnet.RoleActive {
+					dead = append(dead, id)
+					silence = append(silence, now.Sub(last))
+				}
+			}
+			s.mu.Unlock()
+			for i, id := range dead {
+				s.mu.Lock()
+				rec, err := s.ctl.RecoverNode(id, now.Sub(s.start))
+				if err == nil {
+					delete(s.lastSeen, id)
+				}
+				s.mu.Unlock()
+				if err != nil {
+					s.cfg.Logf("ctlnet: node recovery of %d: %v", id, err)
+					continue
+				}
+				s.publish(RecoveryEvent{
+					Kind:    "node",
+					Failed:  rec.Failed,
+					Backup:  rec.Backup,
+					Latency: silence[i] + time.Since(now),
+				})
+			}
+		}
+	}
+}
+
+// publish sends a recovery event to all subscribers, dropping broken ones.
+func (s *Server) publish(ev RecoveryEvent) {
+	payload := encodeRecovery(ev)
+	s.mu.Lock()
+	subs := append([]net.Conn(nil), s.subs...)
+	s.mu.Unlock()
+	var broken []net.Conn
+	for _, c := range subs {
+		if err := writeFrame(c, msgRecovery, payload); err != nil {
+			broken = append(broken, c)
+		}
+	}
+	if len(broken) > 0 {
+		s.mu.Lock()
+		kept := s.subs[:0]
+		for _, c := range s.subs {
+			isBroken := false
+			for _, b := range broken {
+				if c == b {
+					isBroken = true
+					break
+				}
+			}
+			if isBroken {
+				c.Close()
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		s.subs = kept
+		s.mu.Unlock()
+	}
+}

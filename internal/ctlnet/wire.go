@@ -1,0 +1,192 @@
+// Package ctlnet puts ShareBackup's control plane on real sockets: switch
+// agents speak a compact length-prefixed binary protocol over TCP to a
+// controller server, which detects missed keep-alives, drives failover on
+// the underlying sbnet.Network through the controller package, and publishes
+// recovery events to subscribers. The paper argues (Section 5.3) that with
+// an efficient controller implementation the switch-to-controller and
+// controller-to-circuit-switch communication stays sub-millisecond; this
+// package is the measurable stand-in for that claim — the loopback demo and
+// tests time the detection-to-reconfiguration path end to end.
+package ctlnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"sharebackup/internal/sbnet"
+)
+
+// Message types.
+const (
+	msgHello     byte = 1 // agent -> server: int32 switch ID
+	msgKeepAlive byte = 2 // agent -> server: int32 switch ID, uint64 seq
+	msgLinkFail  byte = 3 // agent -> server: int32 switch, int32 port, int32 switch, int32 port
+	msgSubscribe byte = 4 // monitor -> server: empty
+	msgRecovery  byte = 5 // server -> monitor: recovery event
+	msgSubAck    byte = 6 // server -> monitor: subscription registered
+	msgTableLoad byte = 7 // server -> agent: preloaded failure-group table (§4.3)
+)
+
+// maxFrame bounds frame sizes; control messages are tiny.
+const maxFrame = 64 * 1024
+
+// writeFrame writes a length-prefixed frame: uint32 length, byte type,
+// payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("ctlnet: frame too large (%d bytes)", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("ctlnet: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func encodeHello(id sbnet.SwitchID) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	return b[:]
+}
+
+func decodeHello(p []byte) (sbnet.SwitchID, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("ctlnet: hello payload %d bytes, want 4", len(p))
+	}
+	return sbnet.SwitchID(binary.BigEndian.Uint32(p)), nil
+}
+
+func encodeKeepAlive(id sbnet.SwitchID, seq uint64) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[:4], uint32(id))
+	binary.BigEndian.PutUint64(b[4:], seq)
+	return b[:]
+}
+
+func decodeKeepAlive(p []byte) (sbnet.SwitchID, uint64, error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("ctlnet: keepalive payload %d bytes, want 12", len(p))
+	}
+	return sbnet.SwitchID(binary.BigEndian.Uint32(p[:4])), binary.BigEndian.Uint64(p[4:]), nil
+}
+
+func encodeLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(aSw))
+	binary.BigEndian.PutUint32(b[4:8], uint32(aPort))
+	binary.BigEndian.PutUint32(b[8:12], uint32(bSw))
+	binary.BigEndian.PutUint32(b[12:16], uint32(bPort))
+	return b[:]
+}
+
+func decodeLinkFail(p []byte) (aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int, err error) {
+	if len(p) != 16 {
+		return 0, 0, 0, 0, fmt.Errorf("ctlnet: linkfail payload %d bytes, want 16", len(p))
+	}
+	return sbnet.SwitchID(binary.BigEndian.Uint32(p[0:4])), int(int32(binary.BigEndian.Uint32(p[4:8]))),
+		sbnet.SwitchID(binary.BigEndian.Uint32(p[8:12])), int(int32(binary.BigEndian.Uint32(p[12:16]))), nil
+}
+
+// RecoveryEvent is the server's notification of a completed failover.
+type RecoveryEvent struct {
+	Kind    string // "node" or "link"
+	Failed  []sbnet.SwitchID
+	Backup  []sbnet.SwitchID
+	Latency time.Duration // wall-clock detection-to-reconfigured latency
+}
+
+func encodeRecovery(ev RecoveryEvent) []byte {
+	kind := byte(0)
+	if ev.Kind == "link" {
+		kind = 1
+	}
+	b := make([]byte, 0, 1+4+4*len(ev.Failed)+4+4*len(ev.Backup)+8)
+	b = append(b, kind)
+	b = appendIDs(b, ev.Failed)
+	b = appendIDs(b, ev.Backup)
+	var lat [8]byte
+	binary.BigEndian.PutUint64(lat[:], uint64(ev.Latency))
+	return append(b, lat[:]...)
+}
+
+func appendIDs(b []byte, ids []sbnet.SwitchID) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(ids)))
+	b = append(b, n[:]...)
+	for _, id := range ids {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], uint32(id))
+		b = append(b, v[:]...)
+	}
+	return b
+}
+
+func decodeRecovery(p []byte) (RecoveryEvent, error) {
+	var ev RecoveryEvent
+	if len(p) < 1+4 {
+		return ev, fmt.Errorf("ctlnet: recovery payload too short")
+	}
+	if p[0] == 1 {
+		ev.Kind = "link"
+	} else {
+		ev.Kind = "node"
+	}
+	rest := p[1:]
+	var err error
+	ev.Failed, rest, err = readIDs(rest)
+	if err != nil {
+		return ev, err
+	}
+	ev.Backup, rest, err = readIDs(rest)
+	if err != nil {
+		return ev, err
+	}
+	if len(rest) != 8 {
+		return ev, fmt.Errorf("ctlnet: recovery payload trailing %d bytes", len(rest))
+	}
+	ev.Latency = time.Duration(binary.BigEndian.Uint64(rest))
+	return ev, nil
+}
+
+func readIDs(p []byte) ([]sbnet.SwitchID, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("ctlnet: truncated ID list")
+	}
+	n := binary.BigEndian.Uint32(p[:4])
+	p = p[4:]
+	if uint32(len(p)) < n*4 {
+		return nil, nil, fmt.Errorf("ctlnet: ID list promises %d entries, %d bytes left", n, len(p))
+	}
+	ids := make([]sbnet.SwitchID, n)
+	for i := range ids {
+		ids[i] = sbnet.SwitchID(binary.BigEndian.Uint32(p[:4]))
+		p = p[4:]
+	}
+	return ids, p, nil
+}

@@ -1,0 +1,133 @@
+package detect
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthyLinkNeverDeclared(t *testing.T) {
+	m, err := NewMonitor(Config{}, func(CheckKind) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, down := m.Advance(time.Second); down {
+		t.Fatal("healthy link declared down")
+	}
+	if m.Down() {
+		t.Fatal("Down() true on healthy link")
+	}
+}
+
+func TestDetectionAfterMissThreshold(t *testing.T) {
+	healthy := true
+	m, err := NewMonitor(Config{Interval: time.Millisecond, MissThreshold: 3},
+		func(CheckKind) bool { return healthy })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, down := m.Advance(5 * time.Millisecond); down {
+		t.Fatal("early declaration")
+	}
+	healthy = false // fault at t=5ms
+	ev, down := m.Advance(20 * time.Millisecond)
+	if !down {
+		t.Fatal("fault not detected")
+	}
+	// Probes at 6, 7, 8 ms miss; declared at the 3rd miss.
+	if ev.At != 8*time.Millisecond {
+		t.Errorf("declared at %v, want 8ms", ev.At)
+	}
+	if ev.Latency != 3*time.Millisecond {
+		t.Errorf("latency = %v, want 3 intervals", ev.Latency)
+	}
+	if ev.Latency > (Config{Interval: time.Millisecond, MissThreshold: 3}).WorstCaseLatency() {
+		t.Error("latency exceeds worst case")
+	}
+	// Declared-down monitors stay down and emit nothing further.
+	if _, again := m.Advance(30 * time.Millisecond); again {
+		t.Error("second declaration")
+	}
+	if !m.Down() {
+		t.Error("Down() false after declaration")
+	}
+	m.Reset()
+	healthy = true
+	if _, down := m.Advance(40 * time.Millisecond); down {
+		t.Error("declared down after reset on healthy link")
+	}
+}
+
+func TestTransientMissesDoNotDeclare(t *testing.T) {
+	probe := 0
+	m, err := NewMonitor(Config{Interval: time.Millisecond, MissThreshold: 3},
+		func(CheckKind) bool {
+			// Every third probe round drops (transient loss).
+			return probe%3 != 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := time.Millisecond; now <= 50*time.Millisecond; now += time.Millisecond {
+		probe++
+		if _, down := m.Advance(now); down {
+			t.Fatal("transient losses declared a failure")
+		}
+	}
+}
+
+func TestFirstFailingCheckReported(t *testing.T) {
+	// Only the forwarding engine is broken (interface and framing fine) —
+	// the classic gray failure F10's multi-check probing catches.
+	m, err := NewMonitor(Config{}, func(k CheckKind) bool { return k != CheckForwarding })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, down := m.Advance(10 * time.Millisecond)
+	if !down {
+		t.Fatal("gray failure undetected")
+	}
+	if ev.Kind != CheckForwarding {
+		t.Errorf("reported %v, want forwarding-engine", ev.Kind)
+	}
+}
+
+func TestLinkMonitorBothSidesReport(t *testing.T) {
+	// The paper: "the switches on both sides of the failed link are
+	// replaced. Both of the switches notify the network controller."
+	lm, err := NewLinkMonitor(Config{Interval: time.Millisecond, MissThreshold: 2},
+		func(CheckKind) bool { return false },
+		func(k CheckKind) bool { return k == CheckInterface }, // B's interface sees light, framing dead
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evA, evB, downA, downB := lm.Advance(10 * time.Millisecond)
+	if !downA || !downB {
+		t.Fatalf("both sides must detect: %v %v", downA, downB)
+	}
+	if evA.Kind != CheckInterface {
+		t.Errorf("A reported %v, want the first check probed", evA.Kind)
+	}
+	if evB.Kind != CheckDataLink {
+		t.Errorf("B reported %v, want data-link (interface is fine)", evB.Kind)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(Config{}, nil); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := NewMonitor(Config{Interval: -time.Second}, func(CheckKind) bool { return true }); err == nil {
+		t.Error("negative interval accepted")
+	}
+	if _, err := NewLinkMonitor(Config{}, nil, func(CheckKind) bool { return true }); err == nil {
+		t.Error("nil oracle in link monitor accepted")
+	}
+}
+
+func TestCheckKindString(t *testing.T) {
+	if CheckInterface.String() != "interface" || CheckDataLink.String() != "data-link" ||
+		CheckForwarding.String() != "forwarding-engine" {
+		t.Error("check names wrong")
+	}
+}

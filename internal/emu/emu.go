@@ -1,0 +1,305 @@
+// Package emu emulates packet forwarding over the *physical* ShareBackup
+// network: packets traverse the actual circuit-switch state and are forwarded
+// by whatever physical packet switch currently occupies each logical slot,
+// using the preloaded failure-group tables of Section 4.3. It is the
+// end-to-end proof of live impersonation: after any sequence of failovers,
+// every packet must still be delivered on a shortest path, through the
+// backup switches now holding the failed switches' slots.
+//
+// Port semantics. Physical switch ports are wired to circuit switches by
+// index (a switch's j-th down/up port connects to the j-th circuit switch of
+// the adjacent layer), while routing tables speak in logical fat-tree port
+// numbers (routing.Port). Straight-through wiring makes the two coincide for
+// host-edge, agg-core and core-pod ports; the rotational edge-agg wiring
+// makes the translation slot-dependent: the switch occupying edge slot s
+// reaches logical aggregation switch a through physical up-port (a-s) mod
+// k/2, and the switch occupying agg slot a reaches logical edge e through
+// physical down-port (a-e) mod k/2. The emulator applies exactly this
+// translation, which is the port-indirection component of impersonation: the
+// (TCAM) table contents stay common across the failure group, and the slot
+// assignment fixes the rotation.
+package emu
+
+import (
+	"fmt"
+
+	"sharebackup/internal/circuit"
+	"sharebackup/internal/routing"
+	"sharebackup/internal/sbnet"
+	"sharebackup/internal/topo"
+)
+
+// Host identifies a physical host: position `Pos` of rack `Rack` in `Pod`.
+type Host struct {
+	Pod  int
+	Rack int
+	Pos  int
+}
+
+// Addr returns the host's fat-tree address.
+func (h Host) Addr(k int) (routing.Addr, error) {
+	return routing.HostAddr(k, h.Pod, h.Rack, h.Pos)
+}
+
+// Hop is one step of a packet walk for tracing and assertions.
+type Hop struct {
+	// Where the packet is: a physical packet switch, or a host at the
+	// ends of the walk.
+	Switch sbnet.SwitchID // NoSwitch for host hops
+	Host   *Host          // nil for switch hops
+	// Slot is the logical slot the switch occupies (duplicated for
+	// convenience in assertions).
+	Slot int
+}
+
+// Emulator forwards packets over a ShareBackup network's physical state.
+type Emulator struct {
+	net  *sbnet.Network
+	half int
+	vlan []*routing.VLANTable // per pod, preloaded into every edge-group switch
+	agg  []routing.Table      // per pod, preloaded into every agg-group switch
+	core routing.Table        // preloaded into every core-group switch
+}
+
+// New builds an emulator with the Section 4.3 preloaded tables.
+func New(net *sbnet.Network) (*Emulator, error) {
+	k := net.K()
+	e := &Emulator{net: net, half: k / 2}
+	ct, err := routing.BuildCoreTable(k)
+	if err != nil {
+		return nil, err
+	}
+	e.core = ct
+	for pod := 0; pod < k; pod++ {
+		vt, err := routing.BuildVLANTable(k, pod)
+		if err != nil {
+			return nil, err
+		}
+		e.vlan = append(e.vlan, vt)
+		at, err := routing.BuildAggTable(k, pod)
+		if err != nil {
+			return nil, err
+		}
+		e.agg = append(e.agg, at)
+	}
+	return e, nil
+}
+
+// Deliver walks a packet from src to dst through the physical network and
+// returns the hops taken. The source host tags the packet with its rack's
+// VLAN ID (the logical edge index); switches strip the tag on the way up.
+func (e *Emulator) Deliver(src, dst Host) ([]Hop, error) {
+	k := e.net.K()
+	if err := e.checkHost(src); err != nil {
+		return nil, err
+	}
+	if err := e.checkHost(dst); err != nil {
+		return nil, err
+	}
+	dstAddr, err := dst.Addr(k)
+	if err != nil {
+		return nil, err
+	}
+	walk := []Hop{{Switch: sbnet.NoSwitch, Host: &src, Slot: -1}}
+
+	// Host NIC -> CS1[pod][pos] B-port rack -> serving edge switch.
+	cur, err := e.edgeFromHost(src)
+	if err != nil {
+		return nil, err
+	}
+	vlan := src.Rack
+	tagged := true
+
+	const maxHops = 8
+	for hop := 0; hop < maxHops; hop++ {
+		sw := e.net.Switch(cur)
+		if sw.Role != sbnet.RoleActive {
+			return walk, fmt.Errorf("emu: packet reached non-active switch %s", e.net.Name(cur))
+		}
+		walk = append(walk, Hop{Switch: cur, Slot: sw.Slot})
+		switch sw.Kind {
+		case topo.KindEdge:
+			v := routing.Untagged
+			if tagged {
+				v = vlan
+			}
+			pod := e.net.Group(sw.Group).Pod
+			port, ok := e.vlan[pod].Lookup(v, dstAddr)
+			if !ok {
+				return walk, fmt.Errorf("emu: %s: no route to %v (vlan %d)", e.net.Name(cur), dstAddr, v)
+			}
+			if int(port) < e.half {
+				// Host port: delivery through CS1.
+				h, err := e.hostFromEdge(cur, int(port))
+				if err != nil {
+					return walk, err
+				}
+				walk = append(walk, Hop{Switch: sbnet.NoSwitch, Host: &h, Slot: -1})
+				if h != dst {
+					return walk, fmt.Errorf("emu: delivered to %+v, want %+v", h, dst)
+				}
+				return walk, nil
+			}
+			// Logical agg target a; physical up-port (a - slot) mod k/2.
+			a := int(port) - e.half
+			j := ((a-sw.Slot)%e.half + e.half) % e.half
+			next, err := e.aggFromEdge(cur, j)
+			if err != nil {
+				return walk, err
+			}
+			cur = next
+			tagged = false
+		case topo.KindAgg:
+			pod := e.net.Group(sw.Group).Pod
+			port, ok := e.agg[pod].Lookup(dstAddr)
+			if !ok {
+				return walk, fmt.Errorf("emu: %s: no route to %v", e.net.Name(cur), dstAddr)
+			}
+			if int(port) < e.half {
+				// Logical edge target; physical down-port
+				// (slot - e) mod k/2.
+				ed := int(port)
+				j := ((sw.Slot-ed)%e.half + e.half) % e.half
+				next, err := e.edgeFromAgg(cur, j)
+				if err != nil {
+					return walk, err
+				}
+				cur = next
+				continue
+			}
+			t := int(port) - e.half
+			next, err := e.coreFromAgg(cur, t)
+			if err != nil {
+				return walk, err
+			}
+			cur = next
+		case topo.KindCore:
+			port, ok := e.core.Lookup(dstAddr)
+			if !ok {
+				return walk, fmt.Errorf("emu: %s: no route to %v", e.net.Name(cur), dstAddr)
+			}
+			next, err := e.aggFromCore(cur, int(port))
+			if err != nil {
+				return walk, err
+			}
+			cur = next
+		}
+	}
+	return walk, fmt.Errorf("emu: packet exceeded %d hops", maxHops)
+}
+
+func (e *Emulator) checkHost(h Host) error {
+	k := e.net.K()
+	if h.Pod < 0 || h.Pod >= k || h.Rack < 0 || h.Rack >= e.half || h.Pos < 0 || h.Pos >= e.half {
+		return fmt.Errorf("emu: host %+v out of range for k=%d", h, k)
+	}
+	return nil
+}
+
+// edgeFromHost resolves the physical switch serving the host through
+// CS_{1,pod,pos}.
+func (e *Emulator) edgeFromHost(h Host) (sbnet.SwitchID, error) {
+	cs := e.net.CS1(h.Pod, h.Pos)
+	m := cs.AOf(h.Rack)
+	if m == circuit.Unconnected {
+		return sbnet.NoSwitch, fmt.Errorf("emu: host %+v has no circuit on %s", h, cs.Name())
+	}
+	return e.net.EdgeGroup(h.Pod).Members[m], nil
+}
+
+// hostFromEdge resolves the host behind an edge switch's down-port.
+func (e *Emulator) hostFromEdge(id sbnet.SwitchID, port int) (Host, error) {
+	sw := e.net.Switch(id)
+	pod := e.net.Group(sw.Group).Pod
+	cs := e.net.CS1(pod, port)
+	rack := cs.BOf(sw.Member)
+	if rack == circuit.Unconnected {
+		return Host{}, fmt.Errorf("emu: %s down-port %d has no circuit", e.net.Name(id), port)
+	}
+	return Host{Pod: pod, Rack: rack, Pos: port}, nil
+}
+
+// aggFromEdge crosses CS_{2,pod,j} upward from an edge switch.
+func (e *Emulator) aggFromEdge(id sbnet.SwitchID, j int) (sbnet.SwitchID, error) {
+	sw := e.net.Switch(id)
+	pod := e.net.Group(sw.Group).Pod
+	cs := e.net.CS2(pod, j)
+	aggM := cs.AOf(sw.Member)
+	if aggM == circuit.Unconnected {
+		return sbnet.NoSwitch, fmt.Errorf("emu: %s up-port %d has no circuit on %s", e.net.Name(id), j, cs.Name())
+	}
+	return e.net.AggGroup(pod).Members[aggM], nil
+}
+
+// edgeFromAgg crosses CS_{2,pod,j} downward from an aggregation switch.
+func (e *Emulator) edgeFromAgg(id sbnet.SwitchID, j int) (sbnet.SwitchID, error) {
+	sw := e.net.Switch(id)
+	pod := e.net.Group(sw.Group).Pod
+	cs := e.net.CS2(pod, j)
+	edgeM := cs.BOf(sw.Member)
+	if edgeM == circuit.Unconnected {
+		return sbnet.NoSwitch, fmt.Errorf("emu: %s down-port %d has no circuit on %s", e.net.Name(id), j, cs.Name())
+	}
+	return e.net.EdgeGroup(pod).Members[edgeM], nil
+}
+
+// coreFromAgg crosses CS_{3,pod,t} upward from an aggregation switch.
+func (e *Emulator) coreFromAgg(id sbnet.SwitchID, t int) (sbnet.SwitchID, error) {
+	sw := e.net.Switch(id)
+	pod := e.net.Group(sw.Group).Pod
+	cs := e.net.CS3(pod, t)
+	coreM := cs.AOf(sw.Member)
+	if coreM == circuit.Unconnected {
+		return sbnet.NoSwitch, fmt.Errorf("emu: %s up-port %d has no circuit on %s", e.net.Name(id), t, cs.Name())
+	}
+	return e.net.CoreGroup(t).Members[coreM], nil
+}
+
+// aggFromCore crosses CS_{3,pod,t} downward from a core switch into `pod`.
+func (e *Emulator) aggFromCore(id sbnet.SwitchID, pod int) (sbnet.SwitchID, error) {
+	sw := e.net.Switch(id)
+	t := e.net.Group(sw.Group).Index
+	cs := e.net.CS3(pod, t)
+	aggM := cs.BOf(sw.Member)
+	if aggM == circuit.Unconnected {
+		return sbnet.NoSwitch, fmt.Errorf("emu: %s pod-port %d has no circuit on %s", e.net.Name(id), pod, cs.Name())
+	}
+	return e.net.AggGroup(pod).Members[aggM], nil
+}
+
+// PathFingerprint is the logical identity of a packet walk: the (failure
+// group, slot) pair of every packet-switch hop. It is invariant under
+// failover — the physical switches change, the logical path must not.
+type PathFingerprint struct {
+	Kinds  []topo.Kind
+	Groups []sbnet.GroupID
+	Slots  []int
+}
+
+// Fingerprint summarizes the logical path of a walk.
+func (e *Emulator) Fingerprint(walk []Hop) PathFingerprint {
+	var fp PathFingerprint
+	for _, h := range walk {
+		if h.Switch == sbnet.NoSwitch {
+			continue
+		}
+		sw := e.net.Switch(h.Switch)
+		fp.Kinds = append(fp.Kinds, sw.Kind)
+		fp.Groups = append(fp.Groups, sw.Group)
+		fp.Slots = append(fp.Slots, h.Slot)
+	}
+	return fp
+}
+
+// Equal reports whether two fingerprints denote the same logical path.
+func (a PathFingerprint) Equal(b PathFingerprint) bool {
+	if len(a.Kinds) != len(b.Kinds) {
+		return false
+	}
+	for i := range a.Kinds {
+		if a.Kinds[i] != b.Kinds[i] || a.Groups[i] != b.Groups[i] || a.Slots[i] != b.Slots[i] {
+			return false
+		}
+	}
+	return true
+}

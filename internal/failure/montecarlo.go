@@ -1,0 +1,134 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Monte-Carlo availability simulation for Section 5.1: switches fail as
+// independent Poisson processes (rate 1/MTBF) and repair after exponential
+// MTTR; the question is how often a failure group has more than n switches
+// down at once — i.e. how often ShareBackup's shared pool would be
+// insufficient. The analytic answer is BinomialTail at the steady-state
+// unavailability; the simulation validates it including the time dynamics.
+
+// AvailabilityConfig parameterizes the simulation.
+type AvailabilityConfig struct {
+	// GroupSize is the number of switches sharing the pool (k/2).
+	GroupSize int
+	// Backups is the pool size n.
+	Backups int
+	// MTBF and MTTR are in hours. Defaults approximate the paper's
+	// figures: four-nines availability with ~5-minute repairs ->
+	// MTTR 1/12 h, MTBF ~833 h.
+	MTBF, MTTR float64
+	// Horizon is the simulated time in hours. Default 1e6.
+	Horizon float64
+	// Seed drives the simulation.
+	Seed int64
+}
+
+func (c *AvailabilityConfig) setDefaults() error {
+	if c.GroupSize <= 0 {
+		return fmt.Errorf("failure: GroupSize=%d must be positive", c.GroupSize)
+	}
+	if c.Backups < 0 {
+		return fmt.Errorf("failure: Backups=%d must be non-negative", c.Backups)
+	}
+	if c.MTTR == 0 {
+		c.MTTR = 1.0 / 12 // 5 minutes
+	}
+	if c.MTBF == 0 {
+		c.MTBF = c.MTTR * (1 - SwitchFailureRate) / SwitchFailureRate
+	}
+	if c.MTBF <= 0 || c.MTTR <= 0 {
+		return fmt.Errorf("failure: MTBF=%v and MTTR=%v must be positive", c.MTBF, c.MTTR)
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1e6
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("failure: Horizon=%v must be positive", c.Horizon)
+	}
+	return nil
+}
+
+// AvailabilityResult summarizes a simulation.
+type AvailabilityResult struct {
+	// Failures is the number of switch-failure events simulated.
+	Failures int
+	// OverflowEvents counts transitions into the ">n concurrently down"
+	// state — moments a failure found the backup pool empty.
+	OverflowEvents int
+	// OverflowFraction is the fraction of simulated time spent with more
+	// than n switches down.
+	OverflowFraction float64
+	// Unavailability is the measured per-switch down-time fraction (for
+	// calibration against the analytic input).
+	Unavailability float64
+	// AnalyticOverflow is BinomialTail(GroupSize, Backups, p) at the
+	// measured unavailability, for comparison.
+	AnalyticOverflow float64
+}
+
+// SimulateGroupAvailability runs the Monte-Carlo simulation event by event.
+func SimulateGroupAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// nextEvent[i] is switch i's next transition time; down[i] its state.
+	next := make([]float64, cfg.GroupSize)
+	down := make([]bool, cfg.GroupSize)
+	for i := range next {
+		next[i] = rng.ExpFloat64() * cfg.MTBF
+	}
+	res := &AvailabilityResult{}
+	now := 0.0
+	downCount := 0
+	downTime := 0.0     // integrated switch-down time
+	overflowTime := 0.0 // integrated time with downCount > Backups
+	for now < cfg.Horizon {
+		// Next transition.
+		i := 0
+		for j := 1; j < cfg.GroupSize; j++ {
+			if next[j] < next[i] {
+				i = j
+			}
+		}
+		t := next[i]
+		if t > cfg.Horizon {
+			t = cfg.Horizon
+		}
+		dt := t - now
+		downTime += float64(downCount) * dt
+		if downCount > cfg.Backups {
+			overflowTime += dt
+		}
+		now = t
+		if now >= cfg.Horizon {
+			break
+		}
+		if down[i] {
+			down[i] = false
+			downCount--
+			next[i] = now + rng.ExpFloat64()*cfg.MTBF
+		} else {
+			down[i] = true
+			downCount++
+			res.Failures++
+			if downCount == cfg.Backups+1 {
+				res.OverflowEvents++
+			}
+			next[i] = now + rng.ExpFloat64()*cfg.MTTR
+		}
+	}
+	res.OverflowFraction = overflowTime / cfg.Horizon
+	res.Unavailability = downTime / (cfg.Horizon * float64(cfg.GroupSize))
+	res.AnalyticOverflow = BinomialTail(cfg.GroupSize, cfg.Backups, res.Unavailability)
+	if math.IsNaN(res.AnalyticOverflow) {
+		res.AnalyticOverflow = 0
+	}
+	return res, nil
+}

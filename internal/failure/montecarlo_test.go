@@ -1,0 +1,89 @@
+package failure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateGroupAvailabilityCalibration(t *testing.T) {
+	// At the paper's parameters the measured per-switch unavailability
+	// must land near the configured 1e-4.
+	res, err := SimulateGroupAvailability(AvailabilityConfig{
+		GroupSize: 24, Backups: 1, Horizon: 2e6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures simulated")
+	}
+	if res.Unavailability < 0.5e-4 || res.Unavailability > 2e-4 {
+		t.Errorf("measured unavailability = %v, want ~1e-4", res.Unavailability)
+	}
+	// Section 5.1's claim, validated dynamically: with n=1 backups a
+	// 24-switch group essentially never overflows. At 2e6 simulated
+	// hours (~228 years), zero or a handful of overflow events.
+	if res.OverflowFraction > 1e-5 {
+		t.Errorf("overflow fraction = %v, want negligible", res.OverflowFraction)
+	}
+	// The analytic model (binomial at measured unavailability) and the
+	// simulation must agree on the order of magnitude of overflow time
+	// (both essentially zero here).
+	if res.AnalyticOverflow > 1e-5 {
+		t.Errorf("analytic overflow = %v", res.AnalyticOverflow)
+	}
+}
+
+func TestSimulateGroupAvailabilityOverflowRegime(t *testing.T) {
+	// Crank unavailability up (MTTR comparable to MTBF) so overflows are
+	// common, and check the simulation tracks the analytic binomial tail.
+	res, err := SimulateGroupAvailability(AvailabilityConfig{
+		GroupSize: 8, Backups: 1, MTBF: 10, MTTR: 5, Horizon: 2e5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverflowEvents == 0 {
+		t.Fatal("high-failure regime produced no overflows")
+	}
+	// p = 5/15 = 1/3; P[X > 1] for Binomial(8, 1/3) ~ 0.805.
+	if math.Abs(res.Unavailability-1.0/3) > 0.02 {
+		t.Errorf("unavailability = %v, want ~1/3", res.Unavailability)
+	}
+	if math.Abs(res.OverflowFraction-res.AnalyticOverflow) > 0.05 {
+		t.Errorf("simulated overflow %v vs analytic %v; model and dynamics disagree",
+			res.OverflowFraction, res.AnalyticOverflow)
+	}
+}
+
+func TestSimulateGroupAvailabilityBackupsHelp(t *testing.T) {
+	base := AvailabilityConfig{GroupSize: 8, MTBF: 10, MTTR: 5, Horizon: 1e5, Seed: 7}
+	cfg1, cfg4 := base, base
+	cfg1.Backups = 1
+	cfg4.Backups = 4
+	r1, err := SimulateGroupAvailability(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := SimulateGroupAvailability(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.OverflowFraction >= r1.OverflowFraction {
+		t.Errorf("n=4 overflow %v not below n=1 overflow %v", r4.OverflowFraction, r1.OverflowFraction)
+	}
+}
+
+func TestSimulateGroupAvailabilityValidation(t *testing.T) {
+	bad := []AvailabilityConfig{
+		{GroupSize: 0},
+		{GroupSize: 4, Backups: -1},
+		{GroupSize: 4, MTBF: -1},
+		{GroupSize: 4, Horizon: -5},
+	}
+	for _, cfg := range bad {
+		if _, err := SimulateGroupAvailability(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package fluid is a discrete-event flow-level network simulator with
+// max-min fair bandwidth sharing. It stands in for the packet-level
+// simulator of the paper's failure study (Section 2.2): at coflow
+// timescales, completion times are dominated by how link bandwidth is shared
+// among competing flows, which the classical max-min (progressive-filling)
+// model captures. The simulator supports mid-run rerouting and stalling, so
+// failure and recovery events can be injected between runs.
+package fluid
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"sharebackup/internal/topo"
+)
+
+// FlowID identifies a flow within one Simulator.
+type FlowID int64
+
+// Flow is the caller-visible record of a flow.
+type Flow struct {
+	ID      FlowID
+	Bytes   float64 // total bytes to transfer
+	Arrival float64 // arrival time, seconds
+	// Path is the current route. An empty path means the flow is stalled
+	// (disconnected): it holds its remaining bytes at zero rate.
+	Path topo.Path
+
+	remaining float64
+	rate      float64
+	started   bool
+	done      bool
+	finish    float64
+}
+
+// Remaining returns the bytes the flow still has to transfer.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current max-min fair rate.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Finish returns the completion time; valid only when Done.
+func (f *Flow) Finish() float64 { return f.finish }
+
+// Stalled reports whether the flow is active but disconnected.
+func (f *Flow) Stalled() bool { return f.started && !f.done && len(f.Path.Links) == 0 }
+
+// Simulator advances a set of flows over a capacitated topology.
+type Simulator struct {
+	topo *topo.Topology
+	caps []float64
+
+	now     float64
+	flows   map[FlowID]*Flow
+	active  []*Flow // started, not done; sorted by ID
+	pending arrivalHeap
+
+	ratesDirty bool
+	linkIdx    []int32 // scratch: link ID -> engaged-link index, reused across recomputes
+
+	// OnComplete, if set, is invoked when a flow finishes, with the
+	// simulator already advanced to the finish time.
+	OnComplete func(*Flow)
+}
+
+// New creates a simulator over t. Link capacities are taken from the
+// topology (bytes per second).
+func New(t *topo.Topology) *Simulator {
+	caps := make([]float64, t.NumLinks())
+	for i, l := range t.Links {
+		caps[i] = l.Capacity
+	}
+	return &Simulator{topo: t, caps: caps, flows: make(map[FlowID]*Flow)}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// ActiveCount returns the number of started, unfinished flows.
+func (s *Simulator) ActiveCount() int { return len(s.active) }
+
+// PendingCount returns the number of flows that have not arrived yet.
+func (s *Simulator) PendingCount() int { return s.pending.Len() }
+
+// Flow returns the flow record, or nil if unknown.
+func (s *Simulator) Flow(id FlowID) *Flow { return s.flows[id] }
+
+// AddFlow schedules a flow. Arrival must not be in the simulator's past.
+// Bytes must be positive. A zero-length path stalls the flow from the start.
+func (s *Simulator) AddFlow(id FlowID, bytes, arrival float64, path topo.Path) error {
+	if _, dup := s.flows[id]; dup {
+		return fmt.Errorf("fluid: duplicate flow %d", id)
+	}
+	if bytes <= 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
+		return fmt.Errorf("fluid: flow %d: bytes %v must be positive and finite", id, bytes)
+	}
+	if arrival < s.now {
+		return fmt.Errorf("fluid: flow %d arrives at %v, before now (%v)", id, arrival, s.now)
+	}
+	f := &Flow{ID: id, Bytes: bytes, Arrival: arrival, Path: path, remaining: bytes}
+	s.flows[id] = f
+	heap.Push(&s.pending, f)
+	return nil
+}
+
+// SetPath reroutes (or stalls, with an empty path) an active or pending
+// flow at the current time. Completed flows are rejected.
+func (s *Simulator) SetPath(id FlowID, path topo.Path) error {
+	f, ok := s.flows[id]
+	if !ok {
+		return fmt.Errorf("fluid: SetPath: unknown flow %d", id)
+	}
+	if f.done {
+		return fmt.Errorf("fluid: SetPath: flow %d already completed", id)
+	}
+	f.Path = path
+	s.ratesDirty = true
+	return nil
+}
+
+// Run advances the simulation until `until` (inclusive), processing every
+// arrival and completion in time order. It may be called repeatedly;
+// callers inject failures by mutating paths between calls.
+func (s *Simulator) Run(until float64) error {
+	if until < s.now {
+		return fmt.Errorf("fluid: Run(%v) is before now (%v)", until, s.now)
+	}
+	for {
+		if s.ratesDirty {
+			s.computeRates()
+		}
+		tArr := math.Inf(1)
+		if s.pending.Len() > 0 {
+			tArr = s.pending[0].Arrival
+		}
+		fin, tFin := s.nextFinish()
+		t := math.Min(tArr, tFin)
+		if t > until {
+			s.advance(until)
+			return nil
+		}
+		s.advance(t)
+		switch {
+		case tArr <= tFin:
+			s.admitArrivals(tArr)
+		default:
+			s.completeFinished(fin)
+		}
+	}
+}
+
+// completeFinished completes `first` plus every other active flow that has
+// (numerically) drained, so cohorts finishing together cost one rate
+// recomputation instead of one each.
+func (s *Simulator) completeFinished(first *Flow) {
+	s.complete(first)
+	for i := 0; i < len(s.active); {
+		f := s.active[i]
+		if f.rate > 0 && f.remaining <= relEps*f.Bytes {
+			s.complete(f)
+			continue // complete() removed s.active[i]
+		}
+		i++
+	}
+}
+
+// admitArrivals starts every pending flow arriving exactly at t, so a batch
+// of simultaneous arrivals costs one rate recomputation instead of one each.
+func (s *Simulator) admitArrivals(t float64) {
+	for s.pending.Len() > 0 && s.pending[0].Arrival == t {
+		f := heap.Pop(&s.pending).(*Flow)
+		f.started = true
+		s.active = append(s.active, f)
+	}
+	sort.Slice(s.active, func(i, j int) bool { return s.active[i].ID < s.active[j].ID })
+	s.ratesDirty = true
+}
+
+// RunToCompletion advances until every flow has arrived and finished, or
+// returns an error if progress is impossible (stalled flows with nothing
+// else happening).
+func (s *Simulator) RunToCompletion() error {
+	for s.pending.Len() > 0 || len(s.active) > 0 {
+		if s.ratesDirty {
+			s.computeRates()
+		}
+		tArr := math.Inf(1)
+		if s.pending.Len() > 0 {
+			tArr = s.pending[0].Arrival
+		}
+		fin, tFin := s.nextFinish()
+		if math.IsInf(tArr, 1) && math.IsInf(tFin, 1) {
+			return fmt.Errorf("fluid: %d stalled flows cannot make progress", len(s.active))
+		}
+		if tArr <= tFin {
+			s.advance(tArr)
+			s.admitArrivals(tArr)
+		} else {
+			s.advance(tFin)
+			s.completeFinished(fin)
+		}
+	}
+	return nil
+}
+
+// advance moves time forward, draining bytes at current rates.
+func (s *Simulator) advance(t float64) {
+	dt := t - s.now
+	if dt > 0 {
+		for _, f := range s.active {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	s.now = t
+}
+
+// Utilization returns each link's current aggregate flow rate divided by its
+// capacity — a snapshot of fabric load for experiments and debugging. Rates
+// are refreshed if a topology or flow change is pending.
+func (s *Simulator) Utilization() []float64 {
+	if s.ratesDirty {
+		s.computeRates()
+	}
+	out := make([]float64, len(s.caps))
+	for _, f := range s.active {
+		for _, l := range f.Path.Links {
+			out[l] += f.rate
+		}
+	}
+	for i := range out {
+		if s.caps[i] > 0 {
+			out[i] /= s.caps[i]
+		}
+	}
+	return out
+}
+
+// nextFinish returns the active flow finishing soonest and its finish time.
+func (s *Simulator) nextFinish() (*Flow, float64) {
+	var best *Flow
+	bestT := math.Inf(1)
+	for _, f := range s.active {
+		if f.rate <= 0 {
+			continue
+		}
+		t := s.now + f.remaining/f.rate
+		if t < bestT {
+			best, bestT = f, t
+		}
+	}
+	return best, bestT
+}
+
+const (
+	eps = 1e-12
+	// relEps is the relative tolerance below which a flow's remaining
+	// bytes are treated as finished, so that flows completing at the
+	// same instant are batched into one event.
+	relEps = 1e-9
+	// satTol merges bottleneck links whose fair shares tie within this
+	// relative tolerance into one progressive-filling round.
+	satTol = 1e-6
+)
+
+func (s *Simulator) complete(f *Flow) {
+	f.done = true
+	f.finish = s.now
+	f.rate = 0
+	f.remaining = 0
+	for i, g := range s.active {
+		if g == f {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.ratesDirty = true
+	if s.OnComplete != nil {
+		s.OnComplete(f)
+	}
+}
+
+// computeRates runs progressive filling: all unfrozen flows' rates rise
+// together; when a link saturates, its flows freeze at the current level.
+// Stalled flows get rate zero. The implementation keeps per-link flow lists
+// so each flow is frozen exactly once: O(iterations * links + flows *
+// pathlen) overall.
+func (s *Simulator) computeRates() {
+	s.ratesDirty = false
+	// Engaged links are gathered into dense slices so the per-iteration
+	// min-search and residual updates are cache-friendly scans; the
+	// linkIdx scratch array (sized to the topology, reused across
+	// recomputes) translates link IDs once, during setup. In symmetric
+	// topologies most flows freeze in a few mass rounds, which makes this
+	// linear sweep faster in practice than a lazy-heap formulation.
+	if s.linkIdx == nil {
+		s.linkIdx = make([]int32, len(s.caps))
+	}
+	for i := range s.linkIdx {
+		s.linkIdx[i] = -1
+	}
+	var (
+		residual []float64
+		count    []int32
+		satFlag  []bool
+	)
+	unfrozen := make([]*Flow, 0, len(s.active))
+	for _, f := range s.active {
+		f.rate = 0
+		if len(f.Path.Links) == 0 {
+			continue
+		}
+		unfrozen = append(unfrozen, f)
+		for _, l := range f.Path.Links {
+			li := s.linkIdx[l]
+			if li < 0 {
+				li = int32(len(residual))
+				s.linkIdx[l] = li
+				residual = append(residual, s.caps[l])
+				count = append(count, 0)
+				satFlag = append(satFlag, false)
+			}
+			count[li]++
+		}
+	}
+	level := 0.0
+	for len(unfrozen) > 0 {
+		// The next saturating increment.
+		delta := math.Inf(1)
+		for i := range residual {
+			if count[i] == 0 {
+				continue
+			}
+			if d := residual[i] / float64(count[i]); d < delta {
+				delta = d
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break // defensive; cannot happen while unfrozen > 0
+		}
+		level += delta
+		anySat := false
+		// Links whose fair share ties the bottleneck within satTol
+		// saturate together; merging near-ties collapses cascades of
+		// almost-equal bottlenecks at a bounded relative rate error.
+		for i := range residual {
+			if count[i] > 0 {
+				slack := delta * float64(count[i]) * satTol
+				residual[i] -= delta * float64(count[i])
+				if residual[i] < eps+slack {
+					residual[i] = 0
+					satFlag[i] = true
+					anySat = true
+				}
+			}
+		}
+		if !anySat {
+			// Defensive: float underflow could leave the chosen
+			// bottleneck fractionally positive; force progress by
+			// saturating the minimum link.
+			for i := range residual {
+				if count[i] > 0 {
+					residual[i] = 0
+					satFlag[i] = true
+					break
+				}
+			}
+		}
+		// Freeze every unfrozen flow crossing a saturated link,
+		// compacting the unfrozen list in place.
+		kept := unfrozen[:0]
+		for _, f := range unfrozen {
+			sat := false
+			for _, l := range f.Path.Links {
+				if satFlag[s.linkIdx[l]] {
+					sat = true
+					break
+				}
+			}
+			if sat {
+				f.rate = level
+				for _, l := range f.Path.Links {
+					count[s.linkIdx[l]]--
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		unfrozen = kept
+		for i := range satFlag {
+			satFlag[i] = false
+		}
+	}
+}
+
+// arrivalHeap orders pending flows by arrival time, then ID for determinism.
+type arrivalHeap []*Flow
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].Arrival != h[j].Arrival {
+		return h[i].Arrival < h[j].Arrival
+	}
+	return h[i].ID < h[j].ID
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*Flow)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	*h = old[:n-1]
+	return f
+}

@@ -1,0 +1,171 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharebackup/internal/topo"
+)
+
+// TestQuickMaxMinInvariants checks, over random topologies and workloads,
+// the three defining properties of max-min fair rates:
+//
+//  1. feasibility: no link carries more than its capacity;
+//  2. no starvation: every connected flow has a positive rate;
+//  3. max-min optimality (bottleneck characterization): every flow crosses
+//     at least one saturated link on which it has a maximal rate.
+func TestQuickMaxMinInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random connected graph.
+		n := 3 + r.Intn(8)
+		g := &topo.Topology{}
+		var nodes []topo.NodeID
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, g.AddNode(topo.KindEdge, 0, i))
+		}
+		for i := 1; i < n; i++ {
+			cap := 0.5 + r.Float64()*4
+			if _, err := g.AddLink(nodes[i], nodes[r.Intn(i)], cap); err != nil {
+				return false
+			}
+		}
+		for extra := 0; extra < n/2; extra++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b || g.LinkBetween(nodes[a], nodes[b]) != topo.NoLink {
+				continue
+			}
+			if _, err := g.AddLink(nodes[a], nodes[b], 0.5+r.Float64()*4); err != nil {
+				return false
+			}
+		}
+		sim := New(g)
+		nf := 1 + r.Intn(12)
+		for i := 0; i < nf; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				b = (b + 1) % n
+			}
+			p, ok := g.ShortestPath(nodes[a], nodes[b], nil)
+			if !ok {
+				return false
+			}
+			if err := sim.AddFlow(FlowID(i), 1e9, 0, p); err != nil {
+				return false
+			}
+		}
+		if err := sim.Run(0); err != nil {
+			return false
+		}
+		usage := make([]float64, g.NumLinks())
+		for i := 0; i < nf; i++ {
+			fl := sim.Flow(FlowID(i))
+			if fl.Rate() <= 0 {
+				return false // starvation
+			}
+			for _, l := range fl.Path.Links {
+				usage[l] += fl.Rate()
+			}
+		}
+		const tol = 1e-6
+		for l, u := range usage {
+			if u > g.Link(topo.LinkID(l)).Capacity*(1+tol) {
+				return false // infeasible
+			}
+		}
+		// Bottleneck characterization.
+		for i := 0; i < nf; i++ {
+			fl := sim.Flow(FlowID(i))
+			ok := false
+			for _, l := range fl.Path.Links {
+				saturated := usage[l] >= g.Link(l).Capacity*(1-tol)
+				if !saturated {
+					continue
+				}
+				maximal := true
+				for j := 0; j < nf; j++ {
+					other := sim.Flow(FlowID(j))
+					if other.Path.ContainsLink(l) && other.Rate() > fl.Rate()*(1+tol) {
+						maximal = false
+						break
+					}
+				}
+				if maximal {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickByteConservation: total bytes delivered equals total bytes
+// offered when every flow completes, regardless of arrival pattern.
+func TestQuickByteConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := &topo.Topology{}
+		a := g.AddNode(topo.KindHost, 0, 0)
+		m := g.AddNode(topo.KindEdge, 0, 0)
+		b := g.AddNode(topo.KindHost, 0, 1)
+		if _, err := g.AddLink(a, m, 1+r.Float64()*9); err != nil {
+			return false
+		}
+		if _, err := g.AddLink(m, b, 1+r.Float64()*9); err != nil {
+			return false
+		}
+		p, _ := g.ShortestPath(a, b, nil)
+		sim := New(g)
+		nf := 1 + r.Intn(10)
+		total := 0.0
+		for i := 0; i < nf; i++ {
+			bytes := 1 + r.Float64()*1000
+			total += bytes
+			if err := sim.AddFlow(FlowID(i), bytes, r.Float64()*10, p); err != nil {
+				return false
+			}
+		}
+		if err := sim.RunToCompletion(); err != nil {
+			return false
+		}
+		// Integrate delivered bytes from finish times: every flow done
+		// with remaining == 0.
+		for i := 0; i < nf; i++ {
+			fl := sim.Flow(FlowID(i))
+			if !fl.Done() || fl.Remaining() > 1e-6*fl.Bytes {
+				return false
+			}
+			if fl.Finish() < fl.Arrival-1e-12 {
+				return false
+			}
+			// A flow can never beat the line rate.
+			minTime := fl.Bytes / minCapOn(g, p)
+			if fl.Finish()-fl.Arrival < minTime*(1-1e-6) {
+				return false
+			}
+		}
+		return !math.IsNaN(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minCapOn(g *topo.Topology, p topo.Path) float64 {
+	min := math.Inf(1)
+	for _, l := range p.Links {
+		if c := g.Link(l).Capacity; c < min {
+			min = c
+		}
+	}
+	return min
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders one or more series as an ASCII line chart — the harness's
+// stand-in for the paper's figures. Each series is drawn with its own glyph;
+// the y-axis is linear (use LogPlot for slowdown-style data).
+type Plot struct {
+	Title  string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	Log    bool
+}
+
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series. All series may have different x values; the
+// x-axis spans their union.
+func (p *Plot) Render(series ...*Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("metrics: Plot: no series")
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.Log && y <= 0 {
+				continue
+			}
+			total++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			yv := y
+			if p.Log {
+				yv = math.Log10(y)
+			}
+			ymin, ymax = math.Min(ymin, yv), math.Max(ymax, yv)
+		}
+	}
+	if total == 0 {
+		return "", fmt.Errorf("metrics: Plot: no plottable points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) || (p.Log && y <= 0) {
+				continue
+			}
+			yv := y
+			if p.Log {
+				yv = math.Log10(y)
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((yv-ymin)/(ymax-ymin)*float64(height-1)))
+			if grid[row][col] == ' ' || grid[row][col] == glyph {
+				grid[row][col] = glyph
+			} else {
+				grid[row][col] = '?' // overlapping series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	yLabel := func(v float64) string {
+		if p.Log {
+			return FormatFloat(math.Pow(10, v))
+		}
+		return FormatFloat(v)
+	}
+	top, bottom := yLabel(ymax), yLabel(ymin)
+	labelW := len(top)
+	if len(bottom) > labelW {
+		labelW = len(bottom)
+	}
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labelW, top)
+		case height - 1:
+			fmt.Fprintf(&b, "%*s |", labelW, bottom)
+		default:
+			fmt.Fprintf(&b, "%*s |", labelW, "")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", width))
+	xl := series[0].XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	fmt.Fprintf(&b, "%*s  %s%*s%s  (%s)\n", labelW, "",
+		FormatFloat(xmin), width-len(FormatFloat(xmin))-len(FormatFloat(xmax)), "", FormatFloat(xmax), xl)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", labelW, "", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// PlotCDF renders one or more CDFs as curves on a shared chart, sampling
+// each at up to `points` positions.
+func PlotCDF(title string, points int, log bool, curves map[string]*CDF) (string, error) {
+	if len(curves) == 0 {
+		return "", fmt.Errorf("metrics: PlotCDF: no curves")
+	}
+	var series []*Series
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	// Deterministic ordering.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		c := curves[name]
+		s := &Series{Name: name, XLabel: "value"}
+		for _, pt := range c.Points(points) {
+			s.Add(pt[0], 100*pt[1])
+		}
+		if s.Len() > 0 {
+			series = append(series, s)
+		}
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("metrics: PlotCDF: all curves empty")
+	}
+	p := &Plot{Title: title, Log: log}
+	return p.Render(series...)
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotRender(t *testing.T) {
+	a := &Series{Name: "coflows", XLabel: "rate"}
+	b := &Series{Name: "flows"}
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		a.Add(x, 100*(1-math.Pow(1-x, 8)))
+		b.Add(x, 100*x)
+	}
+	p := &Plot{Title: "Figure 1(a)"}
+	out, err := p.Render(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1(a)", "* coflows", "o flows", "(rate)", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The first line of the grid carries the y max (100).
+	if !strings.Contains(out, "100 |") {
+		t.Errorf("plot missing y-axis max:\n%s", out)
+	}
+}
+
+func TestPlotLogScale(t *testing.T) {
+	s := &Series{Name: "slowdown", XLabel: "percentile"}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i), math.Pow(10, float64(i)/25)) // 10^0 .. 10^4
+	}
+	p := &Plot{Title: "log", Log: true}
+	out, err := p.Render(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10000 |") {
+		t.Errorf("log plot top label wrong:\n%s", out)
+	}
+}
+
+func TestPlotRejectsEmpty(t *testing.T) {
+	p := &Plot{}
+	if _, err := p.Render(); err == nil {
+		t.Error("no series accepted")
+	}
+	s := &Series{Name: "nan"}
+	s.Add(math.NaN(), math.NaN())
+	if _, err := p.Render(s); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+	lp := &Plot{Log: true}
+	z := &Series{Name: "zero"}
+	z.Add(1, 0)
+	if _, err := lp.Render(z); err == nil {
+		t.Error("log plot of non-positive values accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	s := &Series{Name: "flat"}
+	s.Add(1, 5)
+	s.Add(2, 5)
+	p := &Plot{}
+	if _, err := p.Render(s); err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+}
+
+func TestPlotCDF(t *testing.T) {
+	curves := map[string]*CDF{
+		"fat-tree":    NewCDF([]float64{1, 1.2, 2, 5, 40}),
+		"ShareBackup": NewCDF([]float64{1, 1, 1, 1, 1}),
+	}
+	out, err := PlotCDF("Figure 1(c)", 10, false, curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fat-tree") || !strings.Contains(out, "ShareBackup") {
+		t.Errorf("CDF plot missing curves:\n%s", out)
+	}
+	if _, err := PlotCDF("empty", 5, false, nil); err == nil {
+		t.Error("empty curve map accepted")
+	}
+	if _, err := PlotCDF("empty", 5, false, map[string]*CDF{"e": NewCDF(nil)}); err == nil {
+		t.Error("empty CDFs accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package routing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Binary serialization for the VLAN-combined failure-group table, used by
+// the control plane to preload routing state into every switch of a failure
+// group (Section 4.3: the backup switches are hot standbys because the
+// combined table is already in their TCAM). The format is versioned and
+// fixed-width:
+//
+//	u8  version (1)
+//	u16 k, u16 pod
+//	u16 inbound count, then per entry: u8 hostByte, u16 port
+//	u16 vlan count, then per vlan: u16 vlanID, u16 entry count,
+//	    then per entry: u8 hostByte, u16 port
+//
+// Prefix entries never occur in edge tables, so only suffix entries are
+// encoded; the decoder rejects tables that would lose information.
+
+const vlanTableVersion = 1
+
+// MarshalBinary encodes the table.
+func (vt *VLANTable) MarshalBinary() ([]byte, error) {
+	if len(vt.Inbound.Prefixes) != 0 {
+		return nil, fmt.Errorf("routing: combined table with prefix entries is not encodable")
+	}
+	var b []byte
+	b = append(b, vlanTableVersion)
+	b = binary.BigEndian.AppendUint16(b, uint16(vt.K))
+	b = binary.BigEndian.AppendUint16(b, uint16(vt.Pod))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(vt.Inbound.Suffixes)))
+	for _, e := range vt.Inbound.Suffixes {
+		b = append(b, e.HostByte)
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Port))
+	}
+	vlans := make([]int, 0, len(vt.Outbound))
+	for v := range vt.Outbound {
+		vlans = append(vlans, v)
+	}
+	sort.Ints(vlans)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(vlans)))
+	for _, v := range vlans {
+		t := vt.Outbound[v]
+		if len(t.Prefixes) != 0 {
+			return nil, fmt.Errorf("routing: vlan %d out-bound table has prefix entries", v)
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(v))
+		b = binary.BigEndian.AppendUint16(b, uint16(len(t.Suffixes)))
+		for _, e := range t.Suffixes {
+			b = append(b, e.HostByte)
+			b = binary.BigEndian.AppendUint16(b, uint16(e.Port))
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalVLANTable decodes a table produced by MarshalBinary.
+func UnmarshalVLANTable(b []byte) (*VLANTable, error) {
+	r := reader{b: b}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != vlanTableVersion {
+		return nil, fmt.Errorf("routing: unsupported table version %d", v)
+	}
+	k, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	pod, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	vt := &VLANTable{K: int(k), Pod: int(pod), Outbound: make(map[int]Table)}
+	inCount, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(inCount); i++ {
+		e, err := r.suffix()
+		if err != nil {
+			return nil, err
+		}
+		vt.Inbound.Suffixes = append(vt.Inbound.Suffixes, e)
+	}
+	vlanCount, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(vlanCount); i++ {
+		vlan, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		var t Table
+		for j := 0; j < int(n); j++ {
+			e, err := r.suffix()
+			if err != nil {
+				return nil, err
+			}
+			t.Suffixes = append(t.Suffixes, e)
+		}
+		vt.Outbound[int(vlan)] = t
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("routing: %d trailing bytes after table", r.remaining())
+	}
+	return vt, nil
+}
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.pos+1 > len(r.b) {
+		return 0, fmt.Errorf("routing: truncated table")
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.pos+2 > len(r.b) {
+		return 0, fmt.Errorf("routing: truncated table")
+	}
+	v := binary.BigEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) suffix() (SuffixEntry, error) {
+	hb, err := r.u8()
+	if err != nil {
+		return SuffixEntry{}, err
+	}
+	port, err := r.u16()
+	if err != nil {
+		return SuffixEntry{}, err
+	}
+	return SuffixEntry{HostByte: hb, Port: Port(port)}, nil
+}
+
+func (r *reader) done() bool     { return r.pos == len(r.b) }
+func (r *reader) remaining() int { return len(r.b) - r.pos }

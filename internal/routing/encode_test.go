@@ -1,0 +1,67 @@
+package routing
+
+import "testing"
+
+func TestVLANTableMarshalRoundTrip(t *testing.T) {
+	for _, k := range []int{4, 8, 16, 64} {
+		vt, err := BuildVLANTable(k, 2%k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := vt.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalVLANTable(b)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if back.K != vt.K || back.Pod != vt.Pod || back.Size() != vt.Size() {
+			t.Fatalf("k=%d: shape changed: %d/%d/%d vs %d/%d/%d",
+				k, back.K, back.Pod, back.Size(), vt.K, vt.Pod, vt.Size())
+		}
+		// Every lookup must survive the round trip.
+		for vlan := -1; vlan < k/2; vlan++ {
+			for pod := 0; pod < k; pod += 3 {
+				for sub := 0; sub < k/2; sub += 2 {
+					for h := 0; h < k/2; h += 2 {
+						dst := Addr{10, uint8(pod), uint8(sub), uint8(2 + h)}
+						p1, ok1 := vt.Lookup(vlan, dst)
+						p2, ok2 := back.Lookup(vlan, dst)
+						if p1 != p2 || ok1 != ok2 {
+							t.Fatalf("k=%d vlan %d dst %v: (%v,%v) vs (%v,%v)",
+								k, vlan, dst, p1, ok1, p2, ok2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalVLANTableErrors(t *testing.T) {
+	vt, err := BuildVLANTable(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad version": append([]byte{99}, b[1:]...),
+		"truncated":   b[:len(b)-3],
+		"trailing":    append(append([]byte{}, b...), 0xFF),
+	}
+	for name, in := range cases {
+		if _, err := UnmarshalVLANTable(in); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Prefix entries are not encodable.
+	vt.Inbound.Prefixes = append(vt.Inbound.Prefixes, PrefixEntry{Pod: 0, Sub: 0, Port: 1})
+	if _, err := vt.MarshalBinary(); err == nil {
+		t.Error("table with prefixes encoded")
+	}
+}

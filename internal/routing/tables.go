@@ -1,0 +1,201 @@
+package routing
+
+import "fmt"
+
+// Port is a forwarding-table action: which switch port the packet leaves on.
+//
+// Port numbering convention (matching the wiring in internal/sbnet):
+//
+//	edge switch:  ports [0, k/2) face hosts (port h = host position h),
+//	              ports [k/2, k) face aggregation switches
+//	              (port k/2 + j = the pod's j-th aggregation switch).
+//	agg switch:   ports [0, k/2) face edge switches (port e = E_{pod,e}),
+//	              ports [k/2, k) face cores (port k/2 + t = the t-th core
+//	              the switch connects to, i.e. C_{s*k/2+t} for A_{pod,s}).
+//	core switch:  port p faces pod p.
+type Port int
+
+// PrefixEntry matches destination addresses downward. Sub == -1 matches the
+// whole pod (/16, used by core switches); otherwise the entry matches one
+// edge subnet 10.Pod.Sub.0/24.
+type PrefixEntry struct {
+	Pod  int
+	Sub  int // -1 for /16 pod prefix
+	Port Port
+}
+
+// SuffixEntry matches on the host byte (0.0.0.D/8), the upward half of
+// two-level routing.
+type SuffixEntry struct {
+	HostByte uint8
+	Port     Port
+}
+
+// Table is a two-level routing table: longest-prefix entries consulted
+// first, then suffix entries.
+type Table struct {
+	Prefixes []PrefixEntry
+	Suffixes []SuffixEntry
+}
+
+// Lookup resolves the output port for dst. Precedence: /24 prefix, /16
+// prefix, suffix. ok is false when nothing matches.
+func (t *Table) Lookup(dst Addr) (Port, bool) {
+	pod, sub := int(dst.B), int(dst.C)
+	for _, e := range t.Prefixes {
+		if e.Sub >= 0 && e.Pod == pod && e.Sub == sub {
+			return e.Port, true
+		}
+	}
+	for _, e := range t.Prefixes {
+		if e.Sub < 0 && e.Pod == pod {
+			return e.Port, true
+		}
+	}
+	for _, e := range t.Suffixes {
+		if e.HostByte == dst.D {
+			return e.Port, true
+		}
+	}
+	return 0, false
+}
+
+// Size returns the number of entries.
+func (t *Table) Size() int { return len(t.Prefixes) + len(t.Suffixes) }
+
+// BuildEdgeTable builds the two-level table of edge switch E_{pod,j} in a
+// k-ary fat-tree:
+//
+//   - in-bound: k/2 entries delivering the switch's own /24 to host ports,
+//     expressed as suffix-on-host-byte entries (identical for every edge
+//     switch in the pod — the paper's observation in Section 4.3);
+//   - out-bound: k/2 suffix entries spreading traffic over the k/2 up-ports,
+//     phase-shifted by j so different edges prefer different aggregation
+//     switches. These differ per edge switch.
+//
+// The in-bound entries apply to packets arriving from aggregation switches
+// (which already routed on the /24 prefix), the out-bound entries to packets
+// arriving from hosts; the VLAN-combined table below makes that distinction
+// explicit.
+func BuildEdgeTable(k, pod, j int) (inbound, outbound Table, err error) {
+	if err := checkK(k); err != nil {
+		return Table{}, Table{}, err
+	}
+	half := k / 2
+	if pod < 0 || pod >= k || j < 0 || j >= half {
+		return Table{}, Table{}, fmt.Errorf("routing: BuildEdgeTable(k=%d, pod=%d, j=%d) out of range", k, pod, j)
+	}
+	for h := 0; h < half; h++ {
+		inbound.Suffixes = append(inbound.Suffixes, SuffixEntry{HostByte: uint8(2 + h), Port: Port(h)})
+		outbound.Suffixes = append(outbound.Suffixes, SuffixEntry{
+			HostByte: uint8(2 + h),
+			Port:     Port(half + (h+j)%half),
+		})
+	}
+	return inbound, outbound, nil
+}
+
+// BuildAggTable builds the two-level table of an aggregation switch in
+// `pod`: k/2 prefix entries routing each edge subnet downward plus k/2
+// suffix entries spreading out-of-pod traffic over the up-ports. Every
+// aggregation switch in a pod has the same table (Section 4.3), which is
+// what makes agg-layer impersonation free.
+func BuildAggTable(k, pod int) (Table, error) {
+	if err := checkK(k); err != nil {
+		return Table{}, err
+	}
+	if pod < 0 || pod >= k {
+		return Table{}, fmt.Errorf("routing: BuildAggTable(k=%d, pod=%d) out of range", k, pod)
+	}
+	half := k / 2
+	var t Table
+	for e := 0; e < half; e++ {
+		t.Prefixes = append(t.Prefixes, PrefixEntry{Pod: pod, Sub: e, Port: Port(e)})
+	}
+	for h := 0; h < half; h++ {
+		t.Suffixes = append(t.Suffixes, SuffixEntry{HostByte: uint8(2 + h), Port: Port(half + h%half)})
+	}
+	return t, nil
+}
+
+// BuildCoreTable builds the table of a core switch: k pod prefixes, one per
+// downward port. Every core switch has the same table.
+func BuildCoreTable(k int) (Table, error) {
+	if err := checkK(k); err != nil {
+		return Table{}, err
+	}
+	var t Table
+	for p := 0; p < k; p++ {
+		t.Prefixes = append(t.Prefixes, PrefixEntry{Pod: p, Sub: -1, Port: Port(p)})
+	}
+	return t, nil
+}
+
+// Untagged is the VLAN value of packets arriving without a tag (from
+// aggregation switches, i.e. in-bound traffic).
+const Untagged = -1
+
+// VLANTable is the combined failure-group table of Section 4.3: the
+// in-bound suffix entries shared by every edge switch of the pod plus every
+// edge switch's out-bound entries tagged with that switch's VLAN ID. Hosts
+// tag out-going packets with the VLAN ID of their edge switch, so whichever
+// physical switch (regular or backup) currently serves them finds the right
+// out-bound entries by tag. Preloading this one table into every switch of
+// the failure group makes each of them a hot standby for all the others.
+type VLANTable struct {
+	K        int
+	Pod      int
+	Inbound  Table
+	Outbound map[int]Table // VLAN ID (edge index) -> that edge's out-bound table
+}
+
+// BuildVLANTable combines the pod's k/2 edge tables.
+func BuildVLANTable(k, pod int) (*VLANTable, error) {
+	if err := checkK(k); err != nil {
+		return nil, err
+	}
+	if pod < 0 || pod >= k {
+		return nil, fmt.Errorf("routing: BuildVLANTable(k=%d, pod=%d) out of range", k, pod)
+	}
+	half := k / 2
+	vt := &VLANTable{K: k, Pod: pod, Outbound: make(map[int]Table, half)}
+	for j := 0; j < half; j++ {
+		in, out, err := BuildEdgeTable(k, pod, j)
+		if err != nil {
+			return nil, err
+		}
+		if j == 0 {
+			vt.Inbound = in
+		}
+		vt.Outbound[j] = out
+	}
+	return vt, nil
+}
+
+// Lookup resolves the output port for a packet carrying the given VLAN tag.
+// Untagged packets use the in-bound entries; tagged packets use the tagging
+// edge switch's out-bound entries. A tagged packet whose destination lies in
+// the tagging switch's own subnet is delivered locally through the in-bound
+// entries — the combined-table equivalent of the terminating /24 prefix in
+// the original two-level tables.
+func (vt *VLANTable) Lookup(vlan int, dst Addr) (Port, bool) {
+	if vlan == Untagged || (int(dst.B) == vt.Pod && int(dst.C) == vlan) {
+		return vt.Inbound.Lookup(dst)
+	}
+	t, ok := vt.Outbound[vlan]
+	if !ok {
+		return 0, false
+	}
+	return t.Lookup(dst)
+}
+
+// Size returns the total number of entries: k/2 in-bound + (k/2)^2
+// out-bound. For k=64 this is 1056, within commodity TCAM capacity
+// (Section 4.3).
+func (vt *VLANTable) Size() int {
+	n := vt.Inbound.Size()
+	for _, t := range vt.Outbound {
+		n += t.Size()
+	}
+	return n
+}

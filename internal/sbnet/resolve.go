@@ -1,0 +1,205 @@
+package sbnet
+
+import (
+	"fmt"
+
+	"sharebackup/internal/circuit"
+	"sharebackup/internal/topo"
+)
+
+// memberOf returns the member index of a physical switch, panicking on the
+// sentinel; callers resolve occupancy before asking.
+func (n *Network) memberOf(id SwitchID) int { return int(n.switches[id].Member) }
+
+// EdgeServingRack resolves, from the layer-1 circuit configurations, which
+// physical switch currently serves the hosts of rack `rack` in `pod`. It
+// returns NoSwitch if any of the rack's host circuits is missing, and an
+// error if the circuits disagree with each other.
+func (n *Network) EdgeServingRack(pod, rack int) (SwitchID, error) {
+	g := n.EdgeGroup(pod)
+	serving := NoSwitch
+	for j := 0; j < n.half; j++ {
+		a := n.cs1[pod][j].AOf(rack)
+		if a == circuit.Unconnected {
+			return NoSwitch, nil
+		}
+		if a >= len(g.Members) {
+			return NoSwitch, fmt.Errorf("sbnet: CS1,%d,%d circuits rack %d to non-member port %d", pod, j, rack, a)
+		}
+		id := g.Members[a]
+		if serving == NoSwitch {
+			serving = id
+		} else if serving != id {
+			return NoSwitch, fmt.Errorf("sbnet: rack %d in pod %d is split between %s and %s",
+				rack, pod, n.Name(serving), n.Name(id))
+		}
+	}
+	return serving, nil
+}
+
+// CheckInvariants validates the whole network:
+//
+//  1. every logical slot of every group is occupied by exactly one active,
+//     in-group switch, and roles/slots are mutually consistent;
+//  2. the circuit configurations realize exactly the fat-tree logical
+//     topology under the current occupancy (hosts reach their slot's
+//     occupant; logical edge s reaches logical agg (s+j) mod k/2 on CS2_j;
+//     logical agg s reaches logical core slot s on CS3_t);
+//  3. backup and offline switches have no circuits anywhere.
+//
+// It returns nil when the architecture is sound.
+func (n *Network) CheckInvariants() error {
+	// (1) Occupancy and roles.
+	for gi := range n.groups {
+		g := &n.groups[gi]
+		seen := make(map[SwitchID]bool)
+		for slot, id := range g.slots {
+			if id == NoSwitch {
+				return fmt.Errorf("sbnet: group %d slot %d unoccupied", g.ID, slot)
+			}
+			sw := &n.switches[id]
+			if sw.Group != g.ID {
+				return fmt.Errorf("sbnet: group %d slot %d occupied by foreign switch %s", g.ID, slot, n.Name(id))
+			}
+			if sw.Role != RoleActive || sw.Slot != slot {
+				return fmt.Errorf("sbnet: group %d slot %d occupant %s has role=%v slot=%d",
+					g.ID, slot, n.Name(id), sw.Role, sw.Slot)
+			}
+			if seen[id] {
+				return fmt.Errorf("sbnet: switch %s occupies two slots", n.Name(id))
+			}
+			seen[id] = true
+		}
+		for _, id := range g.Members {
+			sw := &n.switches[id]
+			if sw.Role == RoleActive && !seen[id] {
+				return fmt.Errorf("sbnet: switch %s is active but occupies no slot", n.Name(id))
+			}
+			if sw.Role != RoleActive && sw.Slot != -1 {
+				return fmt.Errorf("sbnet: non-active switch %s has slot %d", n.Name(id), sw.Slot)
+			}
+		}
+	}
+
+	// (2) Circuit configurations realize the logical topology.
+	for pod := 0; pod < n.cfg.K; pod++ {
+		eg, ag := n.EdgeGroup(pod), n.AggGroup(pod)
+		for j := 0; j < n.half; j++ {
+			cs := n.cs1[pod][j]
+			if err := cs.Validate(); err != nil {
+				return err
+			}
+			for s := 0; s < n.half; s++ {
+				want := n.memberOf(eg.slots[s])
+				if got := cs.AOf(s); got != want {
+					return fmt.Errorf("sbnet: %s: rack %d circuits to A-port %d, want member %d (%s)",
+						cs.Name(), s, got, want, n.Name(eg.slots[s]))
+				}
+			}
+			cs2 := n.cs2[pod][j]
+			if err := cs2.Validate(); err != nil {
+				return err
+			}
+			for s := 0; s < n.half; s++ {
+				edgeM := n.memberOf(eg.slots[s])
+				wantAgg := n.memberOf(ag.slots[(s+j)%n.half])
+				if got := cs2.AOf(edgeM); got != wantAgg {
+					return fmt.Errorf("sbnet: %s: logical edge %d (member %d) circuits to A-port %d, want %d",
+						cs2.Name(), s, edgeM, got, wantAgg)
+				}
+			}
+			cs3 := n.cs3[pod][j]
+			if err := cs3.Validate(); err != nil {
+				return err
+			}
+			cg := n.CoreGroup(j)
+			for s := 0; s < n.half; s++ {
+				aggM := n.memberOf(ag.slots[s])
+				wantCore := n.memberOf(cg.slots[s])
+				if got := cs3.AOf(aggM); got != wantCore {
+					return fmt.Errorf("sbnet: %s: logical agg %d (member %d) circuits to A-port %d, want %d",
+						cs3.Name(), s, aggM, got, wantCore)
+				}
+			}
+		}
+	}
+
+	// (3) Backups and offline switches are fully unconnected — except
+	// augmented backups (extension.go), whose circuits must point at
+	// their partner and nothing else.
+	for id := range n.switches {
+		sw := &n.switches[id]
+		if sw.Role == RoleActive {
+			continue
+		}
+		if _, aug := n.augmentOf[SwitchID(id)]; aug {
+			if err := n.checkAugmented(SwitchID(id)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := n.checkUnconnected(SwitchID(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkUnconnected verifies a non-active switch has no circuits on any
+// circuit switch it is wired to.
+func (n *Network) checkUnconnected(id SwitchID) error {
+	sw := &n.switches[id]
+	g := &n.groups[sw.Group]
+	m := sw.Member
+	fail := func(cs *circuit.Switch) error {
+		return fmt.Errorf("sbnet: %v switch %s still has a circuit on %s", sw.Role, n.Name(id), cs.Name())
+	}
+	switch sw.Kind {
+	case topo.KindEdge:
+		for j := 0; j < n.half; j++ {
+			if n.cs1[g.Pod][j].BOf(m) != circuit.Unconnected {
+				return fail(n.cs1[g.Pod][j])
+			}
+			if n.cs2[g.Pod][j].AOf(m) != circuit.Unconnected {
+				return fail(n.cs2[g.Pod][j])
+			}
+		}
+	case topo.KindAgg:
+		for j := 0; j < n.half; j++ {
+			if n.cs2[g.Pod][j].BOf(m) != circuit.Unconnected {
+				return fail(n.cs2[g.Pod][j])
+			}
+			if n.cs3[g.Pod][j].AOf(m) != circuit.Unconnected {
+				return fail(n.cs3[g.Pod][j])
+			}
+		}
+	case topo.KindCore:
+		for pod := 0; pod < n.cfg.K; pod++ {
+			if n.cs3[pod][g.Index].BOf(m) != circuit.Unconnected {
+				return fail(n.cs3[pod][g.Index])
+			}
+		}
+	}
+	return nil
+}
+
+// LogicalFatTree builds the logical topology the current circuit
+// configuration realizes, as a plain fat-tree. Because ShareBackup restores
+// exact positions, this is invariant under any sequence of successful
+// replacements — the property behind "no bandwidth loss, no path dilation"
+// in Table 3.
+func (n *Network) LogicalFatTree(hostsPerEdge int, linkCap, hostCap float64) (*topo.FatTree, error) {
+	if err := n.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return topo.NewFatTree(topo.Config{
+		K: n.cfg.K, HostsPerEdge: hostsPerEdge,
+		LinkCapacity: linkCap, HostCapacity: hostCap,
+	})
+}
+
+// BackupRatio returns n / (k/2), the paper's robustness headroom metric
+// (4.17% for k=48, n=1).
+func (n *Network) BackupRatio() float64 {
+	return float64(n.cfg.N) / float64(n.half)
+}

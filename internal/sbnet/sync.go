@@ -1,0 +1,65 @@
+package sbnet
+
+import (
+	"fmt"
+	"time"
+
+	"sharebackup/internal/circuit"
+)
+
+// AuthoritativeConfig computes the circuit configuration a given circuit
+// switch should hold under the current slot occupancy, as an A-side -> B-side
+// port map (circuit.Unconnected for free ports). This is the state the
+// controller pushes to a rebooted circuit switch (Section 5.1: "a rebooted
+// circuit switch can get up-to-date circuit configurations from the
+// controller").
+func (n *Network) AuthoritativeConfig(layer, pod, j int) ([]int, error) {
+	if pod < 0 || pod >= n.cfg.K || j < 0 || j >= n.half {
+		return nil, fmt.Errorf("sbnet: AuthoritativeConfig(%d, %d, %d): out of range", layer, pod, j)
+	}
+	cfg := make([]int, n.psz)
+	for i := range cfg {
+		cfg[i] = circuit.Unconnected
+	}
+	switch layer {
+	case 1:
+		eg := n.EdgeGroup(pod)
+		for s := 0; s < n.half; s++ {
+			cfg[n.memberOf(eg.slots[s])] = s
+		}
+	case 2:
+		eg, ag := n.EdgeGroup(pod), n.AggGroup(pod)
+		for s := 0; s < n.half; s++ {
+			aggM := n.memberOf(ag.slots[(s+j)%n.half])
+			cfg[aggM] = n.memberOf(eg.slots[s])
+		}
+	case 3:
+		ag, cg := n.AggGroup(pod), n.CoreGroup(j)
+		for s := 0; s < n.half; s++ {
+			cfg[n.memberOf(cg.slots[s])] = n.memberOf(ag.slots[s])
+		}
+	default:
+		return nil, fmt.Errorf("sbnet: AuthoritativeConfig: layer %d out of range", layer)
+	}
+	return cfg, nil
+}
+
+// SyncCircuit reapplies the authoritative configuration to one circuit
+// switch (after a reboot, or to recover from a wedged configuration) and
+// returns the reconfiguration delay.
+func (n *Network) SyncCircuit(layer, pod, j int) (time.Duration, error) {
+	cfg, err := n.AuthoritativeConfig(layer, pod, j)
+	if err != nil {
+		return 0, err
+	}
+	var cs *circuit.Switch
+	switch layer {
+	case 1:
+		cs = n.cs1[pod][j]
+	case 2:
+		cs = n.cs2[pod][j]
+	case 3:
+		cs = n.cs3[pod][j]
+	}
+	return cs.Restore(cfg)
+}

@@ -1,0 +1,99 @@
+package sbnet
+
+import (
+	"testing"
+
+	"sharebackup/internal/circuit"
+)
+
+func TestAuthoritativeConfigMatchesLiveState(t *testing.T) {
+	net := newNet(t, 6, 1)
+	// After a few replacements, the authoritative config of every circuit
+	// switch must equal its live configuration.
+	if _, _, err := net.Replace(net.EdgeGroup(0).Slots()[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.Replace(net.AggGroup(0).Slots()[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.Replace(net.CoreGroup(2).Slots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	for pod := 0; pod < 6; pod++ {
+		for j := 0; j < 3; j++ {
+			for layer := 1; layer <= 3; layer++ {
+				want, err := net.AuthoritativeConfig(layer, pod, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cs := net.SideRing(layer, pod)[j]
+				for a, b := range want {
+					if got := cs.BOf(a); got != b {
+						t.Fatalf("%s: A%d -> B%d, authoritative says %d", cs.Name(), a, got, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyncCircuitRepairsScramble(t *testing.T) {
+	net := newNet(t, 4, 1)
+	cs := net.CS3(1, 0)
+	// Scramble the crossbar.
+	if _, err := cs.Apply([]circuit.Change{{A: 0, B: 1}, {A: 1, B: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CheckInvariants(); err == nil {
+		t.Fatal("scramble undetected")
+	}
+	if _, err := net.SyncCircuit(3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after sync: %v", err)
+	}
+}
+
+func TestSyncCircuitValidation(t *testing.T) {
+	net := newNet(t, 4, 1)
+	if _, err := net.AuthoritativeConfig(0, 0, 0); err == nil {
+		t.Error("layer 0 accepted")
+	}
+	if _, err := net.AuthoritativeConfig(4, 0, 0); err == nil {
+		t.Error("layer 4 accepted")
+	}
+	if _, err := net.AuthoritativeConfig(1, 9, 0); err == nil {
+		t.Error("pod out of range accepted")
+	}
+	if _, err := net.AuthoritativeConfig(1, 0, 9); err == nil {
+		t.Error("index out of range accepted")
+	}
+	if _, err := net.SyncCircuit(1, -1, 0); err == nil {
+		t.Error("negative pod accepted")
+	}
+}
+
+func TestTotalReconfigsAccounting(t *testing.T) {
+	net := newNet(t, 4, 1)
+	base := net.TotalReconfigs()
+	if base == 0 {
+		t.Fatal("initial configuration performed no reconfigurations")
+	}
+	// An edge replacement touches 2 circuit switches per j (CS1 and CS2),
+	// k/2 of each.
+	if _, _, err := net.Replace(net.EdgeGroup(0).Slots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.TotalReconfigs() - base; got != 4 {
+		t.Errorf("edge replacement cost %d reconfiguration events, want 2*(k/2)=4", got)
+	}
+	// A core replacement touches CS3 in every pod.
+	base = net.TotalReconfigs()
+	if _, _, err := net.Replace(net.CoreGroup(0).Slots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.TotalReconfigs() - base; got != 4 {
+		t.Errorf("core replacement cost %d reconfiguration events, want k=4", got)
+	}
+}

@@ -1,0 +1,126 @@
+package sbnet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file produces the deployment wiring manifest of a ShareBackup pod —
+// the operational form of Figure 3. The paper argues packaging is practical:
+// "It is straightforward to package the backup switches and the circuit
+// switches into the original fat-tree Pods with simple changes of wiring."
+// The manifest enumerates every physical cable so a deployment (or a test)
+// can verify the static wiring independent of circuit configurations.
+
+// Cable is one physical cable of the wiring manifest. Circuit-switch ports
+// are named "<cs>:A<port>" / "<cs>:B<port>"; packet-switch ports are
+// "<switch>:down<j>" / "<switch>:up<j>" / "<switch>:pod<p>"; hosts are
+// "host[pod/rack/pos]"; side-ring ports are "<cs>:side0" / "<cs>:side1".
+type Cable struct {
+	From string
+	To   string
+}
+
+// WiringManifest enumerates every static cable of one pod (plus the core
+// attachments of the pod's layer-3 circuit switches): host-to-CS1 cables,
+// packet-switch-to-CS cables for all members including backups, core-to-CS3
+// cables, and the side-port rings used by offline diagnosis. The manifest
+// depends only on the architecture parameters, never on circuit
+// configuration — wiring is fixed at deployment time.
+func (n *Network) WiringManifest(pod int) ([]Cable, error) {
+	if pod < 0 || pod >= n.cfg.K {
+		return nil, fmt.Errorf("sbnet: WiringManifest: pod %d out of range", pod)
+	}
+	var cables []Cable
+	add := func(from, to string) { cables = append(cables, Cable{From: from, To: to}) }
+
+	eg, ag := n.EdgeGroup(pod), n.AggGroup(pod)
+	for j := 0; j < n.half; j++ {
+		cs1 := n.cs1[pod][j]
+		cs2 := n.cs2[pod][j]
+		cs3 := n.cs3[pod][j]
+		// Hosts: host j of rack s on CS1's B-port s.
+		for s := 0; s < n.half; s++ {
+			add(fmt.Sprintf("host[%d/%d/%d]", pod, s, j), fmt.Sprintf("%s:B%d", cs1.Name(), s))
+		}
+		// Edge members: down-port j to CS1 A-port m, up-port j to CS2
+		// B-port m.
+		for m, id := range eg.Members {
+			add(fmt.Sprintf("%s:down%d", n.Name(id), j), fmt.Sprintf("%s:A%d", cs1.Name(), m))
+			add(fmt.Sprintf("%s:up%d", n.Name(id), j), fmt.Sprintf("%s:B%d", cs2.Name(), m))
+		}
+		// Agg members: down-port j to CS2 A-port m, up-port j to CS3
+		// B-port m.
+		for m, id := range ag.Members {
+			add(fmt.Sprintf("%s:down%d", n.Name(id), j), fmt.Sprintf("%s:A%d", cs2.Name(), m))
+			add(fmt.Sprintf("%s:up%d", n.Name(id), j), fmt.Sprintf("%s:B%d", cs3.Name(), m))
+		}
+		// Core group j members: pod-facing port to CS3 A-port m.
+		for m, id := range n.CoreGroup(j).Members {
+			add(fmt.Sprintf("%s:pod%d", n.Name(id), pod), fmt.Sprintf("%s:A%d", cs3.Name(), m))
+		}
+	}
+	// Side-port rings per layer (Figure 4): CS_j side1 <-> CS_{j+1} side0.
+	for layer := 1; layer <= 3; layer++ {
+		ring := n.SideRing(layer, pod)
+		for j := range ring {
+			next := ring[(j+1)%len(ring)]
+			add(fmt.Sprintf("%s:side1", ring[j].Name()), fmt.Sprintf("%s:side0", next.Name()))
+		}
+	}
+	sort.Slice(cables, func(i, j int) bool {
+		if cables[i].From != cables[j].From {
+			return cables[i].From < cables[j].From
+		}
+		return cables[i].To < cables[j].To
+	})
+	return cables, nil
+}
+
+// ExpectedCablesPerPod returns the manifest size the architecture predicts:
+// per each of the k/2 circuit switches in each of the 3 layers —
+// (k/2 + n) member cables plus k/2 attachments on the other side (hosts for
+// layer 1, agg members arrive via their own row for layer 2, cores for
+// layer 3) — plus 3 side rings of k/2 cables. Used by tests to pin the
+// manifest against the cost model's accounting.
+func (n *Network) ExpectedCablesPerPod() int {
+	half, gsz := n.half, n.gsz
+	perJ := half + gsz + // layer 1: hosts + edge down-ports (incl. backups)
+		gsz + gsz + // layer 2: edge up-ports + agg down-ports
+		gsz + gsz // layer 3: agg up-ports + core pod-ports (incl. backup cores)
+	return half*perJ + 3*half
+}
+
+// WriteWiring renders the manifest as "from -> to" lines.
+func WriteWiring(w io.Writer, cables []Cable) error {
+	for _, c := range cables {
+		if _, err := fmt.Fprintf(w, "%-24s -> %s\n", c.From, c.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyWiring cross-checks a manifest: every endpoint appears exactly once
+// (physical ports hold one cable), and the counts match
+// ExpectedCablesPerPod.
+func (n *Network) VerifyWiring(pod int) error {
+	cables, err := n.WiringManifest(pod)
+	if err != nil {
+		return err
+	}
+	if got, want := len(cables), n.ExpectedCablesPerPod(); got != want {
+		return fmt.Errorf("sbnet: pod %d manifest has %d cables, architecture predicts %d", pod, got, want)
+	}
+	seen := make(map[string]string, 2*len(cables))
+	for _, c := range cables {
+		for _, ep := range []string{c.From, c.To} {
+			if prev, dup := seen[ep]; dup {
+				return fmt.Errorf("sbnet: port %s wired twice (%s and %s)", ep, prev, c.From+"->"+c.To)
+			}
+			seen[ep] = c.From + "->" + c.To
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package sbnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWiringManifestCounts(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{4, 0}, {4, 1}, {6, 1}, {8, 2}} {
+		net := newNet(t, tc.k, tc.n)
+		for pod := 0; pod < tc.k; pod++ {
+			if err := net.VerifyWiring(pod); err != nil {
+				t.Fatalf("k=%d n=%d pod %d: %v", tc.k, tc.n, pod, err)
+			}
+		}
+	}
+}
+
+func TestWiringManifestContents(t *testing.T) {
+	net := newNet(t, 4, 1)
+	cables, err := net.WiringManifest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWiring(&buf, cables); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Spot checks from the structure: host 0 of rack 0 lands on CS1,1,0's
+	// B-port 0; the backup edge switch's down-port 0 lands on CS1,1,0's
+	// A-port 2 (member index k/2 for n=1); the side ring closes.
+	for _, want := range []string{
+		"host[1/0/0]",
+		"CS1,1,0:B0",
+		"BS1,1,0:down0",
+		"CS1,1,0:A2",
+		"BS2,1,0:up1",
+		"CS3,1,1:B2",
+		"CS2,1,1:side1",
+		"CS2,1,0:side0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("manifest missing %q", want)
+		}
+	}
+	// Cores attach with their pod-facing ports.
+	if !strings.Contains(out, "C0:pod1") {
+		t.Error("manifest missing core pod port")
+	}
+	// Wiring must not change with circuit reconfiguration.
+	if _, _, err := net.Replace(net.EdgeGroup(1).Slots()[0]); err != nil {
+		t.Fatal(err)
+	}
+	cables2, err := net.WiringManifest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cables2) != len(cables) {
+		t.Fatal("manifest size changed after failover")
+	}
+	for i := range cables {
+		if cables[i] != cables2[i] {
+			t.Fatalf("cable %d changed after failover: %v -> %v", i, cables[i], cables2[i])
+		}
+	}
+}
+
+func TestWiringManifestValidation(t *testing.T) {
+	net := newNet(t, 4, 1)
+	if _, err := net.WiringManifest(-1); err == nil {
+		t.Error("negative pod accepted")
+	}
+	if _, err := net.WiringManifest(4); err == nil {
+		t.Error("out-of-range pod accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package topo
+
+import "fmt"
+
+// Config describes a fat-tree (or F10 AB fat-tree) to build.
+type Config struct {
+	// K is the fat-tree parameter: switch port count and number of pods.
+	// It must be even and at least 4.
+	K int
+
+	// HostsPerEdge is the number of host endpoints attached to each edge
+	// switch. It defaults to K/2 (the canonical fat-tree). The paper's
+	// failure study uses rack-level traffic, which corresponds to
+	// HostsPerEdge == 1 with an oversubscribed HostCapacity.
+	HostsPerEdge int
+
+	// LinkCapacity is the capacity of every switch-to-switch link.
+	// It defaults to 1.
+	LinkCapacity float64
+
+	// HostCapacity is the capacity of every host-to-edge link. It defaults
+	// to LinkCapacity. To model the paper's 10:1 oversubscription at rack
+	// granularity, set HostsPerEdge to 1 and HostCapacity to
+	// 10 * (K/2) * LinkCapacity.
+	HostCapacity float64
+
+	// AB selects F10's AB fat-tree wiring: pods alternate between two
+	// aggregation-to-core wiring patterns (type A on even pods, type B on
+	// odd pods) so that adjacent levels see diverse alternative paths.
+	// When false, the canonical fat-tree wiring is used everywhere.
+	AB bool
+}
+
+func (c *Config) setDefaults() error {
+	if c.K < 4 || c.K%2 != 0 {
+		return fmt.Errorf("topo: fat-tree parameter k=%d must be even and >= 4", c.K)
+	}
+	if c.HostsPerEdge == 0 {
+		c.HostsPerEdge = c.K / 2
+	}
+	if c.HostsPerEdge < 0 {
+		return fmt.Errorf("topo: HostsPerEdge=%d must be positive", c.HostsPerEdge)
+	}
+	if c.LinkCapacity == 0 {
+		c.LinkCapacity = 1
+	}
+	if c.LinkCapacity < 0 {
+		return fmt.Errorf("topo: LinkCapacity=%v must be positive", c.LinkCapacity)
+	}
+	if c.HostCapacity == 0 {
+		c.HostCapacity = c.LinkCapacity
+	}
+	if c.HostCapacity < 0 {
+		return fmt.Errorf("topo: HostCapacity=%v must be positive", c.HostCapacity)
+	}
+	return nil
+}
+
+// FatTree is a built fat-tree (or AB fat-tree) topology with structured
+// accessors for its switches and hosts.
+type FatTree struct {
+	*Topology
+	Cfg Config
+
+	edge     [][]NodeID // [pod][j] -> E_{pod,j}
+	agg      [][]NodeID // [pod][j] -> A_{pod,j}
+	core     []NodeID   // [j] -> C_j
+	hosts    []NodeID   // [j] -> H_j
+	hostEdge []NodeID   // host global index -> its edge switch
+}
+
+// NewFatTree builds a fat-tree from cfg. Node IDs are assigned
+// deterministically: all edge switches pod by pod, then all aggregation
+// switches, then cores, then hosts.
+func NewFatTree(cfg Config) (*FatTree, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	half := k / 2
+	ft := &FatTree{
+		Topology: &Topology{},
+		Cfg:      cfg,
+		edge:     make([][]NodeID, k),
+		agg:      make([][]NodeID, k),
+		core:     make([]NodeID, half*half),
+	}
+	for pod := 0; pod < k; pod++ {
+		ft.edge[pod] = make([]NodeID, half)
+		for j := 0; j < half; j++ {
+			ft.edge[pod][j] = ft.AddNode(KindEdge, pod, j)
+		}
+	}
+	for pod := 0; pod < k; pod++ {
+		ft.agg[pod] = make([]NodeID, half)
+		for j := 0; j < half; j++ {
+			ft.agg[pod][j] = ft.AddNode(KindAgg, pod, j)
+		}
+	}
+	for j := range ft.core {
+		ft.core[j] = ft.AddNode(KindCore, -1, j)
+	}
+
+	// Edge <-> aggregation: complete bipartite graph within each pod.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				if _, err := ft.AddLink(ft.edge[pod][e], ft.agg[pod][a], cfg.LinkCapacity); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Aggregation <-> core. Canonical wiring: A_{i,s} connects to cores
+	// [s*k/2, (s+1)*k/2). AB wiring flips odd pods to the transposed
+	// pattern: A_{i,s} connects to cores {t*k/2 + s : t}, so core
+	// C_{x*k/2+y} reaches agg x in type-A pods and agg y in type-B pods.
+	for pod := 0; pod < k; pod++ {
+		typeB := cfg.AB && pod%2 == 1
+		for s := 0; s < half; s++ {
+			for t := 0; t < half; t++ {
+				var coreIdx int
+				if typeB {
+					coreIdx = t*half + s
+				} else {
+					coreIdx = s*half + t
+				}
+				if _, err := ft.AddLink(ft.agg[pod][s], ft.core[coreIdx], cfg.LinkCapacity); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Hosts.
+	ft.hosts = make([]NodeID, 0, k*half*cfg.HostsPerEdge)
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < cfg.HostsPerEdge; h++ {
+				id := ft.AddNode(KindHost, pod, len(ft.hosts))
+				ft.hosts = append(ft.hosts, id)
+				ft.hostEdge = append(ft.hostEdge, ft.edge[pod][e])
+				if _, err := ft.AddLink(id, ft.edge[pod][e], cfg.HostCapacity); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ft, nil
+}
+
+// K returns the fat-tree parameter.
+func (ft *FatTree) K() int { return ft.Cfg.K }
+
+// NumPods returns the number of pods (k).
+func (ft *FatTree) NumPods() int { return ft.Cfg.K }
+
+// Edge returns E_{pod,j}.
+func (ft *FatTree) Edge(pod, j int) NodeID { return ft.edge[pod][j] }
+
+// Agg returns A_{pod,j}.
+func (ft *FatTree) Agg(pod, j int) NodeID { return ft.agg[pod][j] }
+
+// Core returns C_j.
+func (ft *FatTree) Core(j int) NodeID { return ft.core[j] }
+
+// NumCores returns (k/2)^2.
+func (ft *FatTree) NumCores() int { return len(ft.core) }
+
+// Host returns H_j by global host index.
+func (ft *FatTree) Host(j int) NodeID { return ft.hosts[j] }
+
+// NumHosts returns the number of hosts.
+func (ft *FatTree) NumHosts() int { return len(ft.hosts) }
+
+// EdgeOfHost returns the edge switch the host with global index j attaches to.
+func (ft *FatTree) EdgeOfHost(j int) NodeID { return ft.hostEdge[j] }
+
+// HostsOfEdge returns the global indices of hosts under E_{pod,j}.
+func (ft *FatTree) HostsOfEdge(pod, j int) []int {
+	per := ft.Cfg.HostsPerEdge
+	base := (pod*(ft.Cfg.K/2) + j) * per
+	out := make([]int, per)
+	for i := range out {
+		out[i] = base + i
+	}
+	return out
+}
+
+// CoreIndicesOfAgg returns the global core indices A_{pod,s} connects to.
+func (ft *FatTree) CoreIndicesOfAgg(pod, s int) []int {
+	half := ft.Cfg.K / 2
+	out := make([]int, half)
+	typeB := ft.Cfg.AB && pod%2 == 1
+	for t := 0; t < half; t++ {
+		if typeB {
+			out[t] = t*half + s
+		} else {
+			out[t] = s*half + t
+		}
+	}
+	return out
+}
+
+// AggOfCoreInPod returns the aggregation switch core C_c connects to in the
+// given pod.
+func (ft *FatTree) AggOfCoreInPod(c, pod int) NodeID {
+	half := ft.Cfg.K / 2
+	x, y := c/half, c%half
+	if ft.Cfg.AB && pod%2 == 1 {
+		return ft.agg[pod][y]
+	}
+	return ft.agg[pod][x]
+}

@@ -1,0 +1,83 @@
+// Package topo models data center network topologies as undirected
+// capacitated graphs and provides generators for the structures the
+// ShareBackup paper builds on: the k-ary fat-tree (Al-Fares et al.,
+// SIGCOMM'08), the F10 AB fat-tree (Liu et al., NSDI'13), and the
+// structural accounting for Aspen trees (Walraed-Sullivan et al.,
+// CoNEXT'13) used by the cost model.
+//
+// Identifiers follow Table 1 of the paper: H_j is the j-th host, E_{i,j}
+// the j-th edge switch in pod i, A_{i,j} the j-th aggregation switch in
+// pod i, and C_j the j-th core switch.
+package topo
+
+import "fmt"
+
+// Kind classifies a node in the topology.
+type Kind uint8
+
+const (
+	// KindHost is an end host (or, at rack granularity, a whole rack
+	// modeled as a single traffic endpoint).
+	KindHost Kind = iota
+	// KindEdge is a top-of-rack (edge) packet switch.
+	KindEdge
+	// KindAgg is an aggregation packet switch.
+	KindAgg
+	// KindCore is a core packet switch.
+	KindCore
+)
+
+// String returns the conventional short name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindEdge:
+		return "edge"
+	case KindAgg:
+		return "agg"
+	case KindCore:
+		return "core"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsSwitch reports whether the kind is a packet switch layer.
+func (k Kind) IsSwitch() bool { return k == KindEdge || k == KindAgg || k == KindCore }
+
+// NodeID identifies a node within one Topology. IDs are dense: they index
+// into Topology.Nodes.
+type NodeID int32
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Node is a vertex of the topology graph.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	// Pod is the pod index for hosts, edge and aggregation switches.
+	// It is -1 for core switches, which belong to no pod.
+	Pod int
+	// Index is the in-pod index for edge and aggregation switches
+	// (the j of E_{i,j} / A_{i,j}), the global index for core switches
+	// (the j of C_j), and the global host index for hosts (the j of H_j).
+	Index int
+}
+
+// Name renders the paper's notation for the node (E_{i,j}, A_{i,j}, C_j, H_j).
+func (n Node) Name() string {
+	switch n.Kind {
+	case KindHost:
+		return fmt.Sprintf("H%d", n.Index)
+	case KindEdge:
+		return fmt.Sprintf("E%d,%d", n.Pod, n.Index)
+	case KindAgg:
+		return fmt.Sprintf("A%d,%d", n.Pod, n.Index)
+	case KindCore:
+		return fmt.Sprintf("C%d", n.Index)
+	default:
+		return fmt.Sprintf("N%d", n.ID)
+	}
+}

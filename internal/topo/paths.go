@@ -1,0 +1,204 @@
+package topo
+
+import "fmt"
+
+// Path is a loop-free walk through the topology. Nodes has one more element
+// than Links; Links[i] joins Nodes[i] and Nodes[i+1].
+type Path struct {
+	Nodes []NodeID
+	Links []LinkID
+}
+
+// Hops returns the number of links on the path.
+func (p Path) Hops() int { return len(p.Links) }
+
+// Contains reports whether the path traverses node n.
+func (p Path) Contains(n NodeID) bool {
+	for _, v := range p.Nodes {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsLink reports whether the path traverses link l.
+func (p Path) ContainsLink(l LinkID) bool {
+	for _, v := range p.Links {
+		if v == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	return Path{Nodes: append([]NodeID(nil), p.Nodes...), Links: append([]LinkID(nil), p.Links...)}
+}
+
+// buildPath converts a node walk into a Path, resolving link IDs.
+func buildPath(t *Topology, nodes ...NodeID) (Path, error) {
+	p := Path{Nodes: nodes, Links: make([]LinkID, 0, len(nodes)-1)}
+	for i := 0; i+1 < len(nodes); i++ {
+		l := t.LinkBetween(nodes[i], nodes[i+1])
+		if l == NoLink {
+			return Path{}, fmt.Errorf("topo: no link between %s and %s",
+				t.Node(nodes[i]).Name(), t.Node(nodes[i+1]).Name())
+		}
+		p.Links = append(p.Links, l)
+	}
+	return p, nil
+}
+
+// ECMPPaths enumerates all equal-cost shortest paths between two distinct
+// hosts, identified by global host index. The paths follow the up-down
+// structure of the Clos network: same edge -> 2 hops, same pod -> 4 hops via
+// any shared aggregation switch, different pods -> 6 hops via any
+// (aggregation, core) pair reachable from the source edge.
+func (ft *FatTree) ECMPPaths(srcHost, dstHost int) ([]Path, error) {
+	if srcHost == dstHost {
+		return nil, fmt.Errorf("topo: ECMPPaths: src and dst are the same host %d", srcHost)
+	}
+	if srcHost < 0 || srcHost >= len(ft.hosts) || dstHost < 0 || dstHost >= len(ft.hosts) {
+		return nil, fmt.Errorf("topo: ECMPPaths(%d, %d): host index out of range", srcHost, dstHost)
+	}
+	s, d := ft.hosts[srcHost], ft.hosts[dstHost]
+	es, ed := ft.hostEdge[srcHost], ft.hostEdge[dstHost]
+
+	if es == ed {
+		p, err := buildPath(ft.Topology, s, es, d)
+		if err != nil {
+			return nil, err
+		}
+		return []Path{p}, nil
+	}
+
+	sn, dn := ft.Node(es), ft.Node(ed)
+	half := ft.Cfg.K / 2
+	if sn.Pod == dn.Pod {
+		paths := make([]Path, 0, half)
+		for a := 0; a < half; a++ {
+			p, err := buildPath(ft.Topology, s, es, ft.agg[sn.Pod][a], ed, d)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, p)
+		}
+		return paths, nil
+	}
+
+	paths := make([]Path, 0, half*half)
+	for a := 0; a < half; a++ {
+		up := ft.agg[sn.Pod][a]
+		for _, c := range ft.CoreIndicesOfAgg(sn.Pod, a) {
+			down := ft.AggOfCoreInPod(c, dn.Pod)
+			p, err := buildPath(ft.Topology, s, es, up, ft.core[c], down, ed, d)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, p)
+		}
+	}
+	return paths, nil
+}
+
+// Blocked reports which topology elements are unavailable to a path search.
+type Blocked struct {
+	Nodes map[NodeID]bool
+	Links map[LinkID]bool
+}
+
+// NewBlocked returns an empty Blocked set.
+func NewBlocked() *Blocked {
+	return &Blocked{Nodes: make(map[NodeID]bool), Links: make(map[LinkID]bool)}
+}
+
+// BlockNode marks a node (and implicitly all its links) unusable.
+func (b *Blocked) BlockNode(n NodeID) { b.Nodes[n] = true }
+
+// BlockLink marks a link unusable.
+func (b *Blocked) BlockLink(l LinkID) { b.Links[l] = true }
+
+// PathOK reports whether p avoids every blocked node and link.
+func (b *Blocked) PathOK(p Path) bool {
+	if b == nil {
+		return true
+	}
+	for _, n := range p.Nodes {
+		if b.Nodes[n] {
+			return false
+		}
+	}
+	for _, l := range p.Links {
+		if b.Links[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestPath runs a breadth-first search from a to z avoiding blocked
+// elements. Endpoints themselves must not be blocked. It returns ok=false if
+// z is unreachable.
+func (t *Topology) ShortestPath(a, z NodeID, blocked *Blocked) (Path, bool) {
+	if blocked != nil && (blocked.Nodes[a] || blocked.Nodes[z]) {
+		return Path{}, false
+	}
+	if a == z {
+		return Path{Nodes: []NodeID{a}}, true
+	}
+	prevNode := make([]NodeID, len(t.Nodes))
+	prevLink := make([]LinkID, len(t.Nodes))
+	seen := make([]bool, len(t.Nodes))
+	for i := range prevNode {
+		prevNode[i] = None
+		prevLink[i] = NoLink
+	}
+	queue := []NodeID{a}
+	seen[a] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, lid := range t.adj[cur] {
+			if blocked != nil && blocked.Links[lid] {
+				continue
+			}
+			next := t.Links[lid].Other(cur)
+			if seen[next] || (blocked != nil && blocked.Nodes[next]) {
+				continue
+			}
+			seen[next] = true
+			prevNode[next] = cur
+			prevLink[next] = lid
+			if next == z {
+				return tracePath(prevNode, prevLink, a, z), true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return Path{}, false
+}
+
+func tracePath(prevNode []NodeID, prevLink []LinkID, a, z NodeID) Path {
+	var nodes []NodeID
+	var links []LinkID
+	for cur := z; cur != a; cur = prevNode[cur] {
+		nodes = append(nodes, cur)
+		links = append(links, prevLink[cur])
+	}
+	nodes = append(nodes, a)
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return Path{Nodes: nodes, Links: links}
+}
+
+// Connected reports whether z is reachable from a avoiding blocked elements.
+func (t *Topology) Connected(a, z NodeID, blocked *Blocked) bool {
+	_, ok := t.ShortestPath(a, z, blocked)
+	return ok
+}

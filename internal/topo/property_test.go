@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// unionFind is the reference connectivity oracle for BFS properties.
+type unionFind struct{ parent []int }
+
+func newUF(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// TestQuickShortestPathMatchesReachability: on random graphs with random
+// blocked sets, ShortestPath succeeds exactly when the endpoints are in the
+// same component of the surviving graph, and any returned path is valid and
+// avoids blocked elements.
+func TestQuickShortestPathMatchesReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(14)
+		g := &Topology{}
+		for i := 0; i < n; i++ {
+			g.AddNode(KindEdge, 0, i)
+		}
+		// Random edge set.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					if _, err := g.AddLink(NodeID(i), NodeID(j), 1); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		blocked := NewBlocked()
+		for i := 0; i < n; i++ {
+			if r.Intn(5) == 0 {
+				blocked.BlockNode(NodeID(i))
+			}
+		}
+		for _, l := range g.Links {
+			if r.Intn(5) == 0 {
+				blocked.BlockLink(l.ID)
+			}
+		}
+		// Reference connectivity over surviving elements.
+		uf := newUF(n)
+		for _, l := range g.Links {
+			if blocked.Links[l.ID] || blocked.Nodes[l.A] || blocked.Nodes[l.B] {
+				continue
+			}
+			uf.union(int(l.A), int(l.B))
+		}
+		a, z := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+		p, ok := g.ShortestPath(a, z, blocked)
+		wantOK := !blocked.Nodes[a] && !blocked.Nodes[z] && uf.find(int(a)) == uf.find(int(z))
+		if ok != wantOK {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		// Path validity.
+		if p.Nodes[0] != a || p.Nodes[len(p.Nodes)-1] != z {
+			return false
+		}
+		if !blocked.PathOK(p) {
+			return false
+		}
+		for i, lid := range p.Links {
+			l := g.Link(lid)
+			if !(l.A == p.Nodes[i] && l.B == p.Nodes[i+1]) && !(l.B == p.Nodes[i] && l.A == p.Nodes[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickECMPPathsAreValidAndShortest: for random fat-tree host pairs,
+// every enumerated ECMP path is simple, valid, and no longer than the BFS
+// shortest path.
+func TestQuickECMPPathsAreValidAndShortest(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		src := rng.Intn(ft.NumHosts())
+		dst := rng.Intn(ft.NumHosts())
+		if src == dst {
+			return true
+		}
+		paths, err := ft.ECMPPaths(src, dst)
+		if err != nil || len(paths) == 0 {
+			return false
+		}
+		ref, ok := ft.ShortestPath(ft.Host(src), ft.Host(dst), nil)
+		if !ok {
+			return false
+		}
+		for _, p := range paths {
+			if p.Hops() != ref.Hops() {
+				return false
+			}
+			seen := make(map[NodeID]bool)
+			for _, nd := range p.Nodes {
+				if seen[nd] {
+					return false // loop
+				}
+				seen[nd] = true
+			}
+		}
+		return true
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatalf("ECMP property failed at iteration %d", i)
+		}
+	}
+}
+
+// TestQuickFatTreeSingleFailureKeepsFabricConnected: failing any single
+// aggregation or core switch never disconnects any host pair (the redundancy
+// rerouting relies on).
+func TestQuickFatTreeSingleFailureKeepsFabricConnected(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []NodeID
+	for _, nd := range ft.Nodes {
+		if nd.Kind == KindAgg || nd.Kind == KindCore {
+			cands = append(cands, nd.ID)
+		}
+	}
+	for _, victim := range cands {
+		b := NewBlocked()
+		b.BlockNode(victim)
+		for src := 0; src < ft.NumHosts(); src += 5 {
+			for dst := 0; dst < ft.NumHosts(); dst += 3 {
+				if src == dst {
+					continue
+				}
+				if !ft.Connected(ft.Host(src), ft.Host(dst), b) {
+					t.Fatalf("failing %s disconnected hosts %d and %d",
+						ft.Node(victim).Name(), src, dst)
+				}
+			}
+		}
+	}
+}

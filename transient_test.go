@@ -1,0 +1,56 @@
+package sharebackup
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransientStudy(t *testing.T) {
+	rows, err := TransientStudy(TransientConfig{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TransientRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	sb := byName["ShareBackup"]
+	ftRow := byName["fat-tree"]
+	f10 := byName["F10"]
+
+	// Nobody is permanently disconnected by a single agg failure.
+	for _, r := range rows {
+		if r.Disconnected != 0 {
+			t.Errorf("%s: %d flows disconnected", r.Scheme, r.Disconnected)
+		}
+		if r.MaxSlowdown < 1-1e-9 {
+			t.Errorf("%s: max slowdown %v < 1", r.Scheme, r.MaxSlowdown)
+		}
+	}
+
+	// ShareBackup's only penalty is the sub-2ms recovery gap: with ~13s
+	// flows the worst slowdown must be within a 0.1% of 1.
+	if sb.Gap > 2*time.Millisecond {
+		t.Errorf("ShareBackup gap = %v", sb.Gap)
+	}
+	if sb.MaxSlowdown > 1.001 {
+		t.Errorf("ShareBackup max slowdown = %v; the recovery window should be invisible", sb.MaxSlowdown)
+	}
+
+	// Rerouting's penalty is lasting bandwidth loss: the worst-hit flow
+	// must be clearly slower than anything ShareBackup shows.
+	if ftRow.MaxSlowdown <= sb.MaxSlowdown {
+		t.Errorf("fat-tree max slowdown %v not worse than ShareBackup %v", ftRow.MaxSlowdown, sb.MaxSlowdown)
+	}
+	if f10.MaxSlowdown <= sb.MaxSlowdown {
+		t.Errorf("F10 max slowdown %v not worse than ShareBackup %v", f10.MaxSlowdown, sb.MaxSlowdown)
+	}
+
+	if !strings.Contains(sb.String(), "ShareBackup") {
+		t.Error("row rendering broken")
+	}
+}
