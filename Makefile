@@ -1,0 +1,30 @@
+# Quality gates for the ShareBackup reproduction. `make check` is what CI
+# (and ISSUE reviewers) run: vet, build, full test suite, then the race
+# detector on the two packages with real concurrency — the TCP control plane
+# and the event bus it publishes on.
+
+GO ?= go
+
+.PHONY: check vet build test race bench tools
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ctlnet/... ./internal/obs/...
+
+# Recovery-path microbenchmarks; instrumentation must stay free when no
+# event sink is attached, so watch these against the seed numbers.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+tools:
+	$(GO) build ./cmd/...

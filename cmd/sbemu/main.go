@@ -7,6 +7,8 @@
 //
 //	sbemu -k 6 -n 1 -src 0/0/0 -dst 3/1/2
 //	sbemu -k 6 -n 1 -src 0/0/0 -dst 3/1/2 -fail-path
+//	sbemu -fail-path -trace trace.jsonl   # then: sbtap trace.jsonl
+//	sbemu -fail-path -events              # human-readable event log on stderr
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"sharebackup"
 	"sharebackup/internal/emu"
+	"sharebackup/internal/obs"
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
 )
@@ -30,8 +33,27 @@ func main() {
 		srcStr   = flag.String("src", "0/0/0", "source host as pod/rack/pos")
 		dstStr   = flag.String("dst", "1/0/0", "destination host as pod/rack/pos")
 		failPath = flag.Bool("fail-path", false, "fail every switch on the path, recover, and re-trace")
+		trace    = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
+		events   = flag.Bool("events", false, "log structured events human-readably to stderr")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		done, err := obs.TraceToFile(nil, *trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := done(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *events {
+		defer obs.EventsToLogf(nil, func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})()
+	}
 
 	src, err := parseHost(*srcStr)
 	if err != nil {

@@ -6,6 +6,12 @@
 //
 //	sbexperiments [-run all|fig1a|fig1b|fig1c|table2|table3|fig5|capacity|latency|tablesize]
 //	              [-k N] [-n N] [-seed S] [-full]
+//	              [-trace FILE] [-events] [-json FILE]
+//
+// -trace writes every structured control-plane event as JSONL (summarize
+// with sbtap); -events logs them human-readably to stderr. -json runs the
+// recovery-latency benchmark harness and writes per-phase percentiles to the
+// named file (conventionally BENCH_recovery.json).
 //
 // -full runs the paper-scale configurations (k=16 failure study); the
 // default is a laptop-scale run with the same shapes.
@@ -19,17 +25,49 @@ import (
 
 	"sharebackup"
 	"sharebackup/internal/metrics"
+	"sharebackup/internal/obs"
 )
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "experiment to run (all, fig1a, fig1b, fig1c, table2, table3, fig5, capacity, latency, tablesize)")
-		k    = flag.Int("k", 0, "fat-tree parameter override (0 = experiment default)")
-		n    = flag.Int("n", 1, "backup switches per failure group")
-		seed = flag.Int64("seed", 1, "deterministic seed")
-		full = flag.Bool("full", false, "run paper-scale configurations (slower)")
+		run      = flag.String("run", "all", "experiment to run (all, fig1a, fig1b, fig1c, table2, table3, fig5, capacity, latency, tablesize)")
+		k        = flag.Int("k", 0, "fat-tree parameter override (0 = experiment default)")
+		n        = flag.Int("n", 1, "backup switches per failure group")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		full     = flag.Bool("full", false, "run paper-scale configurations (slower)")
+		trace    = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
+		events   = flag.Bool("events", false, "log structured events human-readably to stderr")
+		jsonPath = flag.String("json", "", "run the recovery benchmark and write phase percentiles to this file (e.g. BENCH_recovery.json)")
+		trials   = flag.Int("trials", 32, "failovers per kind for the -json benchmark")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		done, err := obs.TraceToFile(nil, *trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbexperiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := done(); err != nil {
+				fmt.Fprintln(os.Stderr, "sbexperiments:", err)
+			}
+		}()
+	}
+	if *events {
+		defer obs.EventsToLogf(nil, func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})()
+	}
+	if *jsonPath != "" {
+		if err := runBenchJSON(*k, *n, *trials, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "sbexperiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *run == "all" {
+			return
+		}
+	}
 
 	experiments := map[string]func() error{
 		"fig1a":      func() error { return runFig1(true, *k, *seed, *full) },

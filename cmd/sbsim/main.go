@@ -8,6 +8,10 @@
 //	sbsim -study affected -kind node -k 16 -rates 0.01,0.05,0.1
 //	sbsim -study affected -kind link -trace FB2010-1Hr-150-0.txt
 //	sbsim -study cct -k 8 -coflows 40 -scenarios 16
+//
+// -trace-out FILE writes structured control-plane events as JSONL (summarize
+// with sbtap; -trace is the coflow trace input, hence the longer name here);
+// -events logs them human-readably to stderr.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"sharebackup"
 	"sharebackup/internal/coflow"
 	"sharebackup/internal/metrics"
+	"sharebackup/internal/obs"
 )
 
 func main() {
@@ -35,8 +40,27 @@ func main() {
 		scenarios = flag.Int("scenarios", 12, "single-failure scenarios (cct study)")
 		window    = flag.Float64("window", 300, "trace window seconds (cct study)")
 		windows   = flag.Int("windows", 1, "number of trace windows; scenarios spread round-robin (cct study)")
+		traceOut  = flag.String("trace-out", "", "write structured events as JSONL to this file (summarize with sbtap)")
+		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		done, err := obs.TraceToFile(nil, *traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := done(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *events {
+		defer obs.EventsToLogf(nil, func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})()
+	}
 
 	var trace *coflow.Trace
 	if *tracePath != "" {

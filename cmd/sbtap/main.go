@@ -1,0 +1,141 @@
+// Command sbtap tails or summarizes a JSONL event file produced by the
+// -trace flag of sbemu/sbexperiments (or sbsim's -trace-out): the offline
+// half of the observability pipeline. By default it reads the whole file (or
+// stdin when no file is named) and prints an event census plus the Section
+// 5.3 / Table 2 phase breakdown of every recovery span it contains.
+//
+// Usage:
+//
+//	sbtap trace.jsonl            # summarize
+//	sbtap -spans trace.jsonl     # also list each recovery span
+//	sbtap -f trace.jsonl         # follow: render events as they are appended
+//	sbemu -fail-path -trace /dev/stdout | sbtap
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+func main() {
+	var (
+		follow = flag.Bool("f", false, "follow the file: render events human-readably as they are appended")
+		spans  = flag.Bool("spans", false, "list every recovery span with its phase breakdown")
+	)
+	flag.Parse()
+
+	var (
+		in   io.Reader = os.Stdin
+		name           = "stdin"
+	)
+	if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	if *follow {
+		if err := tail(in); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	evs, err := obs.ReadJSONL(in)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	if len(evs) == 0 {
+		fmt.Printf("%s: no events\n", name)
+		return
+	}
+	fmt.Print(obs.KindCounts(evs).String())
+
+	col := obs.NewSpanCollector()
+	col.AddEvents(evs)
+	all := col.Breakdown("")
+	if all.N() == 0 {
+		fmt.Println("no completed recovery spans")
+		return
+	}
+	fmt.Print(all.Table(fmt.Sprintf("recovery phase breakdown — all kinds (%d recoveries)", all.N())).String())
+	for _, kind := range []string{"node", "link"} {
+		if b := col.Breakdown(kind); b.N() > 0 {
+			fmt.Print(b.Table(fmt.Sprintf("recovery phase breakdown — %s failures (%d recoveries)", kind, b.N())).String())
+		}
+	}
+	if *spans {
+		for _, sp := range col.Spans() {
+			status := "complete"
+			if !sp.Complete {
+				status = "incomplete"
+			}
+			fmt.Printf("span %d (%s, %s): detection=%v report=%v reconfig=%v total=%v (%d events)\n",
+				sp.ID, sp.Kind, status, sp.Detection, sp.Report, sp.Reconfig, sp.Total, len(sp.Events))
+		}
+	}
+}
+
+// tail renders events as they arrive, polling past EOF so a live trace file
+// can be watched while the producer is still running.
+func tail(in io.Reader) error {
+	r := bufio.NewReader(in)
+	fileLike := isFile(in)
+	var buf []byte
+	emit := func() {
+		line := bytes.TrimSpace(buf)
+		buf = buf[:0]
+		if len(line) == 0 {
+			return
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err == nil {
+			fmt.Println(ev.String())
+		}
+	}
+	for {
+		chunk, err := r.ReadBytes('\n')
+		buf = append(buf, chunk...)
+		if bytes.HasSuffix(buf, []byte("\n")) {
+			emit()
+		}
+		switch {
+		case err == io.EOF && fileLike:
+			// The producer may still be appending: poll for more.
+			time.Sleep(200 * time.Millisecond)
+		case err == io.EOF:
+			emit() // pipe closed, flush any final unterminated line
+			return nil
+		case err != nil:
+			return err
+		}
+	}
+}
+
+func isFile(r io.Reader) bool {
+	f, ok := r.(*os.File)
+	if !ok {
+		return false
+	}
+	info, err := f.Stat()
+	return err == nil && info.Mode().IsRegular()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbtap:", err)
+	os.Exit(1)
+}

@@ -12,9 +12,11 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"sharebackup/internal/obs"
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
 )
@@ -111,6 +113,19 @@ type Controller struct {
 	flaggedHosts map[int]bool
 
 	diagnosisReconfigs int
+
+	// bus receives structured control-plane events (nil-safe: a zero
+	// Controller emits nothing). Virtual timestamps.
+	bus *obs.Bus
+	// reg holds the controller's runtime metrics; handles are resolved
+	// once here so the recovery path never touches the registry map.
+	reg                  *obs.Registry
+	mFailovers           *obs.Counter
+	mLinkRecoveries      *obs.Counter
+	mHalts               *obs.Counter
+	mDiagnosisReconfigs  *obs.Counter
+	mBackupPoolExhausted *obs.Counter
+	gPendingDiagnosis    *obs.Gauge
 }
 
 // LinkSuspects is a pending diagnosis work item: the two suspect interfaces
@@ -122,13 +137,52 @@ type LinkSuspects struct {
 // New builds a controller over net.
 func New(net *sbnet.Network, cfg Config) *Controller {
 	cfg.setDefaults()
-	return &Controller{
+	c := &Controller{
 		net:          net,
 		cfg:          cfg,
 		lastSeen:     make(map[sbnet.SwitchID]time.Duration),
 		csReports:    make(map[csKey][]time.Duration),
 		flaggedHosts: make(map[int]bool),
+		reg:          obs.NewRegistry(),
 	}
+	c.mFailovers = c.reg.Counter("controller.failovers")
+	c.mLinkRecoveries = c.reg.Counter("controller.link_recoveries")
+	c.mHalts = c.reg.Counter("controller.halts")
+	c.mDiagnosisReconfigs = c.reg.Counter("controller.diagnosis_reconfigs")
+	c.mBackupPoolExhausted = c.reg.Counter("controller.backup_pool_exhausted")
+	c.gPendingDiagnosis = c.reg.Gauge("controller.pending_diagnosis")
+	return c
+}
+
+// SetObserver attaches an event bus; the controller (and, via
+// Network.SetObserver, usually the network below it) emits structured
+// events there. A nil bus disables emission.
+func (c *Controller) SetObserver(bus *obs.Bus) { c.bus = bus }
+
+// Observer returns the attached event bus (possibly nil).
+func (c *Controller) Observer() *obs.Bus { return c.bus }
+
+// Metrics returns the controller's counter/gauge registry. The ctlnet
+// server merges its own metrics into the same registry for the varz dump.
+func (c *Controller) Metrics() *obs.Registry { return c.reg }
+
+// groupLabel names a failure group for per-group gauges ("agg-pod2", ...).
+func (c *Controller) groupLabel(g sbnet.GroupID) string {
+	grp := c.net.Group(g)
+	switch grp.Kind {
+	case topo.KindEdge:
+		return fmt.Sprintf("edge-pod%d", grp.Pod)
+	case topo.KindAgg:
+		return fmt.Sprintf("agg-pod%d", grp.Pod)
+	default:
+		return fmt.Sprintf("core-%d", grp.Index)
+	}
+}
+
+// noteBackupUse refreshes the backups-in-use gauge of one failure group.
+func (c *Controller) noteBackupUse(g sbnet.GroupID) {
+	inUse := c.net.NBackups() - len(c.net.FreeBackups(g))
+	c.reg.Gauge("controller.backups_in_use." + c.groupLabel(g)).Set(int64(inUse))
 }
 
 // Network returns the controlled network.
@@ -186,14 +240,27 @@ func (c *Controller) RecoverNode(id sbnet.SwitchID, at time.Duration) (*Recovery
 	if c.halted {
 		return nil, ErrHalted
 	}
-	backup, reconfig, err := c.net.Replace(id)
-	if err != nil {
-		return nil, err
-	}
 	last, ok := c.lastSeen[id]
 	detection := time.Duration(c.cfg.MissThreshold) * c.cfg.ProbeInterval
 	if ok && at-last > 0 {
 		detection = at - last
+	}
+	span := c.bus.BeginSpan()
+	defer c.bus.EndSpan()
+	if c.bus.Enabled() {
+		ev := obs.NewEvent(obs.KindFailureDeclared, at)
+		ev.Span = span
+		ev.Switch = int32(id)
+		ev.Detection = detection
+		ev.Detail = "node"
+		c.bus.Emit(ev)
+	}
+	backup, reconfig, err := c.net.Replace(id)
+	if err != nil {
+		if errors.Is(err, sbnet.ErrNoBackup) {
+			c.mBackupPoolExhausted.Inc()
+		}
+		return nil, err
 	}
 	delete(c.lastSeen, id)
 	rec := Recovery{
@@ -206,7 +273,42 @@ func (c *Controller) RecoverNode(id sbnet.SwitchID, at time.Duration) (*Recovery
 		Reconfig:  reconfig,
 	}
 	c.recoveries = append(c.recoveries, rec)
+	c.mFailovers.Inc()
+	c.noteBackupUse(c.net.Switch(backup).Group)
+	c.emitRecoveryDone(span, at, &rec)
 	return &c.recoveries[len(c.recoveries)-1], nil
+}
+
+// emitRecoveryDone publishes the backup-assigned and recovery-complete
+// events closing a recovery span.
+func (c *Controller) emitRecoveryDone(span uint64, at time.Duration, rec *Recovery) {
+	if !c.bus.Enabled() {
+		return
+	}
+	for i, failed := range rec.Failed {
+		ev := obs.NewEvent(obs.KindBackupAssigned, at)
+		ev.Span = span
+		ev.Switch = int32(failed)
+		if i < len(rec.Backup) {
+			ev.Backup = int32(rec.Backup[i])
+		}
+		c.bus.Emit(ev)
+	}
+	done := obs.NewEvent(obs.KindRecoveryComplete, at+rec.Comm+rec.Reconfig)
+	done.Span = span
+	done.Detail = rec.Kind
+	if len(rec.Failed) > 0 {
+		done.Switch = int32(rec.Failed[0])
+	}
+	if len(rec.Backup) > 0 {
+		done.Backup = int32(rec.Backup[0])
+	}
+	done.Count = int32(len(rec.Failed))
+	done.Detection = rec.Detection
+	done.Report = rec.Comm
+	done.Reconfig = rec.Reconfig
+	done.Total = rec.Total()
+	c.bus.Emit(done)
 }
 
 // ReportLinkFailure handles a link-failure report from both endpoints
@@ -235,9 +337,31 @@ func (c *Controller) ReportLinkFailureDetected(a, b EndPoint, at, detection time
 	if key, ok := c.circuitSwitchOf(a, b); ok {
 		if c.chargeCSReport(key, at) {
 			c.halted = true
+			c.mHalts.Inc()
+			if c.bus.Enabled() {
+				ev := obs.NewEvent(obs.KindCircuitSwitchHalted, at)
+				ev.Switch = int32(a.Switch)
+				ev.Peer = int32(b.Switch)
+				ev.Detail = fmt.Sprintf("CS%d,%d,%d exceeded %d reports in %v",
+					key.layer, key.pod, key.idx, c.cfg.CSReportThreshold, c.cfg.CSReportWindow)
+				c.bus.Emit(ev)
+			}
 			return nil, fmt.Errorf("%w (circuit switch CS%d,%d,%d exceeded %d reports in %v)",
 				ErrHalted, key.layer, key.pod, key.idx, c.cfg.CSReportThreshold, c.cfg.CSReportWindow)
 		}
+	}
+	span := c.bus.BeginSpan()
+	defer c.bus.EndSpan()
+	if c.bus.Enabled() {
+		ev := obs.NewEvent(obs.KindFailureDeclared, at)
+		ev.Span = span
+		ev.Switch = int32(a.Switch)
+		ev.Port = int32(a.Port)
+		ev.Peer = int32(b.Switch)
+		ev.PeerPort = int32(b.Port)
+		ev.Detection = detection
+		ev.Detail = "link"
+		c.bus.Emit(ev)
 	}
 	rec := Recovery{
 		At:        at,
@@ -249,6 +373,9 @@ func (c *Controller) ReportLinkFailureDetected(a, b EndPoint, at, detection time
 	for _, ep := range []EndPoint{a, b} {
 		backup, reconfig, err := c.net.Replace(ep.Switch)
 		if err != nil {
+			if errors.Is(err, sbnet.ErrNoBackup) {
+				c.mBackupPoolExhausted.Inc()
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("controller: link recovery for %s: %w", c.net.Name(ep.Switch), err)
 			}
@@ -256,6 +383,7 @@ func (c *Controller) ReportLinkFailureDetected(a, b EndPoint, at, detection time
 		}
 		rec.Failed = append(rec.Failed, ep.Switch)
 		rec.Backup = append(rec.Backup, backup)
+		c.noteBackupUse(c.net.Switch(backup).Group)
 		if reconfig > rec.Reconfig {
 			rec.Reconfig = reconfig
 		}
@@ -263,6 +391,9 @@ func (c *Controller) ReportLinkFailureDetected(a, b EndPoint, at, detection time
 	if len(rec.Failed) > 0 {
 		c.recoveries = append(c.recoveries, rec)
 		c.pendingDiagnosis = append(c.pendingDiagnosis, LinkSuspects{A: a, B: b})
+		c.mLinkRecoveries.Inc()
+		c.gPendingDiagnosis.Set(int64(len(c.pendingDiagnosis)))
+		c.emitRecoveryDone(span, at, &rec)
 		return &c.recoveries[len(c.recoveries)-1], firstErr
 	}
 	return nil, firstErr
@@ -337,24 +468,43 @@ func (c *Controller) HandleHostLinkFailure(edge sbnet.SwitchID, port int, host i
 	if c.halted {
 		return false, ErrHalted
 	}
+	span := c.bus.BeginSpan()
+	defer c.bus.EndSpan()
+	if c.bus.Enabled() {
+		ev := obs.NewEvent(obs.KindFailureDeclared, at)
+		ev.Span = span
+		ev.Switch = int32(edge)
+		ev.Port = int32(port)
+		ev.Detection = c.cfg.ProbeInterval
+		ev.Detail = "link"
+		c.bus.Emit(ev)
+	}
 	backup, reconfig, err := c.net.Replace(edge)
 	if err != nil {
+		if errors.Is(err, sbnet.ErrNoBackup) {
+			c.mBackupPoolExhausted.Inc()
+		}
 		return false, err
 	}
-	c.recoveries = append(c.recoveries, Recovery{
+	rec := Recovery{
 		At: at, Kind: "link",
 		Failed:    []sbnet.SwitchID{edge},
 		Backup:    []sbnet.SwitchID{backup},
 		Detection: c.cfg.ProbeInterval,
 		Comm:      2 * c.cfg.CommDelay,
 		Reconfig:  reconfig,
-	})
+	}
+	c.recoveries = append(c.recoveries, rec)
+	c.mLinkRecoveries.Inc()
+	c.noteBackupUse(c.net.Switch(backup).Group)
+	c.emitRecoveryDone(span, at, &rec)
 	if hostAtFault {
 		// Replacement did not fix the link: mark the switch healthy
 		// and trouble-shoot the host.
 		if err := c.net.Release(edge); err != nil {
 			return false, err
 		}
+		c.noteBackupUse(c.net.Switch(edge).Group)
 		c.flaggedHosts[host] = true
 		return true, nil
 	}

@@ -1,6 +1,9 @@
 package controller
 
 import (
+	"fmt"
+
+	"sharebackup/internal/obs"
 	"sharebackup/internal/sbnet"
 )
 
@@ -40,6 +43,12 @@ func (c *Controller) PendingDiagnosis() []LinkSuspects {
 // failed link can offer a healthy partner interface, both suspects are
 // considered faulty (the paper's conservative rule).
 func (c *Controller) RunDiagnosis() ([]DiagnosisResult, error) {
+	if c.bus.Enabled() {
+		ev := obs.NewEvent(obs.KindDiagnosisStarted, -1)
+		ev.Count = int32(len(c.pendingDiagnosis))
+		c.bus.Emit(ev)
+	}
+	reconfigsBefore := c.diagnosisReconfigs
 	var results []DiagnosisResult
 	for _, item := range c.pendingDiagnosis {
 		for _, suspect := range []EndPoint{item.A, item.B} {
@@ -51,6 +60,20 @@ func (c *Controller) RunDiagnosis() ([]DiagnosisResult, error) {
 		}
 	}
 	c.pendingDiagnosis = nil
+	c.gPendingDiagnosis.Set(0)
+	c.mDiagnosisReconfigs.Add(int64(c.diagnosisReconfigs - reconfigsBefore))
+	if c.bus.Enabled() {
+		exonerated := 0
+		for _, r := range results {
+			if r.Exonerated {
+				exonerated++
+			}
+		}
+		ev := obs.NewEvent(obs.KindDiagnosisFinished, -1)
+		ev.Count = int32(exonerated)
+		ev.Detail = fmt.Sprintf("%d probes, %d reconfigs", len(results), c.diagnosisReconfigs-reconfigsBefore)
+		c.bus.Emit(ev)
+	}
 	return results, nil
 }
 
@@ -84,6 +107,7 @@ func (c *Controller) diagnoseInterface(suspect EndPoint) (DiagnosisResult, error
 			return res, err
 		}
 		res.Exonerated = true
+		c.noteBackupUse(sw.Group)
 	}
 	return res, nil
 }

@@ -227,3 +227,24 @@ func (m *Monitor) Err() error {
 
 // Close tears down the subscription.
 func (m *Monitor) Close() error { return m.conn.Close() }
+
+// FetchVarz requests the server's text metrics snapshot (counters, gauges,
+// uptime) over the wire protocol — the "/varz" dump of the control plane.
+func FetchVarz(addr string) (string, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ctlnet: varz dial: %w", err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, msgVarzReq, nil); err != nil {
+		return "", fmt.Errorf("ctlnet: varz request: %w", err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return "", fmt.Errorf("ctlnet: varz reply: %w", err)
+	}
+	if typ != msgVarz {
+		return "", fmt.Errorf("ctlnet: varz reply: got message type %d", typ)
+	}
+	return string(payload), nil
+}

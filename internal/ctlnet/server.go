@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sharebackup/internal/controller"
+	"sharebackup/internal/obs"
 	"sharebackup/internal/routing"
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
@@ -24,7 +25,20 @@ type ServerConfig struct {
 	// CheckEvery is the detector's scan period. Default Interval.
 	CheckEvery time.Duration
 	// Logf, if set, receives server diagnostics (default: discarded).
+	//
+	// Concurrency contract: the server reaches its log path from the
+	// accept loop, every per-connection goroutine, and the detector scan,
+	// but all diagnostics are routed through the event bus (whose sink
+	// dispatch holds one lock) and Logf itself is additionally serialized
+	// by a server-private mutex — so Logf is never invoked concurrently
+	// and needs no locking of its own.
 	Logf func(format string, args ...interface{})
+	// Obs receives the server's structured events (failure-declared,
+	// recovery-complete, tables-preloaded, log) with wall-clock
+	// timestamps relative to server start. Defaults to obs.Default so
+	// command-level -trace/-events flags observe the server without
+	// plumbing; set it explicitly to isolate a server in tests.
+	Obs *obs.Bus
 }
 
 func (c *ServerConfig) setDefaults() {
@@ -37,8 +51,8 @@ func (c *ServerConfig) setDefaults() {
 	if c.CheckEvery == 0 {
 		c.CheckEvery = c.Interval
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...interface{}) {}
+	if c.Obs == nil {
+		c.Obs = obs.Default
 	}
 }
 
@@ -50,6 +64,20 @@ type Server struct {
 	ctl   *controller.Controller
 	ln    net.Listener
 	start time.Time
+	bus   *obs.Bus
+
+	// Runtime metrics, merged into the controller's registry so one varz
+	// snapshot covers both layers.
+	mKeepalives  *obs.Counter
+	mHellos      *obs.Counter
+	mLinkReports *obs.Counter
+	mTablePushes *obs.Counter
+	mProbeMisses *obs.Counter
+	mLogLines    *obs.Counter
+	gSubscribers *obs.Gauge
+	gConns       *obs.Gauge
+
+	logMu sync.Mutex // serializes cfg.Logf (see ServerConfig.Logf)
 
 	mu       sync.Mutex
 	lastSeen map[sbnet.SwitchID]time.Time
@@ -59,6 +87,26 @@ type Server struct {
 
 	wg   sync.WaitGroup
 	quit chan struct{}
+}
+
+// logf routes a diagnostic line through the event bus (serialized sink
+// dispatch) and the optional ServerConfig.Logf (serialized by logMu).
+func (s *Server) logf(format string, args ...interface{}) {
+	s.mLogLines.Inc()
+	s.bus.Logf(time.Since(s.start), true, format, args...)
+	if s.cfg.Logf != nil {
+		s.logMu.Lock()
+		s.cfg.Logf(format, args...)
+		s.logMu.Unlock()
+	}
+}
+
+// Varz renders the merged controller+server metric registry as a text
+// snapshot — the control plane's "/varz" dump, also served over the wire
+// protocol (see FetchVarz).
+func (s *Server) Varz() string {
+	return fmt.Sprintf("ctlnet.uptime_ns %d\n", time.Since(s.start).Nanoseconds()) +
+		s.ctl.Metrics().Snapshot()
 }
 
 // NewServer starts a controller server listening on addr (use
@@ -75,8 +123,24 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 		ctl:      ctl,
 		ln:       ln,
 		start:    time.Now(),
+		bus:      cfg.Obs,
 		lastSeen: make(map[sbnet.SwitchID]time.Time),
 		quit:     make(chan struct{}),
+	}
+	reg := ctl.Metrics()
+	s.mKeepalives = reg.Counter("ctlnet.keepalives")
+	s.mHellos = reg.Counter("ctlnet.hellos")
+	s.mLinkReports = reg.Counter("ctlnet.link_reports")
+	s.mTablePushes = reg.Counter("ctlnet.table_pushes")
+	s.mProbeMisses = reg.Counter("ctlnet.probe_misses")
+	s.mLogLines = reg.Counter("ctlnet.log_lines")
+	s.gSubscribers = reg.Gauge("ctlnet.subscribers")
+	s.gConns = reg.Gauge("ctlnet.connections")
+	// The controller below this server runs on the server's virtual clock;
+	// give it the same bus so its spans and the server's events interleave
+	// in one stream.
+	if ctl.Observer() == nil {
+		ctl.SetObserver(s.bus)
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -117,7 +181,7 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			s.cfg.Logf("ctlnet: accept: %v", err)
+			s.logf("ctlnet: accept: %v", err)
 			return
 		}
 		s.wg.Add(1)
@@ -127,6 +191,8 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.gConns.Add(1)
+	defer s.gConns.Add(-1)
 	subscribed := false
 	defer func() {
 		if !subscribed {
@@ -137,7 +203,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.cfg.Logf("ctlnet: conn %v: %v", conn.RemoteAddr(), err)
+				s.logf("ctlnet: conn %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
@@ -145,49 +211,66 @@ func (s *Server) handleConn(conn net.Conn) {
 		case msgHello:
 			id, err := decodeHello(payload)
 			if err != nil {
-				s.cfg.Logf("ctlnet: %v", err)
+				s.logf("ctlnet: %v", err)
 				return
 			}
+			s.mHellos.Inc()
 			s.seen(id)
 			// Hot-standby provisioning (Section 4.3): edge-group
 			// switches — regular and backup alike — receive their
 			// pod's combined failure-group table on registration.
 			if tbl := s.tableFor(id); tbl != nil {
 				if err := writeFrame(conn, msgTableLoad, tbl); err != nil {
-					s.cfg.Logf("ctlnet: table push to %d: %v", id, err)
+					s.logf("ctlnet: table push to %d: %v", id, err)
 					return
+				}
+				s.mTablePushes.Inc()
+				if s.bus.Enabled() {
+					ev := obs.NewEvent(obs.KindTablesPreloaded, time.Since(s.start))
+					ev.Wall = true
+					ev.Switch = int32(id)
+					ev.Count = int32(len(tbl))
+					s.bus.Emit(ev)
 				}
 			}
 		case msgKeepAlive:
 			id, _, err := decodeKeepAlive(payload)
 			if err != nil {
-				s.cfg.Logf("ctlnet: %v", err)
+				s.logf("ctlnet: %v", err)
 				return
 			}
+			s.mKeepalives.Inc()
 			s.seen(id)
 		case msgLinkFail:
 			aSw, aPort, bSw, bPort, err := decodeLinkFail(payload)
 			if err != nil {
-				s.cfg.Logf("ctlnet: %v", err)
+				s.logf("ctlnet: %v", err)
 				return
 			}
+			s.mLinkReports.Inc()
 			s.handleLinkFail(aSw, aPort, bSw, bPort)
+		case msgVarzReq:
+			if err := writeFrame(conn, msgVarz, []byte(s.Varz())); err != nil {
+				s.logf("ctlnet: varz reply: %v", err)
+				return
+			}
 		case msgSubscribe:
 			s.mu.Lock()
 			if !s.closed {
 				s.subs = append(s.subs, conn)
 				subscribed = true
+				s.gSubscribers.Set(int64(len(s.subs)))
 			}
 			s.mu.Unlock()
 			if !subscribed {
 				return
 			}
 			if err := writeFrame(conn, msgSubAck, nil); err != nil {
-				s.cfg.Logf("ctlnet: subscribe ack: %v", err)
+				s.logf("ctlnet: subscribe ack: %v", err)
 				return
 			}
 		default:
-			s.cfg.Logf("ctlnet: unknown message type %d", typ)
+			s.logf("ctlnet: unknown message type %d", typ)
 			return
 		}
 	}
@@ -213,12 +296,12 @@ func (s *Server) tableFor(id sbnet.SwitchID) []byte {
 	}
 	vt, err := routing.BuildVLANTable(net.K(), pod)
 	if err != nil {
-		s.cfg.Logf("ctlnet: building table for pod %d: %v", pod, err)
+		s.logf("ctlnet: building table for pod %d: %v", pod, err)
 		return nil
 	}
 	b, err := vt.MarshalBinary()
 	if err != nil {
-		s.cfg.Logf("ctlnet: encoding table for pod %d: %v", pod, err)
+		s.logf("ctlnet: encoding table for pod %d: %v", pod, err)
 		return nil
 	}
 	s.tables[pod] = b
@@ -243,17 +326,46 @@ func (s *Server) handleLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchI
 	)
 	s.mu.Unlock()
 	if err != nil {
-		s.cfg.Logf("ctlnet: link recovery: %v", err)
+		s.logf("ctlnet: link recovery: %v", err)
 		if rec == nil {
 			return
 		}
 	}
+	s.emitRecovered(rec, t0.Sub(s.start), time.Since(t0))
 	s.publish(RecoveryEvent{
 		Kind:    "link",
 		Failed:  rec.Failed,
 		Backup:  rec.Backup,
 		Latency: time.Since(t0),
 	})
+}
+
+// emitRecovered publishes the wall-clock recovery-complete event for a
+// recovery the server just drove: detection and circuit reconfiguration come
+// from the controller's record, the report phase is the measured server
+// processing time, and T is the offset of completion since server start.
+// (The controller already emitted the virtual-time span; this event is the
+// wall-clock view of the same recovery, tied by the shared Detail and
+// Switch/Backup fields rather than a span.)
+func (s *Server) emitRecovered(rec *controller.Recovery, at, processing time.Duration) {
+	if !s.bus.Enabled() {
+		return
+	}
+	ev := obs.NewEvent(obs.KindRecoveryComplete, at+processing)
+	ev.Wall = true
+	ev.Detail = rec.Kind
+	if len(rec.Failed) > 0 {
+		ev.Switch = int32(rec.Failed[0])
+	}
+	if len(rec.Backup) > 0 {
+		ev.Backup = int32(rec.Backup[0])
+	}
+	ev.Count = int32(len(rec.Failed))
+	ev.Detection = rec.Detection
+	ev.Report = processing
+	ev.Reconfig = rec.Reconfig
+	ev.Total = rec.Detection + processing + rec.Reconfig
+	s.bus.Emit(ev)
 }
 
 // detectLoop scans for silent switches and fails them over.
@@ -271,7 +383,13 @@ func (s *Server) detectLoop() {
 			var silence []time.Duration
 			s.mu.Lock()
 			for id, last := range s.lastSeen {
-				if now.Sub(last) >= deadline && s.ctl.Network().Switch(id).Role == sbnet.RoleActive {
+				if now.Sub(last) < deadline {
+					if now.Sub(last) >= s.cfg.Interval {
+						s.mProbeMisses.Inc()
+					}
+					continue
+				}
+				if s.ctl.Network().Switch(id).Role == sbnet.RoleActive {
 					dead = append(dead, id)
 					silence = append(silence, now.Sub(last))
 				}
@@ -285,9 +403,10 @@ func (s *Server) detectLoop() {
 				}
 				s.mu.Unlock()
 				if err != nil {
-					s.cfg.Logf("ctlnet: node recovery of %d: %v", id, err)
+					s.logf("ctlnet: node recovery of %d: %v", id, err)
 					continue
 				}
+				s.emitRecovered(rec, now.Sub(s.start), time.Since(now))
 				s.publish(RecoveryEvent{
 					Kind:    "node",
 					Failed:  rec.Failed,
@@ -329,6 +448,7 @@ func (s *Server) publish(ev RecoveryEvent) {
 			}
 		}
 		s.subs = kept
+		s.gSubscribers.Set(int64(len(s.subs)))
 		s.mu.Unlock()
 	}
 }

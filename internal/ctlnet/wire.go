@@ -27,6 +27,8 @@ const (
 	msgRecovery  byte = 5 // server -> monitor: recovery event
 	msgSubAck    byte = 6 // server -> monitor: subscription registered
 	msgTableLoad byte = 7 // server -> agent: preloaded failure-group table (§4.3)
+	msgVarzReq   byte = 8 // client -> server: request the metrics snapshot
+	msgVarz      byte = 9 // server -> client: text metrics snapshot
 )
 
 // maxFrame bounds frame sizes; control messages are tiny.

@@ -12,13 +12,13 @@ import (
 
 // Summary holds basic order statistics of a sample.
 type Summary struct {
-	N      int
-	Min    float64
-	Max    float64
-	Mean   float64
-	Median float64
-	P90    float64
-	P99    float64
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
 }
 
 // Summarize computes order statistics of xs. It returns a zero Summary for

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// TraceToFile attaches a JSONL sink writing to path on bus (Default when
+// nil) and returns a cleanup function that detaches the sink, flushes, and
+// closes the file. It is the implementation of the commands' -trace flag.
+func TraceToFile(bus *Bus, path string) (func() error, error) {
+	if bus == nil {
+		bus = Default
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	sink := NewJSONLSink(f)
+	bus.Attach(sink)
+	return func() error {
+		bus.Detach(sink)
+		if err := sink.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// EventsToLogf attaches a human-readable sink on bus (Default when nil) and
+// returns a detach function. It is the implementation of the commands'
+// -events flag.
+func EventsToLogf(bus *Bus, logf func(format string, args ...interface{})) func() {
+	if bus == nil {
+		bus = Default
+	}
+	sink := NewLogfSink(logf)
+	bus.Attach(sink)
+	return func() { bus.Detach(sink) }
+}

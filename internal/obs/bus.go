@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bus fans events out to attached sinks. All methods are safe for concurrent
+// use and safe on a nil *Bus (no-ops), so components can hold an optional
+// bus without guards.
+//
+// Sink delivery is serialized: Emit holds one mutex while invoking sinks, so
+// a sink never sees two events concurrently and events from concurrent
+// emitters arrive in a single total order (their Seq numbers). With no sink
+// attached, Emit is one atomic load and a branch — callers should still
+// guard event *construction* with Enabled() so the no-sink path allocates
+// nothing.
+type Bus struct {
+	sinks atomic.Pointer[[]Sink]
+	mu    sync.Mutex // serializes sink delivery and sink-list mutation
+
+	seq   atomic.Uint64 // event sequence numbers
+	spans atomic.Uint64 // span ID allocator
+	cur   atomic.Uint64 // active span (single-writer control planes)
+}
+
+// Default is the process-wide bus. sharebackup.New wires it into every
+// System it builds, so attaching a sink here (e.g. via the -trace flag of
+// the commands) observes all control planes without plumbing.
+var Default = &Bus{}
+
+// Enabled reports whether any sink is attached. Emit sites use it to skip
+// event construction entirely on the no-sink path.
+func (b *Bus) Enabled() bool {
+	if b == nil {
+		return false
+	}
+	s := b.sinks.Load()
+	return s != nil && len(*s) > 0
+}
+
+// Emit delivers the event to every attached sink, stamping its Seq. It is a
+// no-op (and allocation-free) when no sink is attached.
+func (b *Bus) Emit(ev Event) {
+	if b == nil {
+		return
+	}
+	s := b.sinks.Load()
+	if s == nil || len(*s) == 0 {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	b.mu.Lock()
+	// Reload under the lock: Detach may have run since the fast-path check.
+	if s := b.sinks.Load(); s != nil {
+		for _, sink := range *s {
+			sink.Event(ev)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Attach adds a sink. The same sink value can only be attached once; a
+// second Attach of it is a no-op.
+func (b *Bus) Attach(s Sink) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cur []Sink
+	if p := b.sinks.Load(); p != nil {
+		cur = *p
+	}
+	for _, have := range cur {
+		if have == s {
+			return
+		}
+	}
+	next := make([]Sink, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	b.sinks.Store(&next)
+}
+
+// Detach removes a previously attached sink.
+func (b *Bus) Detach(s Sink) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.sinks.Load()
+	if p == nil {
+		return
+	}
+	next := make([]Sink, 0, len(*p))
+	for _, have := range *p {
+		if have != s {
+			next = append(next, have)
+		}
+	}
+	b.sinks.Store(&next)
+}
+
+// BeginSpan allocates a recovery span ID and marks it active, so emitters
+// below the control plane (e.g. sbnet circuit reconfigurations) can tag
+// their events via ActiveSpan. Recoveries are serialized in both control
+// planes (the virtual-time controller is single-threaded; the TCP server
+// holds its mutex across recovery calls), so a single active-span slot
+// suffices; concurrent emitters outside a recovery simply read 0.
+func (b *Bus) BeginSpan() uint64 {
+	if b == nil {
+		return 0
+	}
+	id := b.spans.Add(1)
+	b.cur.Store(id)
+	return id
+}
+
+// EndSpan clears the active span.
+func (b *Bus) EndSpan() {
+	if b != nil {
+		b.cur.Store(0)
+	}
+}
+
+// ActiveSpan returns the span opened by the innermost BeginSpan, or 0.
+func (b *Bus) ActiveSpan() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.cur.Load()
+}
+
+// Logf emits a KindLog event carrying the formatted line. It is the
+// serialization point for ad-hoc diagnostics: concurrent callers are ordered
+// by the bus' sink lock. Formatting is skipped when no sink is attached.
+func (b *Bus) Logf(t time.Duration, wall bool, format string, args ...interface{}) {
+	if !b.Enabled() {
+		return
+	}
+	ev := NewEvent(KindLog, t)
+	ev.Wall = wall
+	ev.Detail = sprintf(format, args...)
+	b.Emit(ev)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Fatal("nil bus reports enabled")
+	}
+	b.Emit(NewEvent(KindLog, 0)) // must not panic
+	b.Attach(NewRing(4))
+	b.Detach(nil)
+	if id := b.BeginSpan(); id != 0 {
+		t.Fatalf("nil bus BeginSpan = %d, want 0", id)
+	}
+	b.EndSpan()
+	if b.ActiveSpan() != 0 {
+		t.Fatal("nil bus has active span")
+	}
+	b.Logf(0, false, "ignored %d", 1)
+}
+
+func TestEmitDeliversToAllSinksInOrder(t *testing.T) {
+	b := &Bus{}
+	if b.Enabled() {
+		t.Fatal("fresh bus reports enabled")
+	}
+	r1, r2 := NewRing(16), NewRing(16)
+	b.Attach(r1)
+	b.Attach(r2)
+	if !b.Enabled() {
+		t.Fatal("bus with sinks reports disabled")
+	}
+	for i := 0; i < 5; i++ {
+		ev := NewEvent(KindProbeMissed, time.Duration(i)*time.Millisecond)
+		ev.Switch = int32(i)
+		b.Emit(ev)
+	}
+	for _, r := range []*Ring{r1, r2} {
+		evs := r.Events()
+		if len(evs) != 5 {
+			t.Fatalf("ring got %d events, want 5", len(evs))
+		}
+		for i, ev := range evs {
+			if ev.Switch != int32(i) {
+				t.Fatalf("event %d has switch %d", i, ev.Switch)
+			}
+			if ev.Seq == 0 {
+				t.Fatalf("event %d has no sequence number", i)
+			}
+			if i > 0 && ev.Seq <= evs[i-1].Seq {
+				t.Fatalf("sequence numbers not increasing: %d then %d", evs[i-1].Seq, ev.Seq)
+			}
+		}
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	b := &Bus{}
+	r := NewRing(16)
+	b.Attach(r)
+	b.Emit(NewEvent(KindLog, 0))
+	b.Detach(r)
+	if b.Enabled() {
+		t.Fatal("bus still enabled after detaching only sink")
+	}
+	b.Emit(NewEvent(KindLog, 0))
+	if got := r.Total(); got != 1 {
+		t.Fatalf("ring saw %d events, want 1", got)
+	}
+}
+
+func TestAttachIsIdempotent(t *testing.T) {
+	b := &Bus{}
+	r := NewRing(16)
+	b.Attach(r)
+	b.Attach(r)
+	b.Emit(NewEvent(KindLog, 0))
+	if got := r.Total(); got != 1 {
+		t.Fatalf("double-attached ring saw %d events, want 1", got)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	b := &Bus{}
+	id := b.BeginSpan()
+	if id == 0 {
+		t.Fatal("BeginSpan returned 0")
+	}
+	if got := b.ActiveSpan(); got != id {
+		t.Fatalf("ActiveSpan = %d, want %d", got, id)
+	}
+	b.EndSpan()
+	if got := b.ActiveSpan(); got != 0 {
+		t.Fatalf("ActiveSpan after EndSpan = %d, want 0", got)
+	}
+	if id2 := b.BeginSpan(); id2 == id {
+		t.Fatal("span IDs not unique")
+	}
+}
+
+func TestLogfFormatsOnlyWhenEnabled(t *testing.T) {
+	b := &Bus{}
+	b.Logf(0, false, "dropped")
+	r := NewRing(4)
+	b.Attach(r)
+	b.Logf(time.Second, true, "hello %d", 7)
+	evs := r.Find(KindLog)
+	if len(evs) != 1 {
+		t.Fatalf("got %d log events, want 1", len(evs))
+	}
+	if evs[0].Detail != "hello 7" || !evs[0].Wall || evs[0].T != time.Second {
+		t.Fatalf("unexpected log event %+v", evs[0])
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		ev := NewEvent(KindLog, time.Duration(i))
+		ev.Count = int32(i)
+		r.Event(ev)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(evs))
+	}
+	for i, want := range []int32{2, 3, 4} {
+		if evs[i].Count != want {
+			t.Fatalf("ring[%d].Count = %d, want %d", i, evs[i].Count, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := NewEvent(KindRecoveryComplete, 730*time.Microsecond)
+	ev.Span = 3
+	ev.Switch = 12
+	ev.Backup = 15
+	ev.Detail = "node"
+	ev.Detection, ev.Report, ev.Reconfig = 500*time.Microsecond, 200*time.Microsecond, 30*time.Microsecond
+	ev.Total = ev.Detection + ev.Report + ev.Reconfig
+	s := ev.String()
+	for _, want := range []string{"recovery-complete", "span=3", "switch=12", "backup=15", "total=730µs", "node"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package obs is the control plane's observability subsystem: a typed event
+// bus with pluggable sinks (JSONL, human-readable log, in-memory ring), spans
+// that group events into per-recovery timelines with the Section 5.3 phase
+// breakdown (detection / report / reconfiguration / total), and an atomic
+// counter/gauge registry with a text ("varz") snapshot.
+//
+// The virtual-time controller, the TCP control plane, the link detectors,
+// and the physical network all emit through one Bus. Emission is
+// zero-allocation-cheap when no sink is attached: every emit site guards
+// event construction with Bus.Enabled(), which is a single atomic load.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the control-plane event taxonomy.
+type Kind uint8
+
+const (
+	// KindProbeMissed is one missed keep-alive/probe check (detect.Monitor).
+	KindProbeMissed Kind = iota
+	// KindFailureDeclared is a node or link declared failed (threshold
+	// crossed); Check names the first failing probe check when known.
+	KindFailureDeclared
+	// KindBackupAssigned is a backup switch chosen for a failed switch.
+	KindBackupAssigned
+	// KindCircuitReconfigured is one switch-replacement circuit
+	// reconfiguration (sbnet.ReplaceWith); Count is the number of circuit
+	// switches touched, Reconfig the parallel reconfiguration latency.
+	KindCircuitReconfigured
+	// KindTablesPreloaded is a failure-group table pushed to a switch
+	// agent (Section 4.3 hot-standby provisioning); Count is bytes.
+	KindTablesPreloaded
+	// KindRecoveryComplete closes a recovery span; it carries the full
+	// phase breakdown (Detection, Report, Reconfig, Total).
+	KindRecoveryComplete
+	// KindDiagnosisStarted opens an offline-diagnosis round; Count is the
+	// number of queued link-failure suspects.
+	KindDiagnosisStarted
+	// KindDiagnosisFinished closes a diagnosis round; Count is the number
+	// of exonerated switches.
+	KindDiagnosisFinished
+	// KindCircuitSwitchHalted is the Section 5.1 halt: a circuit switch
+	// exceeded the link-failure report threshold and recovery is suspended
+	// for human intervention.
+	KindCircuitSwitchHalted
+	// KindLog is a free-form diagnostic line (the ctlnet server routes its
+	// Logf output here so sinks serialize it).
+	KindLog
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"probe-missed",
+	"failure-declared",
+	"backup-assigned",
+	"circuit-reconfigured",
+	"tables-preloaded",
+	"recovery-complete",
+	"diagnosis-started",
+	"diagnosis-finished",
+	"circuit-switch-halted",
+	"log",
+}
+
+// String names the kind ("probe-missed", "recovery-complete", ...).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// None is the sentinel for "no switch / no port" in event fields.
+const None int32 = -1
+
+// Event is one control-plane event. Fields not meaningful for a kind are
+// left at their zero value (None for switch/port fields — use NewEvent).
+// Timestamps are durations since an epoch: the virtual clock's origin for
+// the simulated controller, or server start for the wall-clock control
+// plane (Wall reports which).
+type Event struct {
+	Kind Kind
+	// Seq is a bus-assigned monotonically increasing sequence number; it
+	// orders events from emitters that have no clock of their own.
+	Seq uint64
+	// T is the event timestamp since the epoch; negative means unknown
+	// (the emitter has no clock, e.g. sbnet circuit reconfigurations).
+	T    time.Duration
+	Wall bool
+	// Span groups the events of one recovery; 0 means no span.
+	Span uint64
+
+	Switch   int32 // subject switch ID (None when n/a)
+	Peer     int32 // link peer switch ID
+	Backup   int32 // chosen backup switch ID
+	Port     int32
+	PeerPort int32
+
+	// Count is a kind-specific cardinality: circuit switches touched,
+	// table bytes pushed, diagnosis suspects, exonerations.
+	Count int32
+	// Check names the first failing probe check (detect.CheckKind).
+	Check string
+	// Detail is free-form context: recovery kind ("node"/"link"), halt
+	// reason, log line.
+	Detail string
+
+	// Phase breakdown, set on KindRecoveryComplete (and Detection on
+	// KindFailureDeclared, Reconfig on KindCircuitReconfigured).
+	Detection time.Duration
+	Report    time.Duration
+	Reconfig  time.Duration
+	Total     time.Duration
+}
+
+// NewEvent returns an Event of the given kind at time t with all switch and
+// port fields set to None.
+func NewEvent(kind Kind, t time.Duration) Event {
+	return Event{Kind: kind, T: t, Switch: None, Peer: None, Backup: None, Port: None, PeerPort: None}
+}
+
+// String renders the event human-readably, one line.
+func (e Event) String() string {
+	var b strings.Builder
+	if e.T >= 0 {
+		fmt.Fprintf(&b, "[%12v] ", e.T)
+	} else {
+		b.WriteString("[           -] ")
+	}
+	b.WriteString(e.Kind.String())
+	if e.Span != 0 {
+		fmt.Fprintf(&b, " span=%d", e.Span)
+	}
+	if e.Switch != None {
+		fmt.Fprintf(&b, " switch=%d", e.Switch)
+	}
+	if e.Port != None {
+		fmt.Fprintf(&b, " port=%d", e.Port)
+	}
+	if e.Peer != None {
+		fmt.Fprintf(&b, " peer=%d", e.Peer)
+	}
+	if e.PeerPort != None {
+		fmt.Fprintf(&b, " peer_port=%d", e.PeerPort)
+	}
+	if e.Backup != None {
+		fmt.Fprintf(&b, " backup=%d", e.Backup)
+	}
+	if e.Count != 0 {
+		fmt.Fprintf(&b, " count=%d", e.Count)
+	}
+	if e.Check != "" {
+		fmt.Fprintf(&b, " check=%s", e.Check)
+	}
+	if e.Kind == KindRecoveryComplete {
+		fmt.Fprintf(&b, " detection=%v report=%v reconfig=%v total=%v",
+			e.Detection, e.Report, e.Reconfig, e.Total)
+	} else {
+		if e.Detection != 0 {
+			fmt.Fprintf(&b, " detection=%v", e.Detection)
+		}
+		if e.Reconfig != 0 {
+			fmt.Fprintf(&b, " reconfig=%v", e.Reconfig)
+		}
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// eventJSON is the stable JSONL wire form of an Event.
+type eventJSON struct {
+	Kind     string `json:"kind"`
+	Seq      uint64 `json:"seq,omitempty"`
+	TNs      int64  `json:"t_ns"`
+	Wall     bool   `json:"wall,omitempty"`
+	Span     uint64 `json:"span,omitempty"`
+	Switch   int32  `json:"switch"`
+	Peer     int32  `json:"peer"`
+	Backup   int32  `json:"backup"`
+	Port     int32  `json:"port"`
+	PeerPort int32  `json:"peer_port"`
+	Count    int32  `json:"count,omitempty"`
+	Check    string `json:"check,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	DetNs    int64  `json:"detection_ns,omitempty"`
+	RepNs    int64  `json:"report_ns,omitempty"`
+	RecNs    int64  `json:"reconfig_ns,omitempty"`
+	TotNs    int64  `json:"total_ns,omitempty"`
+}
+
+// MarshalJSON renders the event in the JSONL wire form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Kind: e.Kind.String(), Seq: e.Seq, TNs: int64(e.T), Wall: e.Wall, Span: e.Span,
+		Switch: e.Switch, Peer: e.Peer, Backup: e.Backup, Port: e.Port, PeerPort: e.PeerPort,
+		Count: e.Count, Check: e.Check, Detail: e.Detail,
+		DetNs: int64(e.Detection), RepNs: int64(e.Report), RecNs: int64(e.Reconfig), TotNs: int64(e.Total),
+	})
+}
+
+// UnmarshalJSON parses the JSONL wire form.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	kind, err := ParseKind(j.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{
+		Kind: kind, Seq: j.Seq, T: time.Duration(j.TNs), Wall: j.Wall, Span: j.Span,
+		Switch: j.Switch, Peer: j.Peer, Backup: j.Backup, Port: j.Port, PeerPort: j.PeerPort,
+		Count: j.Count, Check: j.Check, Detail: j.Detail,
+		Detection: time.Duration(j.DetNs), Report: time.Duration(j.RepNs),
+		Reconfig: time.Duration(j.RecNs), Total: time.Duration(j.TotNs),
+	}
+	return nil
+}

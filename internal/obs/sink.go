@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+func sprintf(format string, args ...interface{}) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// Sink receives events. The bus serializes calls: Event is never invoked
+// concurrently for sinks attached to the same bus.
+type Sink interface {
+	Event(Event)
+}
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// format sbtap summarizes. Encoding errors are remembered (first one wins)
+// and subsequent events dropped.
+type JSONLSink struct {
+	w   io.Writer
+	enc *json.Encoder
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewJSONLSink builds a sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err returns the first write/encode error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadJSONL decodes a JSONL event stream (as written by JSONLSink).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("obs: reading event %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// LogfSink renders each event human-readably through a printf-style
+// function (e.g. log.Printf or a test's t.Logf).
+type LogfSink struct {
+	logf func(format string, args ...interface{})
+}
+
+// NewLogfSink builds a sink over logf.
+func NewLogfSink(logf func(format string, args ...interface{})) *LogfSink {
+	return &LogfSink{logf: logf}
+}
+
+// Event implements Sink.
+func (s *LogfSink) Event(ev Event) { s.logf("%s", ev.String()) }
+
+// Ring is a fixed-capacity in-memory event buffer for tests: it keeps the
+// most recent Cap events.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	wrap  bool
+	total uint64
+}
+
+// NewRing builds a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Event implements Sink.
+func (r *Ring) Event(ev Event) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrap = true
+	}
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including evicted ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrap {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Find returns the buffered events of one kind, oldest first.
+func (r *Ring) Find(kind Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// emitRecovery pushes a minimal recovery span onto the bus.
+func emitRecovery(b *Bus, kind string, det, rep, rec time.Duration) {
+	span := b.BeginSpan()
+	fd := NewEvent(KindFailureDeclared, 0)
+	fd.Span = span
+	fd.Detection = det
+	b.Emit(fd)
+	cr := NewEvent(KindCircuitReconfigured, -1)
+	cr.Span = span
+	cr.Reconfig = rec
+	b.Emit(cr)
+	done := NewEvent(KindRecoveryComplete, det+rep+rec)
+	done.Span = span
+	done.Detail = kind
+	done.Detection, done.Report, done.Reconfig = det, rep, rec
+	done.Total = det + rep + rec
+	b.Emit(done)
+	b.EndSpan()
+}
+
+func TestSpanCollectorGroupsAndComputesBreakdown(t *testing.T) {
+	b := &Bus{}
+	c := NewSpanCollector()
+	b.Attach(c)
+
+	emitRecovery(b, "node", 3*time.Millisecond, 200*time.Microsecond, 70*time.Nanosecond)
+	emitRecovery(b, "link", time.Millisecond, 200*time.Microsecond, 40*time.Microsecond)
+
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if !sp.Complete {
+			t.Fatalf("span %d incomplete", sp.ID)
+		}
+		if len(sp.Events) != 3 {
+			t.Fatalf("span %d has %d events, want 3", sp.ID, len(sp.Events))
+		}
+		if sp.PhaseSum() != sp.Total {
+			t.Fatalf("span %d phases sum to %v, total %v", sp.ID, sp.PhaseSum(), sp.Total)
+		}
+	}
+	if spans[0].Kind != "node" || spans[1].Kind != "link" {
+		t.Fatalf("span kinds = %q, %q", spans[0].Kind, spans[1].Kind)
+	}
+
+	all := c.Breakdown("")
+	if all.N() != 2 {
+		t.Fatalf("breakdown N = %d, want 2", all.N())
+	}
+	nodes := c.Breakdown("node")
+	if nodes.N() != 1 {
+		t.Fatalf("node breakdown N = %d, want 1", nodes.N())
+	}
+	sums := nodes.Summaries()
+	if got, want := sums["detection"].Mean, 3000.0; got != want {
+		t.Fatalf("node detection mean = %v µs, want %v", got, want)
+	}
+	if got, want := sums["total"].Mean, 3200.07; got != want {
+		t.Fatalf("node total mean = %v µs, want %v", got, want)
+	}
+
+	tbl := all.Table("phase breakdown").String()
+	for _, phase := range PhaseNames {
+		if !strings.Contains(tbl, phase) {
+			t.Fatalf("breakdown table missing phase %q:\n%s", phase, tbl)
+		}
+	}
+}
+
+func TestSpanCollectorIgnoresSpanlessEvents(t *testing.T) {
+	c := NewSpanCollector()
+	c.Event(NewEvent(KindLog, 0)) // Span == 0
+	if len(c.Spans()) != 0 {
+		t.Fatal("spanless event created a span")
+	}
+}
+
+func TestAddEventsReplaysDecodedStream(t *testing.T) {
+	b := &Bus{}
+	ring := NewRing(64)
+	b.Attach(ring)
+	emitRecovery(b, "node", time.Millisecond, 200*time.Microsecond, 70*time.Nanosecond)
+
+	c := NewSpanCollector()
+	c.AddEvents(ring.Events())
+	spans := c.Spans()
+	if len(spans) != 1 || !spans[0].Complete {
+		t.Fatalf("replay produced %d spans (complete=%v)", len(spans), len(spans) == 1 && spans[0].Complete)
+	}
+}
+
+func TestKindCounts(t *testing.T) {
+	evs := []Event{
+		NewEvent(KindProbeMissed, 0),
+		NewEvent(KindProbeMissed, 0),
+		NewEvent(KindRecoveryComplete, 0),
+	}
+	tbl := KindCounts(evs).String()
+	if !strings.Contains(tbl, "probe-missed") || !strings.Contains(tbl, "recovery-complete") {
+		t.Fatalf("kind counts table missing kinds:\n%s", tbl)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"sharebackup/internal/circuit"
 	"sharebackup/internal/controller"
+	"sharebackup/internal/obs"
 	"sharebackup/internal/sbnet"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	Tech Technology
 	// Controller tunes the control plane; zero values take defaults.
 	Controller controller.Config
+	// Obs is the event bus the controller and network emit structured
+	// events on (see internal/obs). Defaults to obs.Default, the
+	// process-wide bus the commands' -trace/-events flags attach sinks
+	// to; emission costs one atomic load when no sink is attached.
+	Obs *obs.Bus
 }
 
 // System is a running ShareBackup deployment: the physical network plus its
@@ -81,9 +87,16 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	bus := cfg.Obs
+	if bus == nil {
+		bus = obs.Default
+	}
+	net.SetObserver(bus)
+	ctl := controller.New(net, cfg.Controller)
+	ctl.SetObserver(bus)
 	return &System{
 		Network:    net,
-		Controller: controller.New(net, cfg.Controller),
+		Controller: ctl,
 	}, nil
 }
 
