@@ -1,0 +1,219 @@
+package sharebackup
+
+import (
+	"time"
+
+	"sharebackup/internal/bench"
+	"sharebackup/internal/fluid"
+	"sharebackup/internal/metrics"
+	"sharebackup/internal/obs"
+	"sharebackup/internal/topo"
+)
+
+// This file is the benchmark harness shared by `sbexperiments -json` and the
+// `sbbench` trajectory gate: the control-plane recovery benchmark (Section
+// 5.3 phase latencies over many failovers) and the data-plane benchmark (an
+// all-to-all fluid workload with full telemetry). Both results convert to
+// the flat metric map internal/bench gates across commits.
+
+// RecoveryBenchResult is the machine-readable recovery benchmark output:
+// per-phase order statistics over many recoveries, per circuit technology
+// and recovery kind. All latencies are microseconds, the unit of the
+// paper's Section 5.3 budget.
+type RecoveryBenchResult struct {
+	Experiment string              `json:"experiment"`
+	K          int                 `json:"k"`
+	N          int                 `json:"n"`
+	Trials     int                 `json:"trials_per_kind"`
+	Techs      []RecoveryBenchTech `json:"techs"`
+}
+
+// RecoveryBenchTech is one circuit technology's phase breakdown.
+type RecoveryBenchTech struct {
+	Tech       string                       `json:"tech"`
+	Recoveries int                          `json:"recoveries"`
+	PhasesUS   map[string]metrics.Summary   `json:"phases_us"`
+	Kinds      map[string]RecoveryBenchKind `json:"kinds"`
+}
+
+// RecoveryBenchKind is the breakdown of one recovery kind ("node"/"link").
+type RecoveryBenchKind struct {
+	Recoveries int                        `json:"recoveries"`
+	PhasesUS   map[string]metrics.Summary `json:"phases_us"`
+}
+
+// RecoveryBench drives trials node and link failovers per circuit
+// technology, collecting their recovery spans on a private event bus.
+// Detection latency is varied by shifting the failure time against the last
+// heartbeat, as real failures land at arbitrary probe phases.
+func RecoveryBench(k, n, trials int) (*RecoveryBenchResult, error) {
+	if k == 0 {
+		k = 8
+	}
+	res := &RecoveryBenchResult{Experiment: "recovery-latency", K: k, N: n, Trials: trials}
+	for _, tech := range []Technology{Crosspoint, MEMS2D} {
+		bus := &obs.Bus{}
+		col := obs.NewSpanCollector()
+		bus.Attach(col)
+		for i := 0; i < trials; i++ {
+			pod := i % k
+			// Node failover: one agg switch per trial, failure time phased
+			// against its heartbeat.
+			sys, err := New(Config{K: k, N: n, Tech: tech, Obs: bus})
+			if err != nil {
+				return nil, err
+			}
+			probe := sys.Controller.Config().ProbeInterval
+			victim := sys.Network.AggGroup(pod).Slots()[i%(k/2)]
+			sys.Controller.Heartbeat(victim, 0)
+			at := probe + time.Duration(i%7)*probe/8
+			if _, err := sys.FailNode(victim, at); err != nil {
+				return nil, err
+			}
+			// Link failover: fresh system so every trial starts with a full
+			// backup pool.
+			sys, err = New(Config{K: k, N: n, Tech: tech, Obs: bus})
+			if err != nil {
+				return nil, err
+			}
+			// Edge slot 0's up-port k/2 reaches agg slot 0's down-port 0
+			// (rotation j=0) in every pod.
+			edge := sys.Network.EdgeGroup(pod).Slots()[0]
+			agg := sys.Network.AggGroup(pod).Slots()[0]
+			if _, err := sys.FailLink(
+				EndPoint{Switch: edge, Port: k / 2},
+				EndPoint{Switch: agg, Port: 0},
+				at,
+			); err != nil {
+				return nil, err
+			}
+		}
+		bt := RecoveryBenchTech{
+			Tech:     tech.String(),
+			PhasesUS: col.Breakdown("").Summaries(),
+			Kinds:    make(map[string]RecoveryBenchKind),
+		}
+		bt.Recoveries = col.Breakdown("").N()
+		for _, kind := range []string{"node", "link"} {
+			b := col.Breakdown(kind)
+			bt.Kinds[kind] = RecoveryBenchKind{Recoveries: b.N(), PhasesUS: b.Summaries()}
+		}
+		res.Techs = append(res.Techs, bt)
+	}
+	return res, nil
+}
+
+// GateMetrics flattens the result into the trajectory gate's metric map.
+// Recovery latencies are virtual-time deterministic, so the tolerance is
+// tight: any drift means the control-plane model changed.
+func (r *RecoveryBenchResult) GateMetrics() map[string]bench.Metric {
+	out := make(map[string]bench.Metric)
+	for _, t := range r.Techs {
+		total := t.PhasesUS["total"]
+		out["recovery."+t.Tech+".total_p50_us"] = bench.Metric{
+			Value: total.Median, Unit: "us", Better: "lower", Tolerance: 0.05,
+		}
+		out["recovery."+t.Tech+".total_p99_us"] = bench.Metric{
+			Value: total.P99, Unit: "us", Better: "lower", Tolerance: 0.05,
+		}
+	}
+	return out
+}
+
+// DataplaneBenchConfig tunes the data-plane benchmark.
+type DataplaneBenchConfig struct {
+	// K is the fat-tree parameter (default 8: one host per edge switch →
+	// 32 hosts, 992 flows all-to-all).
+	K int
+	// BytesPerFlow is the flow size (default 1e3, sized against the
+	// 40 B/s host links so all-to-all completes in simulated seconds).
+	BytesPerFlow float64
+}
+
+// DataplaneBenchResult is the machine-readable data-plane benchmark output.
+// Simulated quantities (FCT, rates, recompute count) are deterministic;
+// WallMS is host time and inherently noisy.
+type DataplaneBenchResult struct {
+	Experiment     string                `json:"experiment"`
+	K              int                   `json:"k"`
+	Flows          int                   `json:"flows"`
+	WallMS         float64               `json:"wall_ms"`
+	RateRecomputes int64                 `json:"rate_recomputes"`
+	FCTUS          obs.HistogramSnapshot `json:"fct_us"`
+	FlowRateBps    obs.HistogramSnapshot `json:"flow_rate_Bps"`
+	LinkUtilPm     obs.HistogramSnapshot `json:"link_util_permille"`
+}
+
+// DataplaneBench runs an all-to-all workload over the first ECMP path of
+// every host pair on a k fat-tree, with full telemetry into a private
+// registry, and reports the FCT/rate/utilization distributions.
+func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 8
+	}
+	if cfg.BytesPerFlow == 0 {
+		cfg.BytesPerFlow = 1e3
+	}
+	ft, err := topo.NewFatTree(topo.Config{K: cfg.K, HostsPerEdge: 1, HostCapacity: 40})
+	if err != nil {
+		return nil, err
+	}
+	tel := fluid.NewTelemetry(obs.NewRegistry())
+	sim := fluid.New(ft.Topology)
+	sim.SetTelemetry(tel)
+	n := ft.NumHosts()
+	id := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			paths, err := ft.ECMPPaths(s, d)
+			if err != nil {
+				return nil, err
+			}
+			arrival := float64(s%4) * 0.25
+			if err := sim.AddFlow(fluid.FlowID(id), cfg.BytesPerFlow, arrival, paths[(s+d)%len(paths)]); err != nil {
+				return nil, err
+			}
+			id++
+		}
+	}
+	start := time.Now()
+	if err := sim.RunToCompletion(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	sim.SampleUtilization()
+	return &DataplaneBenchResult{
+		Experiment:     "dataplane-fluid",
+		K:              cfg.K,
+		Flows:          id,
+		WallMS:         float64(wall.Nanoseconds()) / 1e6,
+		RateRecomputes: tel.RateRecomputes.Value(),
+		FCTUS:          tel.FCT.Snapshot(),
+		FlowRateBps:    tel.FlowRate.Snapshot(),
+		LinkUtilPm:     tel.LinkUtil.Snapshot(),
+	}, nil
+}
+
+// GateMetrics flattens the result into the trajectory gate's metric map.
+// The simulated distributions are deterministic (tight tolerance); the wall
+// clock gets a wide one so machine noise doesn't trip the gate, while a
+// genuine order-of-magnitude slowdown still does.
+func (r *DataplaneBenchResult) GateMetrics() map[string]bench.Metric {
+	return map[string]bench.Metric{
+		"dataplane.fct_p50_us": {
+			Value: float64(r.FCTUS.P50), Unit: "us", Better: "lower", Tolerance: 0.10,
+		},
+		"dataplane.fct_p99_us": {
+			Value: float64(r.FCTUS.P99), Unit: "us", Better: "lower", Tolerance: 0.10,
+		},
+		"dataplane.rate_recomputes": {
+			Value: float64(r.RateRecomputes), Better: "lower", Tolerance: 0.10,
+		},
+		"dataplane.wall_ms": {
+			Value: r.WallMS, Unit: "ms", Better: "lower", Tolerance: 2.0,
+		},
+	}
+}

@@ -1,0 +1,131 @@
+// Command sbbench is the benchmark trajectory gate: it runs the repo's
+// benchmark suite (control-plane recovery latency, data-plane fluid
+// simulation), stamps the results with provenance (git SHA, UTC timestamp,
+// toolchain, host), compares them against the committed BENCH_*.json files
+// from the previous run, and exits non-zero when a metric regressed beyond
+// its tolerance — so performance changes are a visible diff, never silent
+// drift.
+//
+// Usage:
+//
+//	sbbench                          # run both benches, gate, update files
+//	sbbench -no-write                # gate only, leave BENCH_*.json alone
+//	sbbench -recovery "" -k 8        # data-plane bench only
+//	sbbench -tolerance 0.25          # override the default gate threshold
+//
+// Exit status: 0 clean, 1 regression detected, 2 benchmark failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sharebackup"
+	"sharebackup/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sbbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		recoveryPath  = fs.String("recovery", "BENCH_recovery.json", "recovery benchmark trajectory file (empty skips)")
+		dataplanePath = fs.String("dataplane", "BENCH_dataplane.json", "data-plane benchmark trajectory file (empty skips)")
+		k             = fs.Int("k", 8, "fat-tree parameter")
+		n             = fs.Int("n", 1, "backup switches per failure group")
+		trials        = fs.Int("trials", 32, "failovers per kind for the recovery benchmark")
+		tolerance     = fs.Float64("tolerance", 0.10, "default allowed relative regression for metrics without their own tolerance")
+		noWrite       = fs.Bool("no-write", false, "gate against the prior files without updating them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	meta := bench.Stamp()
+	fmt.Fprintf(stdout, "sbbench: %s %s/%s sha=%s\n", meta.GoVersion, meta.GOOS, meta.GOARCH, short(meta.GitSHA))
+
+	status := 0
+	gate := func(path, name string, make func() (*bench.File, string, error)) {
+		if path == "" || status == 2 {
+			return
+		}
+		file, summary, err := make()
+		if err != nil {
+			fmt.Fprintf(stderr, "sbbench: %s: %v\n", name, err)
+			status = 2
+			return
+		}
+		file.Meta = meta
+		regs, err := bench.Compare(path, file, *tolerance)
+		if err != nil {
+			fmt.Fprintf(stderr, "sbbench: %s: comparing against %s: %v\n", name, path, err)
+			status = 2
+			return
+		}
+		fmt.Fprintf(stdout, "%s: %s\n", name, summary)
+		if len(regs) == 0 {
+			fmt.Fprintf(stdout, "%s: no regressions against %s\n", name, path)
+		} else {
+			status = 1
+			fmt.Fprintf(stdout, "%s: %d REGRESSION(S) against %s:\n", name, len(regs), path)
+			for _, r := range regs {
+				fmt.Fprintf(stdout, "  %s\n", r)
+			}
+		}
+		if !*noWrite {
+			if err := bench.Write(path, file); err != nil {
+				fmt.Fprintf(stderr, "sbbench: %s: %v\n", name, err)
+				status = 2
+				return
+			}
+			fmt.Fprintf(stdout, "%s: wrote %s\n", name, path)
+		}
+	}
+
+	gate(*recoveryPath, "recovery", func() (*bench.File, string, error) {
+		res, err := sharebackup.RecoveryBench(*k, *n, *trials)
+		if err != nil {
+			return nil, "", err
+		}
+		f := &bench.File{Metrics: res.GateMetrics()}
+		if err := f.SetDetail(res); err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("%d techs, %d recoveries each", len(res.Techs), res.Techs[0].Recoveries), nil
+	})
+	gate(*dataplanePath, "dataplane", func() (*bench.File, string, error) {
+		res, err := sharebackup.DataplaneBench(sharebackup.DataplaneBenchConfig{K: *k})
+		if err != nil {
+			return nil, "", err
+		}
+		f := &bench.File{Metrics: res.GateMetrics()}
+		if err := f.SetDetail(res); err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("%d flows, fct p50=%dµs p99=%dµs, wall %.0fms",
+			res.Flows, res.FCTUS.P50, res.FCTUS.P99, res.WallMS), nil
+	})
+
+	switch status {
+	case 0:
+		fmt.Fprintln(stdout, "sbbench: ok")
+	case 1:
+		fmt.Fprintln(stdout, "sbbench: FAIL — benchmark trajectory regressed")
+	}
+	return status
+}
+
+func short(sha string) string {
+	if sha == "" {
+		return "?"
+	}
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

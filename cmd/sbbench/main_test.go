@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharebackup/internal/bench"
+)
+
+// runGate invokes the CLI entry point with a laptop-scale configuration.
+func runGate(t *testing.T, dir string, extra ...string) (int, string) {
+	t.Helper()
+	args := append([]string{
+		"-recovery", filepath.Join(dir, "BENCH_recovery.json"),
+		"-dataplane", filepath.Join(dir, "BENCH_dataplane.json"),
+		"-k", "4", "-trials", "2",
+	}, extra...)
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestTrajectoryGate(t *testing.T) {
+	dir := t.TempDir()
+
+	// First run: no baseline, must pass and write both files.
+	code, out := runGate(t, dir)
+	if code != 0 {
+		t.Fatalf("first run exit=%d:\n%s", code, out)
+	}
+	recPath := filepath.Join(dir, "BENCH_recovery.json")
+	rec, err := bench.Read(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Meta.TimestampUTC == "" || rec.Meta.GoVersion == "" {
+		t.Fatalf("BENCH file not stamped: %+v", rec.Meta)
+	}
+	if len(rec.Metrics) == 0 || len(rec.Detail) == 0 {
+		t.Fatalf("BENCH file missing metrics/detail: %+v", rec)
+	}
+	if _, err := bench.Read(filepath.Join(dir, "BENCH_dataplane.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second run against its own output: recovery latencies are
+	// deterministic, so the gate stays green.
+	code, out = runGate(t, dir, "-no-write")
+	if code != 0 {
+		t.Fatalf("steady-state run exit=%d:\n%s", code, out)
+	}
+
+	// Inject a regression: pretend the baseline was twice as fast as what
+	// the benchmark will measure. The gate must exit 1.
+	for name, m := range rec.Metrics {
+		m.Value /= 2
+		rec.Metrics[name] = m
+	}
+	if err := bench.Write(recPath, rec); err != nil {
+		t.Fatal(err)
+	}
+	code, out = runGate(t, dir, "-no-write")
+	if code != 1 {
+		t.Fatalf("injected regression exit=%d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", out)
+	}
+}
+
+func TestBenchFailureExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	// k must be even and >= 4; k=3 makes the harness fail.
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-recovery", filepath.Join(dir, "r.json"),
+		"-dataplane", "",
+		"-k", "3", "-trials", "1",
+	}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit=%d, want 2\n%s%s", code, out.String(), errb.String())
+	}
+}

@@ -22,21 +22,32 @@ import (
 	"sharebackup"
 	"sharebackup/internal/emu"
 	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/debughttp"
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
 )
 
 func main() {
 	var (
-		k        = flag.Int("k", 6, "fat-tree parameter")
-		n        = flag.Int("n", 1, "backup switches per failure group")
-		srcStr   = flag.String("src", "0/0/0", "source host as pod/rack/pos")
-		dstStr   = flag.String("dst", "1/0/0", "destination host as pod/rack/pos")
-		failPath = flag.Bool("fail-path", false, "fail every switch on the path, recover, and re-trace")
-		trace    = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
-		events   = flag.Bool("events", false, "log structured events human-readably to stderr")
+		k         = flag.Int("k", 6, "fat-tree parameter")
+		n         = flag.Int("n", 1, "backup switches per failure group")
+		srcStr    = flag.String("src", "0/0/0", "source host as pod/rack/pos")
+		dstStr    = flag.String("dst", "1/0/0", "destination host as pod/rack/pos")
+		failPath  = flag.Bool("fail-path", false, "fail every switch on the path, recover, and re-trace")
+		trace     = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
+		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := debughttp.Start(*debugAddr, debughttp.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sbemu: debug server at http://%s/\n", srv.Addr())
+	}
 
 	if *trace != "" {
 		done, err := obs.TraceToFile(nil, *trace)
@@ -64,7 +75,7 @@ func main() {
 		fatal(err)
 	}
 
-	sys, err := sharebackup.New(sharebackup.Config{K: *k, N: *n})
+	sys, err := sharebackup.New(sharebackup.Config{K: *k, N: *n, Metrics: obs.DefaultRegistry})
 	if err != nil {
 		fatal(err)
 	}

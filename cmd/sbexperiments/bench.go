@@ -1,110 +1,26 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"time"
 
 	"sharebackup"
-	"sharebackup/internal/metrics"
-	"sharebackup/internal/obs"
+	"sharebackup/internal/bench"
 )
 
-// benchResult is the machine-readable benchmark output (BENCH_recovery.json):
-// per-phase order statistics over many recoveries, per circuit technology and
-// recovery kind. All latencies are microseconds, the unit of the paper's
-// Section 5.3 budget.
-type benchResult struct {
-	Experiment string      `json:"experiment"`
-	K          int         `json:"k"`
-	N          int         `json:"n"`
-	Trials     int         `json:"trials_per_kind"`
-	Techs      []benchTech `json:"techs"`
-}
-
-type benchTech struct {
-	Tech       string                        `json:"tech"`
-	Recoveries int                           `json:"recoveries"`
-	PhasesUS   map[string]metrics.Summary    `json:"phases_us"`
-	Kinds      map[string]benchKindBreakdown `json:"kinds"`
-}
-
-type benchKindBreakdown struct {
-	Recoveries int                        `json:"recoveries"`
-	PhasesUS   map[string]metrics.Summary `json:"phases_us"`
-}
-
-// runBenchJSON drives many node and link failovers per circuit technology,
-// collects their recovery spans on a private event bus, and writes the phase
-// breakdown percentiles to path. Detection latency is varied by shifting the
-// failure time against the last heartbeat, as real failures land at arbitrary
-// probe phases.
+// runBenchJSON drives the shared recovery benchmark harness and writes the
+// phase breakdown percentiles to path, stamped with provenance (git SHA,
+// timestamp, toolchain) and the flat metric map the sbbench trajectory gate
+// compares across commits.
 func runBenchJSON(k, n, trials int, path string) error {
-	if k == 0 {
-		k = 8
-	}
-	res := benchResult{Experiment: "recovery-latency", K: k, N: n, Trials: trials}
-	for _, tech := range []sharebackup.Technology{sharebackup.Crosspoint, sharebackup.MEMS2D} {
-		bus := &obs.Bus{}
-		col := obs.NewSpanCollector()
-		bus.Attach(col)
-		for i := 0; i < trials; i++ {
-			pod := i % k
-			// Node failover: one agg switch per trial, failure time phased
-			// against its heartbeat.
-			sys, err := sharebackup.New(sharebackup.Config{K: k, N: n, Tech: tech, Obs: bus})
-			if err != nil {
-				return err
-			}
-			probe := sys.Controller.Config().ProbeInterval
-			victim := sys.Network.AggGroup(pod).Slots()[i%(k/2)]
-			sys.Controller.Heartbeat(victim, 0)
-			at := probe + time.Duration(i%7)*probe/8
-			if _, err := sys.FailNode(victim, at); err != nil {
-				return err
-			}
-			// Link failover: fresh system so every trial starts with a full
-			// backup pool.
-			sys, err = sharebackup.New(sharebackup.Config{K: k, N: n, Tech: tech, Obs: bus})
-			if err != nil {
-				return err
-			}
-			// Edge slot 0's up-port k/2 reaches agg slot 0's down-port 0
-			// (rotation j=0) in every pod.
-			edge := sys.Network.EdgeGroup(pod).Slots()[0]
-			agg := sys.Network.AggGroup(pod).Slots()[0]
-			if _, err := sys.FailLink(
-				sharebackup.EndPoint{Switch: edge, Port: k / 2},
-				sharebackup.EndPoint{Switch: agg, Port: 0},
-				at,
-			); err != nil {
-				return err
-			}
-		}
-		bt := benchTech{
-			Tech:     tech.String(),
-			PhasesUS: col.Breakdown("").Summaries(),
-			Kinds:    make(map[string]benchKindBreakdown),
-		}
-		bt.Recoveries = col.Breakdown("").N()
-		for _, kind := range []string{"node", "link"} {
-			b := col.Breakdown(kind)
-			bt.Kinds[kind] = benchKindBreakdown{Recoveries: b.N(), PhasesUS: b.Summaries()}
-		}
-		res.Techs = append(res.Techs, bt)
-	}
-	f, err := os.Create(path)
+	res, err := sharebackup.RecoveryBench(k, n, trials)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&res); err != nil {
-		f.Close()
+	file := &bench.File{Meta: bench.Stamp(), Metrics: res.GateMetrics()}
+	if err := file.SetDetail(res); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err := bench.Write(path, file); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d techs, %d recoveries each)\n", path, len(res.Techs), res.Techs[0].Recoveries)

@@ -24,23 +24,39 @@ import (
 	"strings"
 
 	"sharebackup"
+	"sharebackup/internal/fluid"
 	"sharebackup/internal/metrics"
 	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/debughttp"
 )
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run (all, fig1a, fig1b, fig1c, table2, table3, fig5, capacity, latency, tablesize)")
-		k        = flag.Int("k", 0, "fat-tree parameter override (0 = experiment default)")
-		n        = flag.Int("n", 1, "backup switches per failure group")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		full     = flag.Bool("full", false, "run paper-scale configurations (slower)")
-		trace    = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
-		events   = flag.Bool("events", false, "log structured events human-readably to stderr")
-		jsonPath = flag.String("json", "", "run the recovery benchmark and write phase percentiles to this file (e.g. BENCH_recovery.json)")
-		trials   = flag.Int("trials", 32, "failovers per kind for the -json benchmark")
+		run       = flag.String("run", "all", "experiment to run (all, fig1a, fig1b, fig1c, table2, table3, fig5, capacity, latency, tablesize)")
+		k         = flag.Int("k", 0, "fat-tree parameter override (0 = experiment default)")
+		n         = flag.Int("n", 1, "backup switches per failure group")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		full      = flag.Bool("full", false, "run paper-scale configurations (slower)")
+		trace     = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
+		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
+		jsonPath  = flag.String("json", "", "run the recovery benchmark and write phase percentiles to this file (e.g. BENCH_recovery.json)")
+		trials    = flag.Int("trials", 32, "failovers per kind for the -json benchmark")
+		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Every fluid.Simulator the experiments build from here on samples
+		// data-plane telemetry into the registry /varz serves.
+		fluid.SetDefaultTelemetry(fluid.NewTelemetry(obs.DefaultRegistry))
+		srv, err := debughttp.Start(*debugAddr, debughttp.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbexperiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sbexperiments: debug server at http://%s/\n", srv.Addr())
+	}
 
 	if *trace != "" {
 		done, err := obs.TraceToFile(nil, *trace)

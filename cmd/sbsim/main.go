@@ -23,8 +23,10 @@ import (
 
 	"sharebackup"
 	"sharebackup/internal/coflow"
+	"sharebackup/internal/fluid"
 	"sharebackup/internal/metrics"
 	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/debughttp"
 )
 
 func main() {
@@ -42,8 +44,21 @@ func main() {
 		windows   = flag.Int("windows", 1, "number of trace windows; scenarios spread round-robin (cct study)")
 		traceOut  = flag.String("trace-out", "", "write structured events as JSONL to this file (summarize with sbtap)")
 		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Every fluid.Simulator the studies build from here on samples
+		// data-plane telemetry into the registry /varz serves.
+		fluid.SetDefaultTelemetry(fluid.NewTelemetry(obs.DefaultRegistry))
+		srv, err := debughttp.Start(*debugAddr, debughttp.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sbsim: debug server at http://%s/\n", srv.Addr())
+	}
 
 	if *traceOut != "" {
 		done, err := obs.TraceToFile(nil, *traceOut)

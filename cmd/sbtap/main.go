@@ -8,6 +8,7 @@
 //
 //	sbtap trace.jsonl            # summarize
 //	sbtap -spans trace.jsonl     # also list each recovery span
+//	sbtap -hist trace.jsonl      # phase-latency histograms with quantiles
 //	sbtap -f trace.jsonl         # follow: render events as they are appended
 //	sbemu -fail-path -trace /dev/stdout | sbtap
 package main
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"sharebackup/internal/obs"
@@ -29,6 +31,7 @@ func main() {
 	var (
 		follow = flag.Bool("f", false, "follow the file: render events human-readably as they are appended")
 		spans  = flag.Bool("spans", false, "list every recovery span with its phase breakdown")
+		hist   = flag.Bool("hist", false, "render recovery phase latencies as bucketed histograms with p50/p90/p99")
 	)
 	flag.Parse()
 
@@ -64,6 +67,14 @@ func main() {
 		return
 	}
 	fmt.Print(obs.KindCounts(evs).String())
+	if lost, gaps := seqLoss(evs); lost > 0 {
+		fmt.Printf("WARNING: %d events missing from the stream (%d sequence gaps) — a bounded sink dropped them (see obs.ring_dropped_events on /varz)\n",
+			lost, gaps)
+	}
+
+	if *hist {
+		fmt.Print(phaseHistograms(evs))
+	}
 
 	col := obs.NewSpanCollector()
 	col.AddEvents(evs)
@@ -88,6 +99,72 @@ func main() {
 				sp.ID, sp.Kind, status, sp.Detection, sp.Report, sp.Reconfig, sp.Total, len(sp.Events))
 		}
 	}
+}
+
+// seqLoss detects event loss from holes in the bus-assigned sequence
+// numbers: a JSONL file written through a bounded sink (a full ring, a slow
+// /events client) silently misses events, but their Seqs never lie. Returns
+// the number of missing events and the number of distinct gaps. Traces from
+// buses that predate Seq assignment (all-zero) report no loss.
+func seqLoss(evs []obs.Event) (lost, gaps int) {
+	var seqs []uint64
+	for _, ev := range evs {
+		if ev.Seq != 0 {
+			seqs = append(seqs, ev.Seq)
+		}
+	}
+	if len(seqs) < 2 {
+		return 0, 0
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i := 1; i < len(seqs); i++ {
+		if d := seqs[i] - seqs[i-1]; d > 1 {
+			lost += int(d - 1)
+			gaps++
+		}
+	}
+	return lost, gaps
+}
+
+// phaseHistograms aggregates the recovery phase latencies (and individual
+// circuit reconfigurations) into log-bucketed histograms — the offline twin
+// of the /varz quantiles, computed from a trace file instead of a live
+// registry.
+func phaseHistograms(evs []obs.Event) string {
+	phases := []struct {
+		name string
+		get  func(obs.Event) time.Duration
+	}{
+		{"detection", func(e obs.Event) time.Duration { return e.Detection }},
+		{"report", func(e obs.Event) time.Duration { return e.Report }},
+		{"reconfig", func(e obs.Event) time.Duration { return e.Reconfig }},
+		{"total", func(e obs.Event) time.Duration { return e.Total }},
+	}
+	var out bytes.Buffer
+	for _, ph := range phases {
+		h := &obs.Histogram{}
+		for _, ev := range evs {
+			if ev.Kind == obs.KindRecoveryComplete {
+				h.Record(ph.get(ev).Nanoseconds())
+			}
+		}
+		if h.Count() > 0 {
+			out.WriteString(h.Snapshot().Render("recovery "+ph.name+" latency (ns)", 40))
+		}
+	}
+	h := &obs.Histogram{}
+	for _, ev := range evs {
+		if ev.Kind == obs.KindCircuitReconfigured {
+			h.Record(ev.Reconfig.Nanoseconds())
+		}
+	}
+	if h.Count() > 0 {
+		out.WriteString(h.Snapshot().Render("per-circuit reconfiguration latency (ns)", 40))
+	}
+	if out.Len() == 0 {
+		return "no recovery events to histogram\n"
+	}
+	return out.String()
 }
 
 // tail renders events as they arrive, polling past EOF so a live trace file

@@ -1,0 +1,167 @@
+// Package bench is the benchmark trajectory gate: it stamps benchmark
+// results with their provenance (git SHA, timestamp, toolchain, host),
+// persists them as a JSON file (conventionally BENCH_*.json, committed to
+// the repo), and compares a fresh run against the prior file so a
+// performance regression fails loudly instead of silently drifting across
+// commits.
+//
+// The file format separates the gated surface from the raw data: Metrics is
+// a flat name → {value, unit, better, tolerance} map the gate understands,
+// Detail carries the full benchmark-specific structure for humans and
+// plotting.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Meta records where and when a benchmark ran.
+type Meta struct {
+	GitSHA       string `json:"git_sha,omitempty"`
+	Dirty        bool   `json:"git_dirty,omitempty"`
+	TimestampUTC string `json:"timestamp_utc"`
+	GoVersion    string `json:"go_version"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	Host         string `json:"host,omitempty"`
+}
+
+// Stamp collects the current provenance. The git fields are best-effort:
+// outside a work tree (or without a git binary) they stay empty rather than
+// failing the benchmark.
+func Stamp() Meta {
+	m := Meta{
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Host = host
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.GitSHA = strings.TrimSpace(string(out))
+		if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+			m.Dirty = len(strings.TrimSpace(string(st))) > 0
+		}
+	}
+	return m
+}
+
+// Metric is one gated number.
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+	// Better is the improvement direction: "lower" (default) or "higher".
+	Better string `json:"better,omitempty"`
+	// Tolerance is the allowed relative change in the worse direction
+	// before the gate trips (0.1 = 10%). 0 falls back to the gate's
+	// default.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// File is one persisted benchmark run.
+type File struct {
+	Meta    Meta              `json:"meta"`
+	Metrics map[string]Metric `json:"metrics"`
+	Detail  json.RawMessage   `json:"detail,omitempty"`
+}
+
+// SetDetail marshals v into the Detail field.
+func (f *File) SetDetail(v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding detail: %w", err)
+	}
+	f.Detail = data
+	return nil
+}
+
+// Read loads a persisted run.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write persists f as indented JSON.
+func Write(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one metric that got worse beyond its tolerance.
+type Regression struct {
+	Name      string
+	Old, New  float64
+	Unit      string
+	Change    float64 // relative change in the worse direction, e.g. 0.3 = 30% worse
+	Tolerance float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %g -> %g %s (%+.1f%% worse, tolerance %.1f%%)",
+		r.Name, r.Old, r.New, r.Unit, 100*r.Change, 100*r.Tolerance)
+}
+
+// Gate compares a fresh run against the prior one and returns every metric
+// that regressed beyond its tolerance (the prior file's Tolerance when set,
+// else defaultTol). Metrics present on only one side are ignored: adding a
+// benchmark must not fail the gate, and removing one is a code-review
+// matter, not a perf regression. Old values of zero are skipped (no
+// meaningful relative change).
+func Gate(old, cur *File, defaultTol float64) []Regression {
+	var regs []Regression
+	for name, o := range old.Metrics {
+		n, ok := cur.Metrics[name]
+		if !ok || o.Value == 0 {
+			continue
+		}
+		tol := o.Tolerance
+		if tol == 0 {
+			tol = defaultTol
+		}
+		// Relative change in the worse direction.
+		change := (n.Value - o.Value) / o.Value
+		if o.Better == "higher" {
+			change = -change
+		}
+		if change > tol {
+			regs = append(regs, Regression{
+				Name: name, Old: o.Value, New: n.Value, Unit: o.Unit,
+				Change: change, Tolerance: tol,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// Compare runs the gate against the persisted prior run at path. A missing
+// prior file is a first run, not a regression: it returns (nil, nil).
+func Compare(path string, cur *File, defaultTol float64) ([]Regression, error) {
+	old, err := Read(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Gate(old, cur, defaultTol), nil
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func file(metrics map[string]Metric) *File {
+	return &File{Meta: Stamp(), Metrics: metrics}
+}
+
+func TestStamp(t *testing.T) {
+	m := Stamp()
+	if m.TimestampUTC == "" || m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" {
+		t.Fatalf("incomplete stamp: %+v", m)
+	}
+}
+
+func TestGateNoRegression(t *testing.T) {
+	old := file(map[string]Metric{
+		"fct_p99_us": {Value: 100, Unit: "us"},
+		"throughput": {Value: 50, Better: "higher"},
+	})
+	cur := file(map[string]Metric{
+		"fct_p99_us": {Value: 105, Unit: "us"}, // 5% worse, under 10% tolerance
+		"throughput": {Value: 60, Better: "higher"},
+	})
+	if regs := Gate(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestGateInjectedRegression(t *testing.T) {
+	old := file(map[string]Metric{
+		"fct_p99_us": {Value: 100, Unit: "us"},
+		"throughput": {Value: 50, Better: "higher"},
+	})
+	cur := file(map[string]Metric{
+		"fct_p99_us": {Value: 130, Unit: "us"}, // 30% worse
+		"throughput": {Value: 30, Better: "higher"},
+	})
+	regs := Gate(old, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	// Sorted by name.
+	if regs[0].Name != "fct_p99_us" || regs[1].Name != "throughput" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if regs[0].Change < 0.29 || regs[0].Change > 0.31 {
+		t.Fatalf("fct change = %v, want ≈0.30", regs[0].Change)
+	}
+	// "higher is better" dropping 50 -> 30 is a 40% regression.
+	if regs[1].Change < 0.39 || regs[1].Change > 0.41 {
+		t.Fatalf("throughput change = %v, want ≈0.40", regs[1].Change)
+	}
+	if !strings.Contains(regs[0].String(), "fct_p99_us") {
+		t.Fatalf("unhelpful regression string: %q", regs[0])
+	}
+}
+
+func TestGatePerMetricTolerance(t *testing.T) {
+	old := file(map[string]Metric{
+		"noisy": {Value: 100, Tolerance: 0.5},
+	})
+	cur := file(map[string]Metric{"noisy": {Value: 140}})
+	if regs := Gate(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("per-metric tolerance not honoured: %v", regs)
+	}
+	cur.Metrics["noisy"] = Metric{Value: 160}
+	if regs := Gate(old, cur, 0.10); len(regs) != 1 {
+		t.Fatalf("60%% change should trip 50%% tolerance: %v", regs)
+	}
+}
+
+func TestGateIgnoresNewAndRemovedMetrics(t *testing.T) {
+	old := file(map[string]Metric{"gone": {Value: 10}, "zero": {Value: 0}})
+	cur := file(map[string]Metric{"new": {Value: 99}, "zero": {Value: 5}})
+	if regs := Gate(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("metric set changes flagged as regressions: %v", regs)
+	}
+}
+
+func TestReadWriteRoundTripAndCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+
+	// First run: no prior file, no regressions.
+	cur := file(map[string]Metric{"total_p99_us": {Value: 3200, Unit: "us"}})
+	if err := cur.SetDetail(map[string]int{"trials": 32}); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := Compare(path, cur, 0.10)
+	if err != nil || regs != nil {
+		t.Fatalf("first run: regs=%v err=%v", regs, err)
+	}
+	if err := Write(path, cur); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics["total_p99_us"].Value != 3200 || got.Meta.GoVersion != cur.Meta.GoVersion {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	var detail map[string]int
+	if err := json.Unmarshal(got.Detail, &detail); err != nil || detail["trials"] != 32 {
+		t.Fatalf("detail round trip: %v %v", detail, err)
+	}
+
+	// Second run regresses 50%: the gate must trip.
+	next := file(map[string]Metric{"total_p99_us": {Value: 4800, Unit: "us"}})
+	regs, err = Compare(path, next, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "total_p99_us" {
+		t.Fatalf("gate missed the injected regression: %v", regs)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := Write(path, file(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file did not error from Read")
+	}
+}

@@ -41,6 +41,12 @@ type Config struct {
 	// CSReportWindow is the sliding window for CSReportThreshold.
 	// Default 1 s.
 	CSReportWindow time.Duration
+	// Metrics is the registry the controller resolves its counters and
+	// gauges in. Nil keeps the historical behaviour — a private fresh
+	// registry per controller (test isolation). Commands pass
+	// obs.DefaultRegistry so controller metrics surface on the -debug-addr
+	// /varz endpoint alongside fluid telemetry.
+	Metrics *obs.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -137,13 +143,17 @@ type LinkSuspects struct {
 // New builds a controller over net.
 func New(net *sbnet.Network, cfg Config) *Controller {
 	cfg.setDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	c := &Controller{
 		net:          net,
 		cfg:          cfg,
 		lastSeen:     make(map[sbnet.SwitchID]time.Duration),
 		csReports:    make(map[csKey][]time.Duration),
 		flaggedHosts: make(map[int]bool),
-		reg:          obs.NewRegistry(),
+		reg:          reg,
 	}
 	c.mFailovers = c.reg.Counter("controller.failovers")
 	c.mLinkRecoveries = c.reg.Counter("controller.link_recoveries")

@@ -1,0 +1,62 @@
+package fluid
+
+import (
+	"testing"
+
+	"sharebackup/internal/obs"
+	"sharebackup/internal/topo"
+)
+
+// benchWorkload builds an all-to-all workload on a k=8 fat-tree (992 flows
+// over first ECMP paths) and runs it to completion — arrivals, progressive
+// filling, completions, the full hot path. The three variants pin the
+// telemetry overhead contract: detached telemetry must be free (one nil
+// check per event), attached telemetry must stay within a few percent.
+//
+//	go test -bench BenchmarkSimTelemetry ./internal/fluid
+func benchWorkload(b *testing.B, tel *Telemetry) {
+	ft, err := topo.NewFatTree(topo.Config{K: 8, HostsPerEdge: 1, HostCapacity: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ft.NumHosts()
+	type work struct {
+		path    topo.Path
+		arrival float64
+	}
+	var flows []work
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			paths, err := ft.ECMPPaths(s, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flows = append(flows, work{path: paths[(s+d)%len(paths)], arrival: float64(s%4) * 0.25})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := New(ft.Topology)
+		sim.SetTelemetry(tel)
+		for j, f := range flows {
+			if err := sim.AddFlow(FlowID(j), 1e3, f.arrival, f.path); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sim.RunToCompletion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTelemetryOff is the baseline: no telemetry attached.
+func BenchmarkSimTelemetryOff(b *testing.B) { benchWorkload(b, nil) }
+
+// BenchmarkSimTelemetryOn runs the same workload with live telemetry
+// recording into a registry — compare against ...Off for the ≤5% contract.
+func BenchmarkSimTelemetryOn(b *testing.B) {
+	benchWorkload(b, NewTelemetry(obs.NewRegistry()))
+}

@@ -63,19 +63,26 @@ type Simulator struct {
 	ratesDirty bool
 	linkIdx    []int32 // scratch: link ID -> engaged-link index, reused across recomputes
 
+	// tel, when non-nil, receives data-plane samples (flow lifecycle,
+	// FCT/rate histograms). Every hook site is a single nil check when
+	// telemetry is off, keeping the simulator benchmark-clean.
+	tel *Telemetry
+
 	// OnComplete, if set, is invoked when a flow finishes, with the
 	// simulator already advanced to the finish time.
 	OnComplete func(*Flow)
 }
 
 // New creates a simulator over t. Link capacities are taken from the
-// topology (bytes per second).
+// topology (bytes per second). The simulator samples into the process-wide
+// default telemetry if one is installed (SetDefaultTelemetry); override
+// per-simulator with SetTelemetry.
 func New(t *topo.Topology) *Simulator {
 	caps := make([]float64, t.NumLinks())
 	for i, l := range t.Links {
 		caps[i] = l.Capacity
 	}
-	return &Simulator{topo: t, caps: caps, flows: make(map[FlowID]*Flow)}
+	return &Simulator{topo: t, caps: caps, flows: make(map[FlowID]*Flow), tel: defaultTel.Load()}
 }
 
 // Now returns the current simulation time.
@@ -117,6 +124,13 @@ func (s *Simulator) SetPath(id FlowID, path topo.Path) error {
 	}
 	if f.done {
 		return fmt.Errorf("fluid: SetPath: flow %d already completed", id)
+	}
+	if tel := s.tel; tel != nil {
+		if len(path.Links) == 0 {
+			tel.Stalls.Inc()
+		} else {
+			tel.Reroutes.Inc()
+		}
 	}
 	f.Path = path
 	s.ratesDirty = true
@@ -172,13 +186,20 @@ func (s *Simulator) completeFinished(first *Flow) {
 // admitArrivals starts every pending flow arriving exactly at t, so a batch
 // of simultaneous arrivals costs one rate recomputation instead of one each.
 func (s *Simulator) admitArrivals(t float64) {
+	admitted := 0
 	for s.pending.Len() > 0 && s.pending[0].Arrival == t {
 		f := heap.Pop(&s.pending).(*Flow)
 		f.started = true
 		s.active = append(s.active, f)
+		admitted++
 	}
 	sort.Slice(s.active, func(i, j int) bool { return s.active[i].ID < s.active[j].ID })
 	s.ratesDirty = true
+	if tel := s.tel; tel != nil {
+		tel.FlowsStarted.Add(int64(admitted))
+		tel.ActiveFlows.Set(int64(len(s.active)))
+		tel.PendingFlows.Set(int64(s.pending.Len()))
+	}
 }
 
 // RunToCompletion advances until every flow has arrived and finished, or
@@ -273,6 +294,7 @@ const (
 func (s *Simulator) complete(f *Flow) {
 	f.done = true
 	f.finish = s.now
+	rate := f.rate
 	f.rate = 0
 	f.remaining = 0
 	for i, g := range s.active {
@@ -282,6 +304,12 @@ func (s *Simulator) complete(f *Flow) {
 		}
 	}
 	s.ratesDirty = true
+	if tel := s.tel; tel != nil {
+		tel.FlowsCompleted.Inc()
+		tel.ActiveFlows.Set(int64(len(s.active)))
+		tel.FCT.Record(int64((f.finish - f.Arrival) * 1e6)) // seconds → µs
+		tel.FlowRate.Record(int64(rate))
+	}
 	if s.OnComplete != nil {
 		s.OnComplete(f)
 	}
@@ -294,6 +322,9 @@ func (s *Simulator) complete(f *Flow) {
 // pathlen) overall.
 func (s *Simulator) computeRates() {
 	s.ratesDirty = false
+	if tel := s.tel; tel != nil {
+		tel.RateRecomputes.Inc()
+	}
 	// Engaged links are gathered into dense slices so the per-iteration
 	// min-search and residual updates are cache-friendly scans; the
 	// linkIdx scratch array (sized to the topology, reused across

@@ -1,0 +1,134 @@
+package fluid
+
+import (
+	"testing"
+
+	"sharebackup/internal/obs"
+	"sharebackup/internal/topo"
+)
+
+// twoLinkTopo builds host -> switch -> host with unit capacities.
+func twoLinkTopo(t *testing.T) (*topo.Topology, topo.Path) {
+	t.Helper()
+	g := &topo.Topology{}
+	h1 := g.AddNode(topo.KindHost, 0, 0)
+	sw := g.AddNode(topo.KindEdge, 0, 0)
+	h2 := g.AddNode(topo.KindHost, 0, 1)
+	l1, err := g.AddLink(h1, sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := g.AddLink(sw, h2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, topo.Path{Nodes: []topo.NodeID{h1, sw, h2}, Links: []topo.LinkID{l1, l2}}
+}
+
+func TestTelemetrySamplesLifecycle(t *testing.T) {
+	g, path := twoLinkTopo(t)
+	reg := obs.NewRegistry()
+	tel := NewTelemetry(reg)
+
+	sim := New(g)
+	if sim.Telemetry() != nil {
+		t.Fatal("fresh simulator has telemetry without SetDefaultTelemetry")
+	}
+	sim.SetTelemetry(tel)
+
+	// Two flows sharing the path: 2 bytes each at fair rate 1/2 → FCT 4s.
+	if err := sim.AddFlow(1, 2, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddFlow(2, 2, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	sim.SampleUtilization()
+	if got := tel.ActiveFlows.Value(); got != 2 {
+		t.Fatalf("active flows gauge = %d, want 2", got)
+	}
+	if got := tel.MaxLinkUtil.Value(); got != 1000 {
+		t.Fatalf("max link util = %d permille, want 1000 (saturated)", got)
+	}
+	if got := reg.Gauge("fluid.link_util_permille.0").Value(); got != 1000 {
+		t.Fatalf("per-link gauge = %d, want 1000", got)
+	}
+	if tel.LinkUtil.Count() != int64(g.NumLinks()) {
+		t.Fatalf("link util samples = %d, want %d", tel.LinkUtil.Count(), g.NumLinks())
+	}
+
+	// Stall one flow, then reroute it back.
+	if err := sim.SetPath(2, topo.Path{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetPath(2, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tel.FlowsStarted.Value(); got != 2 {
+		t.Fatalf("flows started = %d, want 2", got)
+	}
+	if got := tel.FlowsCompleted.Value(); got != 2 {
+		t.Fatalf("flows completed = %d, want 2", got)
+	}
+	if got := tel.Stalls.Value(); got != 1 {
+		t.Fatalf("stalls = %d, want 1", got)
+	}
+	if got := tel.Reroutes.Value(); got != 1 {
+		t.Fatalf("reroutes = %d, want 1", got)
+	}
+	if got := tel.ActiveFlows.Value(); got != 0 {
+		t.Fatalf("active flows after completion = %d, want 0", got)
+	}
+	if tel.FCT.Count() != 2 {
+		t.Fatalf("FCT samples = %d, want 2", tel.FCT.Count())
+	}
+	// Flow 1 ran at rate 1/2 until flow 2 stalled at t=1s... regardless of
+	// the exact schedule, both FCTs are in (0s, 10s] in µs.
+	if min, max := tel.FCT.Min(), tel.FCT.Max(); min <= 0 || max > 10_000_000 {
+		t.Fatalf("FCT range [%d, %d] µs implausible", min, max)
+	}
+	if tel.RateRecomputes.Value() == 0 {
+		t.Fatal("rate recomputes not counted")
+	}
+}
+
+func TestDefaultTelemetryPickup(t *testing.T) {
+	g, path := twoLinkTopo(t)
+	reg := obs.NewRegistry()
+	tel := NewTelemetry(reg)
+	SetDefaultTelemetry(tel)
+	defer SetDefaultTelemetry(nil)
+
+	sim := New(g)
+	if sim.Telemetry() != tel {
+		t.Fatal("New did not pick up the default telemetry")
+	}
+	if err := sim.AddFlow(1, 1, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("fluid.flows_completed").Value() != 1 {
+		t.Fatal("default telemetry saw no completion")
+	}
+
+	SetDefaultTelemetry(nil)
+	if New(g).Telemetry() != nil {
+		t.Fatal("SetDefaultTelemetry(nil) did not disable pickup")
+	}
+}
+
+func TestNewTelemetryNilRegistryUsesDefault(t *testing.T) {
+	tel := NewTelemetry(nil)
+	if tel.FCT != obs.DefaultRegistry.Histogram("fluid.fct_us") {
+		t.Fatal("nil registry did not resolve against obs.DefaultRegistry")
+	}
+}

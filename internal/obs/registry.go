@@ -69,18 +69,25 @@ func (g *Gauge) Value() int64 {
 // components resolve their handles once at construction time.
 // All methods are nil-safe.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
+
+// DefaultRegistry is the process-wide registry, the metrics analogue of the
+// Default bus: the commands point their -debug-addr /varz at it and thread
+// it into the systems and simulators they build.
+var DefaultRegistry = NewRegistry()
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
@@ -112,21 +119,95 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Export is a point-in-time copy of every metric in a registry — the JSON
+// body debughttp's /varz serves. Histogram values carry their quantiles.
+type Export struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Export snapshots the registry. Histogram bucket detail is included when
+// buckets is true; quantiles and order statistics always are.
+func (r *Registry) Export(buckets bool) Export {
+	out := Export{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, c := range counters {
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		s := h.Snapshot()
+		if !buckets {
+			s.Buckets = nil
+		}
+		out.Histograms[name] = s
+	}
+	return out
+}
+
 // Snapshot renders every metric as "name value" lines, sorted by name — the
-// /varz-style text dump the ctlnet server serves.
+// /varz-style text dump the ctlnet server serves. Histograms contribute one
+// line per order statistic (name.count, name.p50, name.p90, name.p99,
+// name.max), keeping the two-field line format.
 func (r *Registry) Snapshot() string {
 	if r == nil {
 		return ""
 	}
-	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges))
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	ex := r.Export(false)
+	lines := make([]string, 0, len(ex.Counters)+len(ex.Gauges)+5*len(ex.Histograms))
+	for name, v := range ex.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	for name, v := range ex.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
-	r.mu.Unlock()
+	for name, h := range ex.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, h.Count),
+			fmt.Sprintf("%s.p50 %d", name, h.P50),
+			fmt.Sprintf("%s.p90 %d", name, h.P90),
+			fmt.Sprintf("%s.p99 %d", name, h.P99),
+			fmt.Sprintf("%s.max %d", name, h.Max),
+		)
+	}
 	sort.Strings(lines)
 	var b strings.Builder
 	for _, l := range lines {

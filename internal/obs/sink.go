@@ -83,14 +83,19 @@ func NewLogfSink(logf func(format string, args ...interface{})) *LogfSink {
 // Event implements Sink.
 func (s *LogfSink) Event(ev Event) { s.logf("%s", ev.String()) }
 
-// Ring is a fixed-capacity in-memory event buffer for tests: it keeps the
-// most recent Cap events.
+// Ring is a fixed-capacity in-memory event buffer: it keeps the most recent
+// Cap events. Older events are evicted silently from the buffer's point of
+// view, but never silently from the operator's: every eviction increments
+// Dropped and, when one is attached via CountDropsIn, a registry counter —
+// so /varz and sbtap can report how much of the stream was lost.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	wrap  bool
-	total uint64
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrap    bool
+	total   uint64
+	dropped uint64
+	dropCtr *Counter
 }
 
 // NewRing builds a ring holding up to capacity events.
@@ -101,9 +106,23 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
+// CountDropsIn mirrors every future eviction into c (typically
+// Registry.Counter("obs.ring_dropped_events")), exposing event loss on the
+// /varz surface. A nil counter detaches.
+func (r *Ring) CountDropsIn(c *Counter) {
+	r.mu.Lock()
+	r.dropCtr = c
+	r.mu.Unlock()
+}
+
 // Event implements Sink.
 func (r *Ring) Event(ev Event) {
 	r.mu.Lock()
+	if r.wrap {
+		// The slot being overwritten still held an unread event.
+		r.dropped++
+		r.dropCtr.Inc()
+	}
 	r.buf[r.next] = ev
 	r.next++
 	r.total++
@@ -119,6 +138,13 @@ func (r *Ring) Total() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns how many buffered events were evicted unread.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns the buffered events, oldest first.

@@ -72,6 +72,12 @@ type Config struct {
 	// process-wide bus the commands' -trace/-events flags attach sinks
 	// to; emission costs one atomic load when no sink is attached.
 	Obs *obs.Bus
+	// Metrics is the registry the controller resolves its counters and
+	// gauges in (forwarded as Controller.Metrics unless that is already
+	// set). Nil keeps a private registry per system; commands pass
+	// obs.DefaultRegistry so the -debug-addr /varz endpoint sees
+	// controller metrics.
+	Metrics *obs.Registry
 }
 
 // System is a running ShareBackup deployment: the physical network plus its
@@ -92,6 +98,9 @@ func New(cfg Config) (*System, error) {
 		bus = obs.Default
 	}
 	net.SetObserver(bus)
+	if cfg.Controller.Metrics == nil {
+		cfg.Controller.Metrics = cfg.Metrics
+	}
 	ctl := controller.New(net, cfg.Controller)
 	ctl.SetObserver(bus)
 	return &System{
