@@ -1,13 +1,16 @@
 # Quality gates for the ShareBackup reproduction. `make check` is what CI
 # (and ISSUE reviewers) run: vet, build, full test suite, then the race
-# detector on the two packages with real concurrency — the TCP control plane
-# and the event bus it publishes on.
+# detector on the packages with real concurrency. `make check-race` runs the
+# whole suite under the race detector (slower; CI runs it as its own job).
 
 GO ?= go
 
-.PHONY: check vet build test race bench tools
+.PHONY: check check-race vet build test race bench tools
 
 check: vet build test race
+
+check-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ctlnet/... ./internal/obs/...
+	$(GO) test -race ./internal/ctlnet/... ./internal/obs/... ./internal/sweep/... ./internal/fluid/...
 
 # Recovery-path microbenchmarks; instrumentation must stay free when no
 # event sink is attached, so watch these against the seed numbers.

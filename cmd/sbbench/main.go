@@ -1,6 +1,7 @@
 // Command sbbench is the benchmark trajectory gate: it runs the repo's
 // benchmark suite (control-plane recovery latency, data-plane fluid
-// simulation), stamps the results with provenance (git SHA, UTC timestamp,
+// simulation, sweep-engine throughput and determinism), stamps the results
+// with provenance (git SHA, UTC timestamp,
 // toolchain, host), compares them against the committed BENCH_*.json files
 // from the previous run, and exits non-zero when a metric regressed beyond
 // its tolerance — so performance changes are a visible diff, never silent
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		recoveryPath  = fs.String("recovery", "BENCH_recovery.json", "recovery benchmark trajectory file (empty skips)")
 		dataplanePath = fs.String("dataplane", "BENCH_dataplane.json", "data-plane benchmark trajectory file (empty skips)")
+		sweepPath     = fs.String("sweep", "BENCH_sweep.json", "sweep-engine benchmark trajectory file (empty skips)")
 		k             = fs.Int("k", 8, "fat-tree parameter")
 		n             = fs.Int("n", 1, "backup switches per failure group")
 		trials        = fs.Int("trials", 32, "failovers per kind for the recovery benchmark")
@@ -109,6 +111,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return f, fmt.Sprintf("%d flows, fct p50=%dµs p99=%dµs, wall %.0fms",
 			res.Flows, res.FCTUS.P50, res.FCTUS.P99, res.WallMS), nil
+	})
+	gate(*sweepPath, "sweep", func() (*bench.File, string, error) {
+		res, err := sharebackup.SweepBench(sharebackup.SweepBenchConfig{K: *k})
+		if err != nil {
+			return nil, "", err
+		}
+		if !res.Deterministic {
+			return nil, "", fmt.Errorf("sweep results differ across worker counts: %s != %s",
+				res.Fingerprint1, res.FingerprintN)
+		}
+		f := &bench.File{Metrics: res.GateMetrics()}
+		if err := f.SetDetail(res); err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("%d shards, %.0f trials/s at 1 worker, %.2fx at %d workers, deterministic",
+			res.Shards, res.TrialsPerSec1, res.Speedup, res.Workers), nil
 	})
 
 	switch status {

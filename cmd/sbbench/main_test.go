@@ -15,6 +15,7 @@ func runGate(t *testing.T, dir string, extra ...string) (int, string) {
 	args := append([]string{
 		"-recovery", filepath.Join(dir, "BENCH_recovery.json"),
 		"-dataplane", filepath.Join(dir, "BENCH_dataplane.json"),
+		"-sweep", filepath.Join(dir, "BENCH_sweep.json"),
 		"-k", "4", "-trials", "2",
 	}, extra...)
 	var out, errb bytes.Buffer
@@ -43,6 +44,13 @@ func TestTrajectoryGate(t *testing.T) {
 	}
 	if _, err := bench.Read(filepath.Join(dir, "BENCH_dataplane.json")); err != nil {
 		t.Fatal(err)
+	}
+	sw, err := bench.Read(filepath.Join(dir, "BENCH_sweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Metrics["sweep.deterministic"].Value; got != 1 {
+		t.Fatalf("sweep.deterministic = %v, want 1", got)
 	}
 
 	// Second run against its own output: recovery latencies are
@@ -77,6 +85,7 @@ func TestBenchFailureExitsTwo(t *testing.T) {
 	code := run([]string{
 		"-recovery", filepath.Join(dir, "r.json"),
 		"-dataplane", "",
+		"-sweep", "",
 		"-k", "3", "-trials", "1",
 	}, &out, &errb)
 	if code != 2 {

@@ -5,14 +5,18 @@ import (
 
 	"sharebackup"
 	"sharebackup/internal/bench"
+	"sharebackup/internal/obs"
 )
 
 // runBenchJSON drives the shared recovery benchmark harness and writes the
 // phase breakdown percentiles to path, stamped with provenance (git SHA,
 // timestamp, toolchain) and the flat metric map the sbbench trajectory gate
-// compares across commits.
-func runBenchJSON(k, n, trials int, path string) error {
-	res, err := sharebackup.RecoveryBench(k, n, trials)
+// compares across commits. Trials shard across workers; traceSink, when
+// non-nil, receives every trial's events shard-tagged.
+func runBenchJSON(k, n, trials, workers int, path string, traceSink obs.Sink) error {
+	res, err := sharebackup.RunRecoveryBench(sharebackup.RecoveryBenchConfig{
+		K: k, N: n, Trials: trials, Workers: workers, TraceSink: traceSink,
+	})
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sbexperiments [-run all|fig1a|fig1b|fig1c|table2|table3|fig5|capacity|latency|tablesize]
-//	              [-k N] [-n N] [-seed S] [-full]
+//	              [-k N] [-n N] [-seed S] [-full] [-workers N]
 //	              [-trace FILE] [-events] [-json FILE]
 //
 // -trace writes every structured control-plane event as JSONL (summarize
@@ -41,6 +41,7 @@ func main() {
 		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
 		jsonPath  = flag.String("json", "", "run the recovery benchmark and write phase percentiles to this file (e.g. BENCH_recovery.json)")
 		trials    = flag.Int("trials", 32, "failovers per kind for the -json benchmark")
+		workers   = flag.Int("workers", 0, "sweep worker pool size for fig1a/fig1b/fig1c and the -json benchmark (0 = GOMAXPROCS; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
 	)
 	flag.Parse()
@@ -58,12 +59,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sbexperiments: debug server at http://%s/\n", srv.Addr())
 	}
 
+	var traceSink obs.Sink
 	if *trace != "" {
-		done, err := obs.TraceToFile(nil, *trace)
+		sink, done, err := obs.TraceSinkToFile(nil, *trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sbexperiments:", err)
 			os.Exit(1)
 		}
+		traceSink = sink
 		defer func() {
 			if err := done(); err != nil {
 				fmt.Fprintln(os.Stderr, "sbexperiments:", err)
@@ -76,7 +79,7 @@ func main() {
 		})()
 	}
 	if *jsonPath != "" {
-		if err := runBenchJSON(*k, *n, *trials, *jsonPath); err != nil {
+		if err := runBenchJSON(*k, *n, *trials, *workers, *jsonPath, traceSink); err != nil {
 			fmt.Fprintf(os.Stderr, "sbexperiments: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -86,9 +89,9 @@ func main() {
 	}
 
 	experiments := map[string]func() error{
-		"fig1a":      func() error { return runFig1(true, *k, *seed, *full) },
-		"fig1b":      func() error { return runFig1(false, *k, *seed, *full) },
-		"fig1c":      func() error { return runFig1c(*k, *seed, *full) },
+		"fig1a":      func() error { return runFig1(true, *k, *seed, *full, *workers) },
+		"fig1b":      func() error { return runFig1(false, *k, *seed, *full, *workers) },
+		"fig1c":      func() error { return runFig1c(*k, *seed, *full, *workers) },
 		"table2":     func() error { return runTable2(*k, *n) },
 		"table3":     func() error { return runTable3(*k, *seed) },
 		"fig5":       runFig5,
@@ -119,8 +122,8 @@ func main() {
 	}
 }
 
-func runFig1(nodes bool, k int, seed int64, full bool) error {
-	cfg := sharebackup.Fig1Config{K: k, Seed: seed}
+func runFig1(nodes bool, k int, seed int64, full bool, workers int) error {
+	cfg := sharebackup.Fig1Config{K: k, Seed: seed, Workers: workers}
 	if cfg.K == 0 {
 		if full {
 			cfg.K = 16
@@ -160,8 +163,8 @@ func runFig1(nodes bool, k int, seed int64, full bool) error {
 	return nil
 }
 
-func runFig1c(k int, seed int64, full bool) error {
-	cfg := sharebackup.Fig1cConfig{K: k, Seed: seed}
+func runFig1c(k int, seed int64, full bool, workers int) error {
+	cfg := sharebackup.Fig1cConfig{K: k, Seed: seed, Workers: workers}
 	if cfg.K == 0 {
 		if full {
 			// Paper scale: k=16, one failure per 5-minute window.

@@ -1,0 +1,233 @@
+// Command sbsweep runs one experiment sweep through the internal/sweep
+// engine, with explicit control of the worker pool, checkpoint file, and
+// live progress — the operational entry point for long paper-scale runs.
+//
+// Usage:
+//
+//	sbsweep -sweep fig1a|fig1b|fig1c|montecarlo|recovery
+//	        [-k N] [-seed S] [-workers N] [-full]
+//	        [-checkpoint FILE] [-resume] [-trace FILE] [-progress DUR]
+//	        [-trials N] [-n N]                        (recovery)
+//	        [-group N] [-backups N] [-mtbf H] [-mttr H] [-horizon H] [-shards N]  (montecarlo)
+//
+// Results are bit-identical for any -workers value. A killed run restarted
+// with the same flags plus -resume re-executes only the shards missing from
+// the checkpoint (fig1c keeps no checkpoint: its shard results are in-memory
+// simulation state, not JSON). -progress prints shard completion, trial
+// throughput, and ETA to stderr at the given interval (0 disables).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sharebackup"
+	"sharebackup/internal/failure"
+	"sharebackup/internal/metrics"
+	"sharebackup/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sbsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sweepName  = fs.String("sweep", "", "sweep to run: fig1a, fig1b, fig1c, montecarlo, recovery")
+		k          = fs.Int("k", 0, "fat-tree parameter (0 = sweep default)")
+		seed       = fs.Int64("seed", 1, "root seed; shard substreams derive from it")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results identical for any value)")
+		full       = fs.Bool("full", false, "paper-scale configuration (slower)")
+		checkpoint = fs.String("checkpoint", "", "JSONL checkpoint file (recovery: used as a per-technology prefix)")
+		resume     = fs.Bool("resume", false, "load the checkpoint and re-run only missing shards")
+		trace      = fs.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
+		progress   = fs.Duration("progress", 0, "print sweep progress to stderr at this interval (0 = off)")
+		trials     = fs.Int("trials", 32, "recovery: failovers per kind; fig1a/fig1b: samples per rate point (0 = default)")
+		n          = fs.Int("n", 1, "recovery: backup switches per failure group")
+		group      = fs.Int("group", 8, "montecarlo: switches sharing the backup pool")
+		backups    = fs.Int("backups", 1, "montecarlo: backup pool size")
+		mtbf       = fs.Float64("mtbf", 0, "montecarlo: mean time between failures, hours (0 = paper default)")
+		mttr       = fs.Float64("mttr", 0, "montecarlo: mean time to repair, hours (0 = paper default)")
+		horizon    = fs.Float64("horizon", 1e6, "montecarlo: simulated hours")
+		shards     = fs.Int("shards", 64, "montecarlo: independent horizon slices")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *trace != "" {
+		done, err := obs.TraceToFile(nil, *trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "sbsweep:", err)
+			return 1
+		}
+		defer func() {
+			if err := done(); err != nil {
+				fmt.Fprintln(stderr, "sbsweep:", err)
+			}
+		}()
+	}
+	if *progress > 0 {
+		stop := startProgress(*progress, stderr)
+		defer stop()
+	}
+
+	var err error
+	switch *sweepName {
+	case "fig1a", "fig1b":
+		err = runFig1(stdout, *sweepName == "fig1a", *k, *seed, *trials, *workers, *full, *checkpoint, *resume)
+	case "fig1c":
+		if *checkpoint != "" {
+			fmt.Fprintln(stderr, "sbsweep: fig1c does not checkpoint; -checkpoint ignored")
+		}
+		err = runFig1c(stdout, *k, *seed, *workers, *full)
+	case "montecarlo":
+		err = runMonteCarlo(stdout, *group, *backups, *mtbf, *mttr, *horizon, *seed, *shards, *workers, *checkpoint, *resume)
+	case "recovery":
+		err = runRecovery(stdout, *k, *n, *trials, *workers, *checkpoint, *resume)
+	case "":
+		fmt.Fprintln(stderr, "sbsweep: -sweep is required (fig1a, fig1b, fig1c, montecarlo, recovery)")
+		return 2
+	default:
+		fmt.Fprintf(stderr, "sbsweep: unknown sweep %q\n", *sweepName)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "sbsweep:", err)
+		return 1
+	}
+	return 0
+}
+
+// startProgress polls the sweep gauges in obs.DefaultRegistry (where the
+// engine publishes unless given a private registry) and prints a status line
+// per tick. Returns a stop function.
+func startProgress(interval time.Duration, w io.Writer) func() {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		reg := obs.DefaultRegistry
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				total := reg.Gauge("sweep.shards_total").Value()
+				if total == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "sbsweep: %d/%d shards, %d trials/s, eta %s\n",
+					reg.Gauge("sweep.shards_done").Value(), total,
+					reg.Gauge("sweep.trials_per_sec").Value(),
+					time.Duration(reg.Gauge("sweep.eta_ms").Value())*time.Millisecond)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+func runFig1(w io.Writer, nodes bool, k int, seed int64, trials, workers int, full bool, checkpoint string, resume bool) error {
+	cfg := sharebackup.Fig1Config{
+		K: k, Seed: seed, Trials: trials, Workers: workers,
+		Checkpoint: checkpoint, Resume: resume,
+	}
+	if cfg.K == 0 && full {
+		cfg.K = 16
+	}
+	var (
+		res  *sharebackup.Fig1Result
+		err  error
+		kind = "link"
+	)
+	if nodes {
+		kind = "node"
+		res, err = sharebackup.Fig1a(cfg)
+	} else {
+		res, err = sharebackup.Fig1b(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	tbl := &metrics.Table{
+		Title:   fmt.Sprintf("%% of flows and coflows affected by %s failures", kind),
+		Headers: []string{"rate", "flows %", "coflows %", "magnification"},
+	}
+	for i, rate := range res.Rates {
+		tbl.AddRow(rate, res.FlowPct[i], res.CoflowPct[i], res.Magnification[i])
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintf(w, "single %s failure: %.2f%% of flows, %.2f%% of coflows affected\n",
+		kind, res.SingleFlowPct, res.SingleCoflowPct)
+	return nil
+}
+
+func runFig1c(w io.Writer, k int, seed int64, workers int, full bool) error {
+	cfg := sharebackup.Fig1cConfig{K: k, Seed: seed, Workers: workers}
+	if cfg.K == 0 && full {
+		cfg.K = 16
+		cfg.Coflows = 40
+		cfg.Windows = 12
+		cfg.Scenarios = 24
+	}
+	res, err := sharebackup.Fig1c(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := &metrics.Table{
+		Title:   "CCT slowdown under a single failure",
+		Headers: []string{"architecture", "p50", "p99", "affected", "disconnected"},
+	}
+	for _, a := range res {
+		cdf := a.CDF()
+		tbl.AddRow(a.Name, cdf.Inverse(0.50), cdf.Inverse(0.99), len(a.Slowdowns), a.Disconnected)
+	}
+	fmt.Fprint(w, tbl.String())
+	return nil
+}
+
+func runMonteCarlo(w io.Writer, group, backups int, mtbf, mttr, horizon float64, seed int64, shards, workers int, checkpoint string, resume bool) error {
+	res, err := failure.SimulateGroupAvailability(failure.AvailabilityConfig{
+		GroupSize: group, Backups: backups, MTBF: mtbf, MTTR: mttr,
+		Horizon: horizon, Seed: seed, Shards: shards, Workers: workers,
+		Checkpoint: checkpoint, Resume: resume,
+	})
+	if err != nil {
+		return err
+	}
+	tbl := &metrics.Table{
+		Title:   fmt.Sprintf("group availability (group=%d, n=%d, %d slices)", group, backups, shards),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("switch failures simulated", res.Failures)
+	tbl.AddRow("pool-overflow events", res.OverflowEvents)
+	tbl.AddRow("overflow time fraction", res.OverflowFraction)
+	tbl.AddRow("measured unavailability", res.Unavailability)
+	tbl.AddRow("analytic overflow (binomial tail)", res.AnalyticOverflow)
+	fmt.Fprint(w, tbl.String())
+	return nil
+}
+
+func runRecovery(w io.Writer, k, n, trials, workers int, checkpoint string, resume bool) error {
+	res, err := sharebackup.RunRecoveryBench(sharebackup.RecoveryBenchConfig{
+		K: k, N: n, Trials: trials, Workers: workers,
+		Checkpoint: checkpoint, Resume: resume,
+	})
+	if err != nil {
+		return err
+	}
+	tbl := &metrics.Table{
+		Title:   fmt.Sprintf("recovery latency (k=%d, n=%d, %d trials/kind)", res.K, res.N, res.Trials),
+		Headers: []string{"tech", "recoveries", "total p50 (µs)", "total p99 (µs)"},
+	}
+	for _, t := range res.Techs {
+		total := t.PhasesUS["total"]
+		tbl.AddRow(t.Tech, t.Recoveries, total.Median, total.P99)
+	}
+	fmt.Fprint(w, tbl.String())
+	return nil
+}

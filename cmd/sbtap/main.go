@@ -67,6 +67,9 @@ func main() {
 		return
 	}
 	fmt.Print(obs.KindCounts(evs).String())
+	if shards := shardCount(evs); shards > 1 {
+		fmt.Printf("trace interleaves %d sweep shards (see the shard field; sequence numbers are per shard)\n", shards)
+	}
 	if lost, gaps := seqLoss(evs); lost > 0 {
 		fmt.Printf("WARNING: %d events missing from the stream (%d sequence gaps) — a bounded sink dropped them (see obs.ring_dropped_events on /varz)\n",
 			lost, gaps)
@@ -76,51 +79,129 @@ func main() {
 		fmt.Print(phaseHistograms(evs))
 	}
 
-	col := obs.NewSpanCollector()
-	col.AddEvents(evs)
-	all := col.Breakdown("")
+	shards, shardSpans := collectSpans(evs)
+	all := breakdown(shardSpans, "")
 	if all.N() == 0 {
 		fmt.Println("no completed recovery spans")
 		return
 	}
 	fmt.Print(all.Table(fmt.Sprintf("recovery phase breakdown — all kinds (%d recoveries)", all.N())).String())
 	for _, kind := range []string{"node", "link"} {
-		if b := col.Breakdown(kind); b.N() > 0 {
+		if b := breakdown(shardSpans, kind); b.N() > 0 {
 			fmt.Print(b.Table(fmt.Sprintf("recovery phase breakdown — %s failures (%d recoveries)", kind, b.N())).String())
 		}
 	}
 	if *spans {
-		for _, sp := range col.Spans() {
+		for _, ss := range shardSpans {
 			status := "complete"
-			if !sp.Complete {
+			if !ss.span.Complete {
 				status = "incomplete"
 			}
-			fmt.Printf("span %d (%s, %s): detection=%v report=%v reconfig=%v total=%v (%d events)\n",
-				sp.ID, sp.Kind, status, sp.Detection, sp.Report, sp.Reconfig, sp.Total, len(sp.Events))
+			tag := ""
+			if len(shards) > 1 || ss.shard != 0 {
+				tag = fmt.Sprintf("shard %d ", ss.shard)
+			}
+			fmt.Printf("%sspan %d (%s, %s): detection=%v report=%v reconfig=%v total=%v (%d events)\n",
+				tag, ss.span.ID, ss.span.Kind, status,
+				ss.span.Detection, ss.span.Report, ss.span.Reconfig, ss.span.Total, len(ss.span.Events))
 		}
 	}
+}
+
+// shardSpan ties a recovery span back to the sweep shard it ran on.
+type shardSpan struct {
+	shard uint64
+	span  *obs.Span
+}
+
+// collectSpans groups events into recovery spans, de-interleaving sweep
+// shards first: span IDs are per-bus counters, and every sweep worker runs
+// on its own private bus, so a shared trace file reuses the same span IDs
+// across shards. Collecting per shard tag (0 = the process bus) keeps each
+// worker's recoveries separate instead of merging them into one mangled
+// span. Returns the sorted shard tags and all spans in (shard, first-seen)
+// order.
+func collectSpans(evs []obs.Event) ([]uint64, []shardSpan) {
+	cols := make(map[uint64]*obs.SpanCollector)
+	var shards []uint64
+	for _, ev := range evs {
+		col := cols[ev.Shard]
+		if col == nil {
+			col = obs.NewSpanCollector()
+			cols[ev.Shard] = col
+			shards = append(shards, ev.Shard)
+		}
+		col.AddEvents([]obs.Event{ev})
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+	var out []shardSpan
+	for _, sh := range shards {
+		for _, sp := range cols[sh].Spans() {
+			out = append(out, shardSpan{shard: sh, span: sp})
+		}
+	}
+	return shards, out
+}
+
+// breakdown aggregates completed spans across every shard (kind "" = all).
+func breakdown(spans []shardSpan, kind string) *obs.Breakdown {
+	b := &obs.Breakdown{Kind: kind}
+	for _, ss := range spans {
+		sp := ss.span
+		if !sp.Complete || (kind != "" && sp.Kind != kind) {
+			continue
+		}
+		b.Add(sp.Detection, sp.Report, sp.Reconfig, sp.Total)
+	}
+	return b
+}
+
+// shardCount returns the number of distinct sweep shards in the trace
+// (untagged events count as one source when present alongside tagged ones).
+func shardCount(evs []obs.Event) int {
+	shards := make(map[uint64]bool)
+	for _, ev := range evs {
+		shards[ev.Shard] = true
+	}
+	return len(shards)
 }
 
 // seqLoss detects event loss from holes in the bus-assigned sequence
 // numbers: a JSONL file written through a bounded sink (a full ring, a slow
 // /events client) silently misses events, but their Seqs never lie. Returns
-// the number of missing events and the number of distinct gaps. Traces from
-// buses that predate Seq assignment (all-zero) report no loss.
+// the number of missing events and the number of distinct gaps.
+//
+// A trace can interleave several sequence streams: sweep workers run on
+// private buses whose Seqs each start at 1, shard-tagged into the shared
+// file. Gap detection therefore groups by the events' shard tag (0 = the
+// process bus) — without the grouping every interleaved shard would read as
+// a forest of spurious gaps. Traces from buses that predate Seq assignment
+// (all-zero) report no loss.
 func seqLoss(evs []obs.Event) (lost, gaps int) {
-	var seqs []uint64
+	streams := make(map[uint64][]uint64)
 	for _, ev := range evs {
-		if ev.Seq != 0 {
-			seqs = append(seqs, ev.Seq)
+		if ev.Seq == 0 {
+			continue
 		}
+		key := ev.Shard
+		if ev.Kind == obs.KindSweepShardDone {
+			// Progress events carry the shard tag of the shard that
+			// finished but are emitted (and sequence-numbered) on the
+			// sweep's shared bus, not the worker's private one.
+			key = 0
+		}
+		streams[key] = append(streams[key], ev.Seq)
 	}
-	if len(seqs) < 2 {
-		return 0, 0
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for i := 1; i < len(seqs); i++ {
-		if d := seqs[i] - seqs[i-1]; d > 1 {
-			lost += int(d - 1)
-			gaps++
+	for _, seqs := range streams {
+		if len(seqs) < 2 {
+			continue
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for i := 1; i < len(seqs); i++ {
+			if d := seqs[i] - seqs[i-1]; d > 1 {
+				lost += int(d - 1)
+				gaps++
+			}
 		}
 	}
 	return lost, gaps

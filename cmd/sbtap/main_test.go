@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+func mkEvent(shard, seq uint64) obs.Event {
+	ev := obs.NewEvent(obs.KindLog, time.Millisecond)
+	ev.Shard = shard
+	ev.Seq = seq
+	return ev
+}
+
+// Two interleaved shard streams, each seq 1..5, must not read as gaps: the
+// per-shard grouping is what keeps sweep traces from drowning in spurious
+// loss warnings.
+func TestSeqLossGroupsByShard(t *testing.T) {
+	var evs []obs.Event
+	for seq := uint64(1); seq <= 5; seq++ {
+		evs = append(evs, mkEvent(1, seq), mkEvent(2, seq))
+	}
+	if lost, gaps := seqLoss(evs); lost != 0 || gaps != 0 {
+		t.Fatalf("interleaved complete streams read as lost=%d gaps=%d, want 0/0", lost, gaps)
+	}
+
+	// A real hole inside one shard's stream is still caught.
+	evs = append(evs, mkEvent(1, 7)) // shard 1 is missing seq 6
+	if lost, gaps := seqLoss(evs); lost != 1 || gaps != 1 {
+		t.Fatalf("real gap read as lost=%d gaps=%d, want 1/1", lost, gaps)
+	}
+
+	if got := shardCount(evs); got != 2 {
+		t.Fatalf("shardCount = %d, want 2", got)
+	}
+}
+
+// Span IDs are per-bus counters, so a trace that interleaves two sweep
+// shards reuses span ID 1 in both streams. collectSpans must keep them
+// apart (one completed span per shard), not merge them into a single span
+// that would halve the breakdown's recovery count.
+func TestCollectSpansDeinterleavesShards(t *testing.T) {
+	span := func(shard uint64, total time.Duration) []obs.Event {
+		fd := obs.NewEvent(obs.KindFailureDeclared, 0)
+		fd.Shard, fd.Span = shard, 1
+		done := obs.NewEvent(obs.KindRecoveryComplete, total)
+		done.Shard, done.Span = shard, 1
+		done.Detail = "node"
+		done.Total = total
+		return []obs.Event{fd, done}
+	}
+	// Interleave the two shards' events the way concurrent workers would.
+	a, b := span(1, time.Millisecond), span(2, 2*time.Millisecond)
+	evs := []obs.Event{a[0], b[0], b[1], a[1]}
+
+	shards, spans := collectSpans(evs)
+	if len(shards) != 2 || len(spans) != 2 {
+		t.Fatalf("got %d shards, %d spans, want 2/2", len(shards), len(spans))
+	}
+	for _, ss := range spans {
+		if !ss.span.Complete {
+			t.Fatalf("shard %d span incomplete", ss.shard)
+		}
+	}
+	if n := breakdown(spans, "").N(); n != 2 {
+		t.Fatalf("breakdown aggregated %d recoveries, want 2", n)
+	}
+}
+
+// Untagged events (shard 0, the process bus) form their own stream alongside
+// tagged ones.
+func TestSeqLossUntaggedStream(t *testing.T) {
+	evs := []obs.Event{
+		mkEvent(0, 1), mkEvent(0, 2), mkEvent(0, 5), // process bus lost 3,4
+		mkEvent(3, 1), mkEvent(3, 2),
+	}
+	if lost, gaps := seqLoss(evs); lost != 2 || gaps != 1 {
+		t.Fatalf("lost=%d gaps=%d, want 2/1", lost, gaps)
+	}
+}

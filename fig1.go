@@ -1,12 +1,14 @@
 package sharebackup
 
 import (
+	"context"
 	"fmt"
 
 	"sharebackup/internal/coflow"
 	"sharebackup/internal/failure"
 	"sharebackup/internal/metrics"
 	"sharebackup/internal/routing"
+	"sharebackup/internal/sweep"
 	"sharebackup/internal/topo"
 )
 
@@ -29,6 +31,14 @@ type Fig1Config struct {
 	// Trace overrides the workload; by default a synthetic trace with
 	// the Facebook-like marginals is generated for the network's racks.
 	Trace *coflow.Trace
+	// Workers sizes the sweep worker pool (0 = GOMAXPROCS). Every
+	// (rate, trial) sample is one sweep shard with its own RNG substream,
+	// so the result is bit-identical for any worker count.
+	Workers int
+	// Checkpoint, when set, is the sweep's JSONL checkpoint file; with
+	// Resume, completed (rate, trial) shards are not re-run.
+	Checkpoint string
+	Resume     bool
 }
 
 func (c *Fig1Config) setDefaults() {
@@ -119,6 +129,13 @@ func routeTrace(ft *topo.FatTree, tr *coflow.Trace, seed int64) ([]flowRef, erro
 	return out, nil
 }
 
+// fig1Sample is one sweep shard's output: the affected percentages of a
+// single failure sample at one rate point. JSON-tagged so shards checkpoint.
+type fig1Sample struct {
+	Flow   float64 `json:"flow"`
+	Coflow float64 `json:"coflow"`
+}
+
 func fig1(cfg Fig1Config, nodes bool) (*Fig1Result, error) {
 	cfg.setDefaults()
 	ft, err := rackFatTree(cfg.K, false)
@@ -139,49 +156,73 @@ func fig1(cfg Fig1Config, nodes bool) (*Fig1Result, error) {
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("sharebackup: Fig1: trace produced no network flows")
 	}
-	inj := failure.NewInjector(ft, cfg.Seed+1)
-	nodeCands := inj.ReroutableSwitches()
-	linkCands := inj.FabricLinks()
+	// Candidate lists are a pure function of the topology; the injector
+	// building them is never sampled from (each shard gets its own).
+	cands := failure.NewInjector(ft, cfg.Seed)
+	nodeCands := cands.ReroutableSwitches()
+	linkCands := cands.FabricLinks()
 
-	res := &Fig1Result{Rates: cfg.Rates}
-	measure := func(rate float64) (flowPct, coflowPct float64, err error) {
-		for trial := 0; trial < cfg.Trials; trial++ {
-			var blocked *topo.Blocked
-			if nodes {
-				sample, err := inj.SampleNodes(nodeCands, rate)
-				if err != nil {
-					return 0, 0, err
-				}
-				blocked = failure.Blocked(sample, nil)
-			} else {
-				sample, err := inj.SampleLinks(linkCands, rate)
-				if err != nil {
-					return 0, 0, err
-				}
-				blocked = failure.Blocked(nil, sample)
-			}
-			f, c := affected(flows, len(tr.Coflows), blocked)
-			flowPct += f
-			coflowPct += c
-		}
-		return flowPct / float64(cfg.Trials), coflowPct / float64(cfg.Trials), nil
-	}
-
-	// The single-failure point: exactly one failed element.
+	// The trial space: rate point 0 is the single-failure headline number
+	// (rate rounding to exactly one element), points 1..len(Rates) the
+	// figure's x-axis; each point is averaged over Trials independent
+	// failure samples. One (point, trial) pair is one sweep shard drawing
+	// its failure sample from its own substream, so the sweep merges
+	// identically for any worker count.
 	var singleRate float64
 	if nodes {
 		singleRate = 0.5 / float64(len(nodeCands)) // rounds to one element
 	} else {
 		singleRate = 0.5 / float64(len(linkCands))
 	}
-	res.SingleFlowPct, res.SingleCoflowPct, err = measure(singleRate)
+	points := append([]float64{singleRate}, cfg.Rates...)
+	name := "fig1b"
+	if nodes {
+		name = "fig1a"
+	}
+	samples, err := sweep.Run(context.Background(), sweep.Config{
+		Name:       name,
+		Shards:     len(points) * cfg.Trials,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		Checkpoint: cfg.Checkpoint,
+		Resume:     cfg.Resume,
+	}, func(_ context.Context, sh sweep.Shard) (fig1Sample, error) {
+		rate := points[sh.Index/cfg.Trials]
+		inj := failure.NewInjector(ft, sh.Seed)
+		var blocked *topo.Blocked
+		if nodes {
+			sample, err := inj.SampleNodes(nodeCands, rate)
+			if err != nil {
+				return fig1Sample{}, err
+			}
+			blocked = failure.Blocked(sample, nil)
+		} else {
+			sample, err := inj.SampleLinks(linkCands, rate)
+			if err != nil {
+				return fig1Sample{}, err
+			}
+			blocked = failure.Blocked(nil, sample)
+		}
+		f, c := affected(flows, len(tr.Coflows), blocked)
+		return fig1Sample{Flow: f, Coflow: c}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, rate := range cfg.Rates {
-		f, c, err := measure(rate)
-		if err != nil {
-			return nil, err
+
+	res := &Fig1Result{Rates: cfg.Rates}
+	for pi := range points {
+		var f, c float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := samples[pi*cfg.Trials+trial]
+			f += s.Flow
+			c += s.Coflow
+		}
+		f /= float64(cfg.Trials)
+		c /= float64(cfg.Trials)
+		if pi == 0 {
+			res.SingleFlowPct, res.SingleCoflowPct = f, c
+			continue
 		}
 		res.FlowPct = append(res.FlowPct, f)
 		res.CoflowPct = append(res.CoflowPct, c)

@@ -1,6 +1,7 @@
 package sharebackup
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"sharebackup/internal/fluid"
 	"sharebackup/internal/metrics"
 	"sharebackup/internal/routing"
+	"sharebackup/internal/sweep"
 	"sharebackup/internal/topo"
 )
 
@@ -39,6 +41,11 @@ type Fig1cConfig struct {
 	// window). Scenarios are spread round-robin over the windows.
 	// Default 1.
 	Windows int
+	// Workers sizes the sweep worker pool the window baselines and
+	// scenario replays are sharded over (0 = GOMAXPROCS). The replays are
+	// deterministic functions of their inputs, so results are identical
+	// for any worker count.
+	Workers int
 }
 
 func (c *Fig1cConfig) setDefaults() {
@@ -166,54 +173,83 @@ func Fig1c(cfg Fig1cConfig) ([]ArchSlowdowns, error) {
 		{"F10", f10, schemeF10Local},
 		{"ShareBackup", ft, schemeShareBackup},
 	}
+	// Only windows a scenario actually lands on need a baseline.
+	usedWindows := len(windows)
+	if cfg.Scenarios < usedWindows {
+		usedWindows = cfg.Scenarios
+	}
+
 	var out []ArchSlowdowns
 	for _, a := range archs {
-		// Per-window routed flows and no-failure baselines, computed
-		// lazily and cached across this architecture's scenarios.
-		flowsByWin := make([][]flowRef, len(windows))
-		baseByWin := make([][]float64, len(windows))
-		prepare := func(wi int) error {
-			if flowsByWin[wi] != nil {
-				return nil
-			}
+		// Phase 1: per-window routed flows and no-failure baselines, one
+		// sweep shard per window. The shards are deterministic (the only
+		// randomness, ECMP hashing, is keyed by cfg.Seed), so the sweep's
+		// substream seeds are unused.
+		type winPrep struct {
+			flows    []flowRef
+			baseline []float64
+		}
+		preps, err := sweep.Run(context.Background(), sweep.Config{
+			Name: "fig1c-" + a.name + "-baseline", Shards: usedWindows,
+			Seed: cfg.Seed, Workers: cfg.Workers,
+		}, func(_ context.Context, sh sweep.Shard) (winPrep, error) {
+			wi := sh.Index
 			flows, err := routeTrace(a.ft, windows[wi], cfg.Seed)
 			if err != nil {
-				return err
+				return winPrep{}, err
 			}
 			baseline, err := simulateCCT(a.ft, windows[wi], flows, nil)
 			if err != nil {
-				return fmt.Errorf("sharebackup: %s window %d baseline: %w", a.name, wi, err)
+				return winPrep{}, fmt.Errorf("sharebackup: %s window %d baseline: %w", a.name, wi, err)
 			}
-			flowsByWin[wi] = flows
-			baseByWin[wi] = baseline
-			return nil
+			return winPrep{flows: flows, baseline: baseline}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		res := ArchSlowdowns{Name: a.name}
-		for si, sc := range scenarios {
+
+		// Phase 2: one sweep shard per failure scenario, replaying the
+		// window's coflows under the architecture's recovery scheme.
+		type scenarioOut struct {
+			Slowdowns    []float64
+			Disconnected int
+		}
+		outs, err := sweep.Run(context.Background(), sweep.Config{
+			Name: "fig1c-" + a.name + "-scenarios", Shards: len(scenarios),
+			Seed: cfg.Seed, Workers: cfg.Workers,
+		}, func(_ context.Context, sh sweep.Shard) (scenarioOut, error) {
+			si := sh.Index
 			wi := si % len(windows)
-			if err := prepare(wi); err != nil {
-				return nil, err
-			}
 			tr := windows[wi]
-			flows, baseline := flowsByWin[wi], baseByWin[wi]
-			blocked := sc.Blocked()
+			flows, baseline := preps[wi].flows, preps[wi].baseline
+			blocked := scenarios[si].Blocked()
 			rerouted, disconnected := applyScheme(a.ft, flows, blocked, a.scheme)
 			cct, err := simulateCCT(a.ft, tr, rerouted, blocked)
 			if err != nil {
-				return nil, fmt.Errorf("sharebackup: %s scenario: %w", a.name, err)
+				return scenarioOut{}, fmt.Errorf("sharebackup: %s scenario: %w", a.name, err)
 			}
+			var so scenarioOut
 			for ci := range tr.Coflows {
 				if !coflowAffected(flows, ci, blocked) {
 					continue
 				}
 				if disconnected[ci] || math.IsInf(cct[ci], 1) {
-					res.Disconnected++
+					so.Disconnected++
 					continue
 				}
 				if baseline[ci] > 0 {
-					res.Slowdowns = append(res.Slowdowns, cct[ci]/baseline[ci])
+					so.Slowdowns = append(so.Slowdowns, cct[ci]/baseline[ci])
 				}
 			}
+			return so, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := ArchSlowdowns{Name: a.name}
+		for _, so := range outs {
+			res.Slowdowns = append(res.Slowdowns, so.Slowdowns...)
+			res.Disconnected += so.Disconnected
 		}
 		out = append(out, res)
 	}

@@ -1,6 +1,8 @@
 package sharebackup
 
 import (
+	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -113,5 +115,45 @@ func TestTransientStudySmall(t *testing.T) {
 	// permille of 1.0 at these flow sizes.
 	if sb.MeanSlowdown > 1.05 {
 		t.Fatalf("ShareBackup mean slowdown %v, want ≈1.0", sb.MeanSlowdown)
+	}
+}
+
+// The sweep engine's contract surfaced at the experiment level: Fig1a merges
+// to the same result for any worker count, and a checkpointed run resumes to
+// the identical result.
+func TestFig1aWorkerCountInvariance(t *testing.T) {
+	var want *Fig1Result
+	for _, workers := range []int{1, 4, 0} {
+		cfg := fig1TestConfig()
+		cfg.Workers = workers
+		res, err := Fig1a(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+		} else if !reflect.DeepEqual(res, want) {
+			t.Fatalf("workers=%d: result differs from workers=1:\n%+v\nvs\n%+v", workers, res, want)
+		}
+	}
+}
+
+func TestFig1aCheckpointResume(t *testing.T) {
+	ref, err := Fig1a(fig1TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fig1TestConfig()
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "fig1a.jsonl")
+	if _, err := Fig1a(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	res, err := Fig1a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("resumed result differs:\n%+v\nvs\n%+v", res, ref)
 	}
 }

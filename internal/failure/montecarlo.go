@@ -1,9 +1,12 @@
 package failure
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"sharebackup/internal/sweep"
 )
 
 // Monte-Carlo availability simulation for Section 5.1: switches fail as
@@ -27,6 +30,20 @@ type AvailabilityConfig struct {
 	Horizon float64
 	// Seed drives the simulation.
 	Seed int64
+	// Shards splits the horizon into this many independent simulations of
+	// Horizon/Shards hours each, run as one sweep (each shard seeded from
+	// its own substream of Seed) and summed. Shards <= 1 runs the single
+	// sequential simulation; results differ between shard counts (different
+	// RNG streams) but are identical for any Workers value at a fixed
+	// Shards.
+	Shards int
+	// Workers sizes the sweep worker pool (0 = GOMAXPROCS). Only
+	// meaningful with Shards > 1.
+	Workers int
+	// Checkpoint and Resume are the sweep's checkpoint file and resume
+	// flag (see internal/sweep); only meaningful with Shards > 1.
+	Checkpoint string
+	Resume     bool
 }
 
 func (c *AvailabilityConfig) setDefaults() error {
@@ -72,24 +89,30 @@ type AvailabilityResult struct {
 	AnalyticOverflow float64
 }
 
-// SimulateGroupAvailability runs the Monte-Carlo simulation event by event.
-func SimulateGroupAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
-	if err := cfg.setDefaults(); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	// nextEvent[i] is switch i's next transition time; down[i] its state.
+// availabilitySlice is one shard's raw tallies over its horizon slice.
+// JSON-tagged so shards checkpoint.
+type availabilitySlice struct {
+	Failures       int     `json:"failures"`
+	OverflowEvents int     `json:"overflow_events"`
+	DownTime       float64 `json:"down_time"`
+	OverflowTime   float64 `json:"overflow_time"`
+}
+
+// simulateSlice runs the event loop for one horizon slice starting from the
+// all-up state. The process mixes in O(MTTR), so for slices much longer than
+// the repair time the cold start is statistically negligible.
+func simulateSlice(cfg *AvailabilityConfig, seed int64, horizon float64) availabilitySlice {
+	rng := rand.New(rand.NewSource(seed))
+	// next[i] is switch i's next transition time; down[i] its state.
 	next := make([]float64, cfg.GroupSize)
 	down := make([]bool, cfg.GroupSize)
 	for i := range next {
 		next[i] = rng.ExpFloat64() * cfg.MTBF
 	}
-	res := &AvailabilityResult{}
+	var sl availabilitySlice
 	now := 0.0
 	downCount := 0
-	downTime := 0.0     // integrated switch-down time
-	overflowTime := 0.0 // integrated time with downCount > Backups
-	for now < cfg.Horizon {
+	for now < horizon {
 		// Next transition.
 		i := 0
 		for j := 1; j < cfg.GroupSize; j++ {
@@ -98,16 +121,16 @@ func SimulateGroupAvailability(cfg AvailabilityConfig) (*AvailabilityResult, err
 			}
 		}
 		t := next[i]
-		if t > cfg.Horizon {
-			t = cfg.Horizon
+		if t > horizon {
+			t = horizon
 		}
 		dt := t - now
-		downTime += float64(downCount) * dt
+		sl.DownTime += float64(downCount) * dt
 		if downCount > cfg.Backups {
-			overflowTime += dt
+			sl.OverflowTime += dt
 		}
 		now = t
-		if now >= cfg.Horizon {
+		if now >= horizon {
 			break
 		}
 		if down[i] {
@@ -117,15 +140,51 @@ func SimulateGroupAvailability(cfg AvailabilityConfig) (*AvailabilityResult, err
 		} else {
 			down[i] = true
 			downCount++
-			res.Failures++
+			sl.Failures++
 			if downCount == cfg.Backups+1 {
-				res.OverflowEvents++
+				sl.OverflowEvents++
 			}
 			next[i] = now + rng.ExpFloat64()*cfg.MTTR
 		}
 	}
-	res.OverflowFraction = overflowTime / cfg.Horizon
-	res.Unavailability = downTime / (cfg.Horizon * float64(cfg.GroupSize))
+	return sl
+}
+
+// SimulateGroupAvailability runs the Monte-Carlo simulation event by event.
+// With cfg.Shards > 1 the horizon is split into independent slices swept
+// across cfg.Workers goroutines; the merged result is bit-identical for any
+// worker count.
+func SimulateGroupAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	var total availabilitySlice
+	if cfg.Shards <= 1 {
+		total = simulateSlice(&cfg, cfg.Seed, cfg.Horizon)
+	} else {
+		sliceHorizon := cfg.Horizon / float64(cfg.Shards)
+		slices, err := sweep.Run(context.Background(), sweep.Config{
+			Name: "montecarlo", Shards: cfg.Shards, Seed: cfg.Seed,
+			Workers: cfg.Workers, Checkpoint: cfg.Checkpoint, Resume: cfg.Resume,
+		}, func(_ context.Context, sh sweep.Shard) (availabilitySlice, error) {
+			return simulateSlice(&cfg, sh.Seed, sliceHorizon), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, sl := range slices {
+			total.Failures += sl.Failures
+			total.OverflowEvents += sl.OverflowEvents
+			total.DownTime += sl.DownTime
+			total.OverflowTime += sl.OverflowTime
+		}
+	}
+	res := &AvailabilityResult{
+		Failures:         total.Failures,
+		OverflowEvents:   total.OverflowEvents,
+		OverflowFraction: total.OverflowTime / cfg.Horizon,
+		Unavailability:   total.DownTime / (cfg.Horizon * float64(cfg.GroupSize)),
+	}
 	res.AnalyticOverflow = BinomialTail(cfg.GroupSize, cfg.Backups, res.Unavailability)
 	if math.IsNaN(res.AnalyticOverflow) {
 		res.AnalyticOverflow = 0

@@ -87,3 +87,38 @@ func TestSimulateGroupAvailabilityValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestSimulateGroupAvailabilityShardedDeterministic(t *testing.T) {
+	base := AvailabilityConfig{
+		GroupSize: 8, Backups: 1, MTBF: 10, MTTR: 5,
+		Horizon: 1e5, Seed: 7, Shards: 16,
+	}
+	var want *AvailabilityResult
+	for _, workers := range []int{1, 4, 0} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := SimulateGroupAvailability(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+		} else if *got != *want {
+			t.Fatalf("workers=%d: result %+v != workers=1 result %+v", workers, got, want)
+		}
+	}
+	if want.Failures == 0 {
+		t.Fatal("sharded simulation recorded no failures")
+	}
+
+	// The sharded estimate must agree statistically with the sequential one.
+	seq, err := SimulateGroupAvailability(AvailabilityConfig{
+		GroupSize: 8, Backups: 1, MTBF: 10, MTTR: 5, Horizon: 1e5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := want.Unavailability / seq.Unavailability; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("sharded unavailability %v far from sequential %v", want.Unavailability, seq.Unavailability)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sharebackup/internal/topo"
 )
@@ -64,9 +65,15 @@ type Simulator struct {
 	linkIdx    []int32 // scratch: link ID -> engaged-link index, reused across recomputes
 
 	// tel, when non-nil, receives data-plane samples (flow lifecycle,
-	// FCT/rate histograms). Every hook site is a single nil check when
-	// telemetry is off, keeping the simulator benchmark-clean.
-	tel *Telemetry
+	// FCT/rate histograms). Every hook site is a single atomic load plus
+	// nil check when telemetry is off, keeping the simulator
+	// benchmark-clean. The pointer is atomic because SetTelemetry may race
+	// with a simulation loop on another goroutine (e.g. debug wiring
+	// installing telemetry while sweep shards run); everything else on
+	// Simulator remains single-goroutine-owned, while one Telemetry value
+	// may be shared by many concurrent simulators (its counters and
+	// histograms are atomic, its per-link gauge cache mutex-guarded).
+	tel atomic.Pointer[Telemetry]
 
 	// OnComplete, if set, is invoked when a flow finishes, with the
 	// simulator already advanced to the finish time.
@@ -82,7 +89,9 @@ func New(t *topo.Topology) *Simulator {
 	for i, l := range t.Links {
 		caps[i] = l.Capacity
 	}
-	return &Simulator{topo: t, caps: caps, flows: make(map[FlowID]*Flow), tel: defaultTel.Load()}
+	s := &Simulator{topo: t, caps: caps, flows: make(map[FlowID]*Flow)}
+	s.tel.Store(defaultTel.Load())
+	return s
 }
 
 // Now returns the current simulation time.
@@ -125,7 +134,7 @@ func (s *Simulator) SetPath(id FlowID, path topo.Path) error {
 	if f.done {
 		return fmt.Errorf("fluid: SetPath: flow %d already completed", id)
 	}
-	if tel := s.tel; tel != nil {
+	if tel := s.tel.Load(); tel != nil {
 		if len(path.Links) == 0 {
 			tel.Stalls.Inc()
 		} else {
@@ -195,7 +204,7 @@ func (s *Simulator) admitArrivals(t float64) {
 	}
 	sort.Slice(s.active, func(i, j int) bool { return s.active[i].ID < s.active[j].ID })
 	s.ratesDirty = true
-	if tel := s.tel; tel != nil {
+	if tel := s.tel.Load(); tel != nil {
 		tel.FlowsStarted.Add(int64(admitted))
 		tel.ActiveFlows.Set(int64(len(s.active)))
 		tel.PendingFlows.Set(int64(s.pending.Len()))
@@ -304,7 +313,7 @@ func (s *Simulator) complete(f *Flow) {
 		}
 	}
 	s.ratesDirty = true
-	if tel := s.tel; tel != nil {
+	if tel := s.tel.Load(); tel != nil {
 		tel.FlowsCompleted.Inc()
 		tel.ActiveFlows.Set(int64(len(s.active)))
 		tel.FCT.Record(int64((f.finish - f.Arrival) * 1e6)) // seconds → µs
@@ -322,7 +331,7 @@ func (s *Simulator) complete(f *Flow) {
 // pathlen) overall.
 func (s *Simulator) computeRates() {
 	s.ratesDirty = false
-	if tel := s.tel; tel != nil {
+	if tel := s.tel.Load(); tel != nil {
 		tel.RateRecomputes.Inc()
 	}
 	// Engaged links are gathered into dense slices so the per-iteration

@@ -81,11 +81,12 @@ func SetDefaultTelemetry(t *Telemetry) { defaultTel.Store(t) }
 func DefaultTelemetry() *Telemetry { return defaultTel.Load() }
 
 // SetTelemetry attaches (or, with nil, detaches) telemetry on this simulator
-// only, overriding the process default it was constructed with.
-func (s *Simulator) SetTelemetry(t *Telemetry) { s.tel = t }
+// only, overriding the process default it was constructed with. Safe to call
+// from any goroutine; the rest of Simulator stays single-goroutine-owned.
+func (s *Simulator) SetTelemetry(t *Telemetry) { s.tel.Store(t) }
 
 // Telemetry returns the simulator's attached telemetry (possibly nil).
-func (s *Simulator) Telemetry() *Telemetry { return s.tel }
+func (s *Simulator) Telemetry() *Telemetry { return s.tel.Load() }
 
 // linkGauge returns the cached per-link utilization gauge, creating it on
 // first use. Called only from SampleUtilization, never from the hot path.
@@ -113,7 +114,7 @@ func (t *Telemetry) linkGauge(link int, n int) *obs.Gauge {
 // deliberately not hooked into the rate recomputation so the simulator's
 // inner loop stays telemetry-free.
 func (s *Simulator) SampleUtilization() {
-	tel := s.tel
+	tel := s.tel.Load()
 	if tel == nil {
 		return
 	}

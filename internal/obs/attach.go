@@ -9,16 +9,24 @@ import (
 // nil) and returns a cleanup function that detaches the sink, flushes, and
 // closes the file. It is the implementation of the commands' -trace flag.
 func TraceToFile(bus *Bus, path string) (func() error, error) {
+	_, done, err := TraceSinkToFile(bus, path)
+	return done, err
+}
+
+// TraceSinkToFile is TraceToFile exposing the underlying sink, so callers
+// can additionally hand it to sweep workers (wrapped in ShardTagger) and
+// have shard-tagged events land in the same trace file as the bus' own.
+func TraceSinkToFile(bus *Bus, path string) (*JSONLSink, func() error, error) {
 	if bus == nil {
 		bus = Default
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("obs: trace file: %w", err)
+		return nil, nil, fmt.Errorf("obs: trace file: %w", err)
 	}
 	sink := NewJSONLSink(f)
 	bus.Attach(sink)
-	return func() error {
+	return sink, func() error {
 		bus.Detach(sink)
 		if err := sink.Err(); err != nil {
 			f.Close()

@@ -51,6 +51,10 @@ const (
 	// KindLog is a free-form diagnostic line (the ctlnet server routes its
 	// Logf output here so sinks serialize it).
 	KindLog
+	// KindSweepShardDone is one completed shard of an experiment sweep
+	// (internal/sweep); Count is the running number of completed shards,
+	// Detail the sweep name, and Shard the 1-based shard tag.
+	KindSweepShardDone
 	numKinds
 )
 
@@ -65,6 +69,7 @@ var kindNames = [numKinds]string{
 	"diagnosis-finished",
 	"circuit-switch-halted",
 	"log",
+	"sweep-shard-done",
 }
 
 // String names the kind ("probe-missed", "recovery-complete", ...).
@@ -104,6 +109,11 @@ type Event struct {
 	Wall bool
 	// Span groups the events of one recovery; 0 means no span.
 	Span uint64
+	// Shard is the 1-based sweep-shard tag (sweep.Shard.ID()); 0 means the
+	// event was not emitted from a sweep worker. Shards run private buses
+	// whose Seq streams interleave in a shared trace; the tag lets readers
+	// (sbtap) de-interleave them.
+	Shard uint64
 
 	Switch   int32 // subject switch ID (None when n/a)
 	Peer     int32 // link peer switch ID
@@ -145,6 +155,9 @@ func (e Event) String() string {
 	b.WriteString(e.Kind.String())
 	if e.Span != 0 {
 		fmt.Fprintf(&b, " span=%d", e.Span)
+	}
+	if e.Shard != 0 {
+		fmt.Fprintf(&b, " shard=%d", e.Shard)
 	}
 	if e.Switch != None {
 		fmt.Fprintf(&b, " switch=%d", e.Switch)
@@ -191,6 +204,7 @@ type eventJSON struct {
 	TNs      int64  `json:"t_ns"`
 	Wall     bool   `json:"wall,omitempty"`
 	Span     uint64 `json:"span,omitempty"`
+	Shard    uint64 `json:"shard,omitempty"`
 	Switch   int32  `json:"switch"`
 	Peer     int32  `json:"peer"`
 	Backup   int32  `json:"backup"`
@@ -208,7 +222,7 @@ type eventJSON struct {
 // MarshalJSON renders the event in the JSONL wire form.
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
-		Kind: e.Kind.String(), Seq: e.Seq, TNs: int64(e.T), Wall: e.Wall, Span: e.Span,
+		Kind: e.Kind.String(), Seq: e.Seq, TNs: int64(e.T), Wall: e.Wall, Span: e.Span, Shard: e.Shard,
 		Switch: e.Switch, Peer: e.Peer, Backup: e.Backup, Port: e.Port, PeerPort: e.PeerPort,
 		Count: e.Count, Check: e.Check, Detail: e.Detail,
 		DetNs: int64(e.Detection), RepNs: int64(e.Report), RecNs: int64(e.Reconfig), TotNs: int64(e.Total),
@@ -226,7 +240,7 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*e = Event{
-		Kind: kind, Seq: j.Seq, T: time.Duration(j.TNs), Wall: j.Wall, Span: j.Span,
+		Kind: kind, Seq: j.Seq, T: time.Duration(j.TNs), Wall: j.Wall, Span: j.Span, Shard: j.Shard,
 		Switch: j.Switch, Peer: j.Peer, Backup: j.Backup, Port: j.Port, PeerPort: j.PeerPort,
 		Count: j.Count, Check: j.Check, Detail: j.Detail,
 		Detection: time.Duration(j.DetNs), Report: time.Duration(j.RepNs),

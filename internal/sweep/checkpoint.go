@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The checkpoint is a JSONL file: a header line identifying the sweep,
+// followed by one line per completed shard, appended (and flushed) as each
+// shard finishes. A killed run leaves at worst one truncated trailing line,
+// which resume tolerates; every complete line is a shard that never needs to
+// run again. Opening a checkpoint rewrites the file (header plus the prior
+// lines being kept) through a temp file + rename, so a resumed file is
+// always well-formed before new lines are appended.
+
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	Sweep   string `json:"sweep"`
+	Shards  int    `json:"shards"`
+	Seed    int64  `json:"seed"`
+	Version int    `json:"version"`
+}
+
+type checkpointLine struct {
+	Shard int             `json:"shard"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// loadCheckpoint reads the completed shards of a prior run. A missing file
+// is an empty resume, not an error; a header that names a different sweep
+// (name, shard count, or seed) is an error, because merging shards from two
+// different trial spaces would silently corrupt the results. A truncated
+// final line (the run was killed mid-append) is dropped; malformed content
+// anywhere else is an error.
+func loadCheckpoint(path string, want checkpointHeader) (map[int]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var lines [][]byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) > 0 {
+			lines = append(lines, append([]byte(nil), line...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s: bad header: %w", path, err)
+	}
+	if hdr != want {
+		return nil, fmt.Errorf("sweep: checkpoint %s was written by a different sweep: have %+v, want %+v",
+			path, hdr, want)
+	}
+	out := make(map[int]json.RawMessage)
+	for i, line := range lines[1:] {
+		var cl checkpointLine
+		if err := json.Unmarshal(line, &cl); err != nil {
+			if i == len(lines)-2 {
+				break // truncated final line from a killed run
+			}
+			return nil, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, i+2, err)
+		}
+		if cl.Shard < 0 || cl.Shard >= want.Shards {
+			return nil, fmt.Errorf("sweep: checkpoint %s line %d: shard %d out of range [0, %d)",
+				path, i+2, cl.Shard, want.Shards)
+		}
+		out[cl.Shard] = cl.Data
+	}
+	return out, nil
+}
+
+// checkpointWriter appends completed shard lines, one flushed write each.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint rewrites path to contain the header plus the prior
+// completed lines (temp file + rename, so a crash never leaves a corrupt
+// header) and returns an appending writer.
+func openCheckpoint(path string, hdr checkpointHeader, prior map[int]json.RawMessage) (*checkpointWriter, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint header: %w", err)
+	}
+	for shard := 0; shard < hdr.Shards; shard++ {
+		data, ok := prior[shard]
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(checkpointLine{Shard: shard, Data: data}); err != nil {
+			return nil, fmt.Errorf("sweep: checkpoint shard %d: %w", shard, err)
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+// write appends one completed shard as a single flushed line.
+func (w *checkpointWriter) write(shard int, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint shard %d: %w", shard, err)
+	}
+	line, err := json.Marshal(checkpointLine{Shard: shard, Data: data})
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint shard %d: %w", shard, err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: checkpoint shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+func (w *checkpointWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

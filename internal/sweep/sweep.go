@@ -1,0 +1,298 @@
+// Package sweep is the experiment sweep engine: it shards a trial space
+// (failover trials, Monte-Carlo horizons, coflow-replay scenarios) across a
+// worker pool so paper-scale runs use every core, while keeping the results
+// bit-identical to a single-threaded run.
+//
+// Determinism rests on two rules. First, every shard draws randomness from
+// its own substream, seeded as SubSeed(rootSeed, shardIndex) — a pure
+// function of the sweep's root seed and the shard's position, never of
+// worker count or goroutine scheduling. Second, Run returns the per-shard
+// results in shard-index order, so callers merge by folding a slice whose
+// layout does not depend on completion order.
+//
+// Sweeps checkpoint to a JSONL file (one line per completed shard, flushed
+// as it finishes), so a killed run resumed with Resume re-executes only the
+// missing shards and still merges to the same output. Progress is published
+// through the obs bus (one shard-tagged KindSweepShardDone event per shard)
+// and registry (sweep.shards_done / sweep.shards_total / sweep.trials_per_sec
+// / sweep.eta_ms), so /varz and -trace observe a sweep like any other
+// subsystem.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// Shard is one unit of a sweep's trial space.
+type Shard struct {
+	// Index is the shard's 0-based position in the sweep.
+	Index int
+	// Seed is the shard's RNG substream seed, SubSeed(rootSeed, Index).
+	// Shard functions must draw all their randomness from it.
+	Seed int64
+
+	// tag is the shard's process-unique obs tag, assigned by Run.
+	tag uint64
+}
+
+// tagBase allocates each Run a disjoint block of shard tags, so traces that
+// interleave several sweeps (e.g. one per circuit technology) never reuse a
+// tag — tools like sbtap rely on the tag to tell private-bus event streams
+// apart. Tags are a tracing identity, not part of any result, so the global
+// counter does not affect determinism.
+var tagBase atomic.Uint64
+
+// ID returns the 1-based shard tag stamped on obs events (0 = untagged),
+// unique across every sweep in the process.
+func (s Shard) ID() uint64 {
+	if s.tag != 0 {
+		return s.tag
+	}
+	return uint64(s.Index) + 1
+}
+
+// SubSeed derives a shard's RNG substream seed from the sweep's root seed
+// with a splitmix64 finalizer, so substreams are statistically independent
+// and the mapping depends only on (root, index).
+func SubSeed(root int64, index int) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Config parameterizes one sweep.
+type Config struct {
+	// Name identifies the sweep in checkpoints, events, and progress. A
+	// resumed run must use the same Name.
+	Name string
+	// Shards is the trial-space size: fn runs once per index in [0, Shards).
+	Shards int
+	// Seed is the root seed shard substreams derive from.
+	Seed int64
+	// Workers sizes the worker pool; 0 or negative means GOMAXPROCS.
+	// Results are identical for every worker count.
+	Workers int
+	// TrialsPerShard weights the trials/sec progress gauge (default 1).
+	TrialsPerShard int
+	// Checkpoint, when non-empty, is the JSONL file completed shards are
+	// appended to as they finish. Without Resume an existing file is
+	// overwritten.
+	Checkpoint string
+	// Resume loads the checkpoint first and re-runs only missing shards.
+	// The file's header must match Name/Shards/Seed.
+	Resume bool
+	// Bus receives one shard-tagged KindSweepShardDone event per completed
+	// shard (nil = obs.Default).
+	Bus *obs.Bus
+	// Registry receives the progress gauges (nil = obs.DefaultRegistry).
+	// Gauge names are process-global; run one sweep at a time per registry
+	// if you scrape them.
+	Registry *obs.Registry
+}
+
+// Run executes fn over every shard on a worker pool and returns the results
+// in shard-index order. fn must be safe for concurrent invocation across
+// distinct shards and must take all randomness from its Shard's Seed. The
+// first shard error cancels the rest and is returned; a canceled ctx returns
+// ctx.Err(). With checkpointing enabled, T must round-trip through JSON.
+func Run[T any](ctx context.Context, cfg Config, fn func(context.Context, Shard) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil shard function")
+	}
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("sweep: Shards=%d must be positive", cfg.Shards)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "sweep"
+	}
+	if cfg.TrialsPerShard <= 0 {
+		cfg.TrialsPerShard = 1
+	}
+	bus := cfg.Bus
+	if bus == nil {
+		bus = obs.Default
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.DefaultRegistry
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+
+	results := make([]T, cfg.Shards)
+	skip := make([]bool, cfg.Shards)
+	resumed := 0
+	var ckpt *checkpointWriter
+	if cfg.Checkpoint != "" {
+		hdr := checkpointHeader{Sweep: cfg.Name, Shards: cfg.Shards, Seed: cfg.Seed, Version: checkpointVersion}
+		var prior map[int]json.RawMessage
+		if cfg.Resume {
+			var err error
+			prior, err = loadCheckpoint(cfg.Checkpoint, hdr)
+			if err != nil {
+				return nil, err
+			}
+			for i, raw := range prior {
+				if err := json.Unmarshal(raw, &results[i]); err != nil {
+					return nil, fmt.Errorf("sweep: checkpoint %s shard %d: %w", cfg.Checkpoint, i, err)
+				}
+				skip[i] = true
+			}
+			resumed = len(prior)
+		}
+		var err error
+		ckpt, err = openCheckpoint(cfg.Checkpoint, hdr, prior)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.close()
+	}
+
+	base := tagBase.Add(uint64(cfg.Shards)) - uint64(cfg.Shards)
+	prog := newProgress(cfg, bus, reg, resumed)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Shards {
+					return
+				}
+				if skip[i] {
+					continue
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				sh := Shard{Index: i, Seed: SubSeed(cfg.Seed, i), tag: base + uint64(i) + 1}
+				res, err := fn(runCtx, sh)
+				if err != nil {
+					fail(fmt.Errorf("sweep: %s shard %d: %w", cfg.Name, i, err))
+					return
+				}
+				results[i] = res
+				if ckpt != nil {
+					if err := ckpt.write(i, res); err != nil {
+						fail(err)
+						return
+					}
+				}
+				prog.complete(sh)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// progress publishes shard completions to the registry gauges and the bus.
+type progress struct {
+	cfg   Config
+	bus   *obs.Bus
+	start time.Time
+
+	mu       sync.Mutex
+	done     int // completed this run (excludes resumed shards)
+	resumed  int
+	total    *obs.Gauge
+	doneG    *obs.Gauge
+	tps      *obs.Gauge
+	eta      *obs.Gauge
+	trialsPS *obs.Gauge
+}
+
+func newProgress(cfg Config, bus *obs.Bus, reg *obs.Registry, resumed int) *progress {
+	p := &progress{
+		cfg: cfg, bus: bus, start: time.Now(), resumed: resumed,
+		total: reg.Gauge("sweep.shards_total"),
+		doneG: reg.Gauge("sweep.shards_done"),
+		tps:   reg.Gauge("sweep.trials_per_sec"),
+		eta:   reg.Gauge("sweep.eta_ms"),
+	}
+	p.total.Set(int64(cfg.Shards))
+	p.doneG.Set(int64(resumed))
+	p.tps.Set(0)
+	p.eta.Set(-1) // unknown until the first shard lands
+	return p
+}
+
+// complete records one freshly executed shard: gauges first, then the
+// shard-tagged bus event carrying the running completion count.
+func (p *progress) complete(sh Shard) {
+	p.mu.Lock()
+	p.done++
+	done := p.done + p.resumed
+	elapsed := time.Since(p.start)
+	var tps float64
+	var eta time.Duration
+	if elapsed > 0 {
+		tps = float64(p.done*p.cfg.TrialsPerShard) / elapsed.Seconds()
+		remaining := p.cfg.Shards - done
+		eta = time.Duration(float64(elapsed) / float64(p.done) * float64(remaining))
+	}
+	p.doneG.Set(int64(done))
+	p.tps.Set(int64(tps))
+	p.eta.Set(eta.Milliseconds())
+	p.mu.Unlock()
+
+	if p.bus.Enabled() {
+		ev := obs.NewEvent(obs.KindSweepShardDone, elapsed)
+		ev.Wall = true
+		ev.Shard = sh.ID()
+		ev.Count = int32(done)
+		ev.Detail = p.cfg.Name
+		p.bus.Emit(ev)
+	}
+}
+
+// Fingerprint hashes any JSON-marshalable value (FNV-1a over its canonical
+// encoding). Sweeps use it to assert that merged aggregates are bit-identical
+// across worker counts and across checkpoint/resume round trips.
+func Fingerprint(v interface{}) (uint64, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: fingerprint: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), nil
+}

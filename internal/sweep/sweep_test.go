@@ -1,0 +1,305 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// noisyShard is a representative shard function: it draws from the shard's
+// substream and burns a scheduling-dependent amount of time, so any
+// order-dependence in the engine would show up as a fingerprint mismatch.
+func noisyShard(_ context.Context, sh Shard) (float64, error) {
+	rng := rand.New(rand.NewSource(sh.Seed))
+	sum := 0.0
+	for i := 0; i < 100; i++ {
+		sum += rng.Float64()
+	}
+	if sh.Index%3 == 0 {
+		time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+	}
+	return sum, nil
+}
+
+func TestSubSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 1000; i++ {
+		s := SubSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed(42, %d) == SubSeed(42, %d) == %d", i, prev, s)
+		}
+		seen[s] = i
+		if s != SubSeed(42, i) {
+			t.Fatalf("SubSeed(42, %d) not deterministic", i)
+		}
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatal("different roots produced the same substream seed")
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	var want uint64
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 13} {
+		res, err := Run(context.Background(), Config{
+			Name: "det", Shards: 40, Seed: 7, Workers: workers,
+			Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+		}, noisyShard)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp, err := Fingerprint(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == 0 {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("workers=%d: fingerprint %x != %x — results depend on worker count", workers, fp, want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Shards: 0}, noisyShard); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := Run[int](context.Background(), Config{Shards: 1}, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	_, err := Run(context.Background(), Config{
+		Name: "err", Shards: 20, Workers: 4,
+		Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+	}, func(_ context.Context, sh Shard) (int, error) {
+		if sh.Index == 11 {
+			return 0, boom
+		}
+		return sh.Index, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard 11") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want shard-11 boom", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(ctx, Config{
+			Name: "cancel", Shards: 10000, Workers: 2,
+			Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+		}, func(c context.Context, sh Shard) (int, error) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return sh.Index, nil
+		})
+		if err != context.Canceled {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the sweep")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("%d shards ran after cancellation", n)
+	}
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	cfg := Config{
+		Name: "resume", Shards: 30, Seed: 3, Workers: 4,
+		Checkpoint: path, Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+	}
+
+	// Uninterrupted reference run (no checkpoint) for the golden fingerprint.
+	ref, err := Run(context.Background(), Config{
+		Name: "resume", Shards: 30, Seed: 3, Workers: 1,
+		Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+	}, noisyShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP, _ := Fingerprint(ref)
+
+	// First attempt dies partway through: shards fail once 12 have run.
+	var ran atomic.Int64
+	_, err = Run(context.Background(), cfg, func(c context.Context, sh Shard) (float64, error) {
+		if ran.Add(1) > 12 {
+			return 0, fmt.Errorf("killed")
+		}
+		return noisyShard(c, sh)
+	})
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+
+	// Resume must re-run only the missing shards and merge identically.
+	resumeCfg := cfg
+	resumeCfg.Resume = true
+	var reran atomic.Int64
+	var rerunFirst atomic.Int64
+	rerunFirst.Store(-1)
+	res, err := Run(context.Background(), resumeCfg, func(c context.Context, sh Shard) (float64, error) {
+		reran.Add(1)
+		rerunFirst.CompareAndSwap(-1, int64(sh.Index))
+		return noisyShard(c, sh)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(reran.Load()); got >= 30 || got == 0 {
+		t.Fatalf("resume re-ran %d shards, want only the missing ones (0 < n < 30)", got)
+	}
+	fp, _ := Fingerprint(res)
+	if fp != wantFP {
+		t.Fatalf("resumed fingerprint %x != uninterrupted %x", fp, wantFP)
+	}
+
+	// A second resume re-runs nothing and still matches.
+	res, err = Run(context.Background(), resumeCfg, func(c context.Context, sh Shard) (float64, error) {
+		t.Errorf("shard %d re-ran on a complete checkpoint", sh.Index)
+		return noisyShard(c, sh)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, _ := Fingerprint(res); fp != wantFP {
+		t.Fatalf("complete-checkpoint fingerprint %x != %x", fp, wantFP)
+	}
+}
+
+func TestCheckpointToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	cfg := Config{
+		Name: "trunc", Shards: 6, Seed: 1, Workers: 1,
+		Checkpoint: path, Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+	}
+	if _, err := Run(context.Background(), cfg, noisyShard); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: chop the last line in half.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumeCfg := cfg
+	resumeCfg.Resume = true
+	var reran atomic.Int64
+	if _, err := Run(context.Background(), resumeCfg, func(c context.Context, sh Shard) (float64, error) {
+		reran.Add(1)
+		return noisyShard(c, sh)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reran.Load(); got != 1 {
+		t.Fatalf("re-ran %d shards after truncation, want exactly the chopped one", got)
+	}
+}
+
+func TestCheckpointHeaderMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	base := Config{
+		Name: "hdr", Shards: 4, Seed: 1, Workers: 1,
+		Checkpoint: path, Registry: obs.NewRegistry(), Bus: &obs.Bus{},
+	}
+	if _, err := Run(context.Background(), base, noisyShard); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Seed = 2 },
+		func(c *Config) { c.Shards = 5 },
+		func(c *Config) { c.Name = "other" },
+	} {
+		cfg := base
+		cfg.Resume = true
+		mutate(&cfg)
+		if _, err := Run(context.Background(), cfg, noisyShard); err == nil {
+			t.Errorf("resume with mutated config %+v accepted a foreign checkpoint", cfg)
+		}
+	}
+}
+
+func TestProgressGaugesAndEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	bus := &obs.Bus{}
+	ring := obs.NewRing(128)
+	bus.Attach(ring)
+	if _, err := Run(context.Background(), Config{
+		Name: "prog", Shards: 8, Seed: 1, Workers: 2, TrialsPerShard: 10,
+		Registry: reg, Bus: bus,
+	}, noisyShard); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("sweep.shards_total").Value(); got != 8 {
+		t.Errorf("shards_total = %d, want 8", got)
+	}
+	if got := reg.Gauge("sweep.shards_done").Value(); got != 8 {
+		t.Errorf("shards_done = %d, want 8", got)
+	}
+	evs := ring.Find(obs.KindSweepShardDone)
+	if len(evs) != 8 {
+		t.Fatalf("got %d shard-done events, want 8", len(evs))
+	}
+	shards := make(map[uint64]bool)
+	for _, ev := range evs {
+		if ev.Shard == 0 {
+			t.Errorf("event missing shard tag: %v", ev)
+		}
+		shards[ev.Shard] = true
+		if ev.Detail != "prog" {
+			t.Errorf("event names sweep %q, want prog", ev.Detail)
+		}
+	}
+	if len(shards) != 8 {
+		t.Errorf("events carry %d distinct shard tags, want 8", len(shards))
+	}
+}
+
+func TestShardEventJSONRoundTrip(t *testing.T) {
+	ev := obs.NewEvent(obs.KindSweepShardDone, 5*time.Millisecond)
+	ev.Shard = 7
+	ev.Count = 3
+	ev.Detail = "fig1a"
+	data, err := ev.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"shard":7`) {
+		t.Fatalf("wire form missing shard tag: %s", data)
+	}
+	var back obs.Event
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != 7 || back.Kind != obs.KindSweepShardDone || back.Detail != "fig1a" {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if !strings.Contains(ev.String(), "shard=7") {
+		t.Fatalf("String() missing shard tag: %s", ev.String())
+	}
+}

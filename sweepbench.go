@@ -1,0 +1,125 @@
+package sharebackup
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sharebackup/internal/bench"
+	"sharebackup/internal/sweep"
+)
+
+// SweepBenchConfig tunes the sweep-engine benchmark.
+type SweepBenchConfig struct {
+	// K is the fat-tree parameter for the Fig1a workload (default 8 — big
+	// enough to give each shard real work, small enough for a gate run).
+	K int
+	// Trials per rate point (default 4).
+	Trials int
+	// Workers is the parallel worker count to compare against the
+	// single-worker baseline (0 = GOMAXPROCS).
+	Workers int
+}
+
+// SweepBenchResult is the machine-readable sweep benchmark output: the same
+// Fig1a sweep timed at one worker and at N, plus a determinism check on the
+// two results. Speedup depends on the host's core count; on a single-core
+// machine it is honestly ~1.
+type SweepBenchResult struct {
+	Experiment    string  `json:"experiment"`
+	K             int     `json:"k"`
+	Shards        int     `json:"shards"`
+	Workers       int     `json:"workers"`
+	Wall1MS       float64 `json:"wall_1w_ms"`
+	WallNMS       float64 `json:"wall_nw_ms"`
+	Speedup       float64 `json:"speedup"`
+	TrialsPerSec1 float64 `json:"trials_per_sec_1w"`
+	TrialsPerSecN float64 `json:"trials_per_sec_nw"`
+	// Deterministic is true when the one-worker and N-worker results
+	// fingerprint identically — the engine's core contract.
+	Deterministic bool   `json:"deterministic"`
+	Fingerprint1  string `json:"fingerprint_1w"`
+	FingerprintN  string `json:"fingerprint_nw"`
+}
+
+// SweepBench times the Fig1a failure sweep through the sweep engine at one
+// worker and at cfg.Workers, and fingerprints both results to verify the
+// engine's worker-count independence.
+func SweepBench(cfg SweepBenchConfig) (*SweepBenchResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 8
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 4
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	run := func(workers int) (*Fig1Result, float64, error) {
+		start := time.Now()
+		res, err := Fig1a(Fig1Config{K: cfg.K, Seed: 11, Trials: cfg.Trials, Workers: workers})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, float64(time.Since(start).Nanoseconds()) / 1e6, nil
+	}
+	res1, wall1, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	resN, wallN, err := run(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	fp1, err := sweep.Fingerprint(res1)
+	if err != nil {
+		return nil, err
+	}
+	fpN, err := sweep.Fingerprint(resN)
+	if err != nil {
+		return nil, err
+	}
+	// 8 rate points (single-failure headline + 7 defaults) x Trials shards.
+	shards := 8 * cfg.Trials
+	out := &SweepBenchResult{
+		Experiment:    "sweep-engine",
+		K:             cfg.K,
+		Shards:        shards,
+		Workers:       cfg.Workers,
+		Wall1MS:       wall1,
+		WallNMS:       wallN,
+		Speedup:       wall1 / wallN,
+		TrialsPerSec1: float64(shards) / (wall1 / 1e3),
+		TrialsPerSecN: float64(shards) / (wallN / 1e3),
+		Deterministic: fp1 == fpN,
+		Fingerprint1:  fmt.Sprintf("%016x", fp1),
+		FingerprintN:  fmt.Sprintf("%016x", fpN),
+	}
+	return out, nil
+}
+
+// GateMetrics flattens the result into the trajectory gate's metric map.
+// Wall-clock throughput gets a wide tolerance (machine noise, core count);
+// determinism gets a tolerance that only a loss of bit-identity can trip.
+func (r *SweepBenchResult) GateMetrics() map[string]bench.Metric {
+	det := 0.0
+	if r.Deterministic {
+		det = 1.0
+	}
+	return map[string]bench.Metric{
+		// Wall-clock throughput varies hugely across hosts and core counts;
+		// 0.9 means only a >10x collapse trips.
+		"sweep.trials_per_sec_1w": {
+			Value: r.TrialsPerSec1, Unit: "trials/s", Better: "higher", Tolerance: 0.9,
+		},
+		// Speedup is bounded below by ~1 on any host (a 1-core baseline vs a
+		// many-core CI run only raises it), so the wide tolerance guards
+		// against a genuine serialization bug, not machine variance.
+		"sweep.speedup": {
+			Value: r.Speedup, Better: "higher", Tolerance: 0.9,
+		},
+		"sweep.deterministic": {
+			Value: det, Better: "higher", Tolerance: 0.5,
+		},
+	}
+}
