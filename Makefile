@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-race vet build test race bench tools
+.PHONY: check check-race vet build test race bench bench-smoke tools
 
 check: vet build test race
 
@@ -28,6 +28,11 @@ race:
 # event sink is attached, so watch these against the seed numbers.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Check-only trajectory gate at CI scale: reduced recovery trials, smoke
+# storm comparison (reported, not gated), no BENCH_*.json rewrite.
+bench-smoke:
+	$(GO) run ./cmd/sbbench -no-write -trials 8 -smoke
 
 tools:
 	$(GO) build ./cmd/...

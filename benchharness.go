@@ -2,6 +2,10 @@ package sharebackup
 
 import (
 	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
 	"time"
 
 	"sharebackup/internal/bench"
@@ -211,28 +215,44 @@ type DataplaneBenchConfig struct {
 	// K is the fat-tree parameter (default 8: one host per edge switch →
 	// 32 hosts, 992 flows all-to-all).
 	K int
-	// BytesPerFlow is the flow size (default 1e3, sized against the
+	// BytesPerFlow is the base flow size (default 1e3, sized against the
 	// 40 B/s host links so all-to-all completes in simulated seconds).
+	// Actual sizes fan out over 0.5×..2.25× so the FCT distribution is
+	// non-degenerate.
 	BytesPerFlow float64
+	// Smoke shrinks the storm comparison to CI scale. Smoke storm numbers
+	// are reported but excluded from GateMetrics, so they never gate
+	// against a full-size baseline.
+	Smoke bool
+	// SkipStorm skips the storm comparison entirely (unit tests of the
+	// all-to-all section).
+	SkipStorm bool
 }
 
 // DataplaneBenchResult is the machine-readable data-plane benchmark output.
-// Simulated quantities (FCT, rates, recompute count) are deterministic;
-// WallMS is host time and inherently noisy.
+// Simulated quantities (FCT, rates, recompute counts and work) are
+// deterministic; WallMS, EventsPerSec and AllocsPerEvent are host-dependent.
 type DataplaneBenchResult struct {
-	Experiment     string                `json:"experiment"`
-	K              int                   `json:"k"`
-	Flows          int                   `json:"flows"`
-	WallMS         float64               `json:"wall_ms"`
-	RateRecomputes int64                 `json:"rate_recomputes"`
-	FCTUS          obs.HistogramSnapshot `json:"fct_us"`
-	FlowRateBps    obs.HistogramSnapshot `json:"flow_rate_Bps"`
-	LinkUtilPm     obs.HistogramSnapshot `json:"link_util_permille"`
+	Experiment        string                `json:"experiment"`
+	K                 int                   `json:"k"`
+	Flows             int                   `json:"flows"`
+	Events            int64                 `json:"events"`
+	WallMS            float64               `json:"wall_ms"`
+	EventsPerSec      float64               `json:"events_per_sec"`
+	AllocsPerEvent    float64               `json:"allocs_per_event"`
+	RateRecomputes    int64                 `json:"rate_recomputes"`
+	RateRecomputeWork int64                 `json:"rate_recompute_work"`
+	FCTUS             obs.HistogramSnapshot `json:"fct_us"`
+	FlowRateBps       obs.HistogramSnapshot `json:"flow_rate_Bps"`
+	LinkUtilPm        obs.HistogramSnapshot `json:"link_util_permille"`
+	RecomputeWorkHist obs.HistogramSnapshot `json:"recompute_work_per_pass"`
+	Storm             *StormBenchResult     `json:"storm,omitempty"`
 }
 
-// DataplaneBench runs an all-to-all workload over the first ECMP path of
-// every host pair on a k fat-tree, with full telemetry into a private
-// registry, and reports the FCT/rate/utilization distributions.
+// DataplaneBench runs a staggered all-to-all workload over the first ECMP
+// path of every host pair on a k fat-tree with full telemetry, then the
+// reroute-storm comparison (StormBench), and reports the FCT/rate/
+// utilization distributions plus the event-processing cost metrics.
 func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
 	if cfg.K == 0 {
 		cfg.K = 8
@@ -258,37 +278,65 @@ func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			arrival := float64(s%4) * 0.25
-			if err := sim.AddFlow(fluid.FlowID(id), cfg.BytesPerFlow, arrival, paths[(s+d)%len(paths)]); err != nil {
+			// Stagger arrivals over ~6 simulated seconds and fan sizes over
+			// 0.5×..2.25× so flows genuinely overlap and complete apart:
+			// identical arrivals/sizes made every FCT equal and the
+			// percentile gates vacuous.
+			arrival := float64((s*7+d*3)%29) * 0.2
+			bytes := cfg.BytesPerFlow * (0.5 + 0.25*float64((s+d)%8))
+			if err := sim.AddFlow(fluid.FlowID(id), bytes, arrival, paths[(s+d)%len(paths)]); err != nil {
 				return nil, err
 			}
 			id++
 		}
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	if err := sim.RunToCompletion(); err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	sim.SampleUtilization()
-	return &DataplaneBenchResult{
-		Experiment:     "dataplane-fluid",
-		K:              cfg.K,
-		Flows:          id,
-		WallMS:         float64(wall.Nanoseconds()) / 1e6,
-		RateRecomputes: tel.RateRecomputes.Value(),
-		FCTUS:          tel.FCT.Snapshot(),
-		FlowRateBps:    tel.FlowRate.Snapshot(),
-		LinkUtilPm:     tel.LinkUtil.Snapshot(),
-	}, nil
+	events := tel.FlowsStarted.Value() + tel.FlowsCompleted.Value() +
+		tel.Reroutes.Value() + tel.Stalls.Value()
+	res := &DataplaneBenchResult{
+		Experiment:        "dataplane-fluid",
+		K:                 cfg.K,
+		Flows:             id,
+		Events:            events,
+		WallMS:            float64(wall.Nanoseconds()) / 1e6,
+		EventsPerSec:      float64(events) / wall.Seconds(),
+		AllocsPerEvent:    float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
+		RateRecomputes:    tel.RateRecomputes.Value(),
+		RateRecomputeWork: tel.RateRecomputeWork.Value(),
+		FCTUS:             tel.FCT.Snapshot(),
+		FlowRateBps:       tel.FlowRate.Snapshot(),
+		LinkUtilPm:        tel.LinkUtil.Snapshot(),
+		RecomputeWorkHist: tel.RecomputeWork.Snapshot(),
+	}
+	if !cfg.SkipStorm {
+		storm := StormBenchConfig{}
+		if cfg.Smoke {
+			storm = StormBenchConfig{K: 8, HostsPerEdge: 2, FlowsPerHost: 6, WaveBatch: 64, Smoke: true}
+		}
+		res.Storm, err = StormBench(storm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // GateMetrics flattens the result into the trajectory gate's metric map.
-// The simulated distributions are deterministic (tight tolerance); the wall
-// clock gets a wide one so machine noise doesn't trip the gate, while a
-// genuine order-of-magnitude slowdown still does.
+// The simulated distributions are deterministic (tight tolerance); host-time
+// metrics (wall clock, events/sec) get wide ones so machine noise doesn't
+// trip the gate, while a genuine order-of-magnitude slowdown still does.
+// Smoke-mode storm numbers are omitted: the gate ignores one-sided metrics,
+// so a smoke run simply doesn't exercise the storm gates.
 func (r *DataplaneBenchResult) GateMetrics() map[string]bench.Metric {
-	return map[string]bench.Metric{
+	m := map[string]bench.Metric{
 		"dataplane.fct_p50_us": {
 			Value: float64(r.FCTUS.P50), Unit: "us", Better: "lower", Tolerance: 0.10,
 		},
@@ -298,8 +346,239 @@ func (r *DataplaneBenchResult) GateMetrics() map[string]bench.Metric {
 		"dataplane.rate_recomputes": {
 			Value: float64(r.RateRecomputes), Better: "lower", Tolerance: 0.10,
 		},
+		"dataplane.rate_recompute_work": {
+			Value: float64(r.RateRecomputeWork), Unit: "incidences", Better: "lower", Tolerance: 0.10,
+		},
 		"dataplane.wall_ms": {
 			Value: r.WallMS, Unit: "ms", Better: "lower", Tolerance: 2.0,
 		},
+		"dataplane.events_per_sec": {
+			Value: r.EventsPerSec, Unit: "events/s", Better: "higher", Tolerance: 0.67,
+		},
+		"dataplane.allocs_per_event": {
+			Value: r.AllocsPerEvent, Unit: "allocs", Better: "lower", Tolerance: 0.25,
+		},
 	}
+	if r.Storm != nil && !r.Storm.Smoke {
+		m["dataplane.storm_work_ratio"] = bench.Metric{
+			Value: r.Storm.WorkRatio, Unit: "x", Better: "higher", Tolerance: 0.25,
+		}
+		m["dataplane.storm_wall_speedup"] = bench.Metric{
+			Value: r.Storm.WallSpeedup, Unit: "x", Better: "higher", Tolerance: 0.67,
+		}
+		m["dataplane.storm_events_per_sec"] = bench.Metric{
+			Value: r.Storm.EventsPerSec, Unit: "events/s", Better: "higher", Tolerance: 0.67,
+		}
+	}
+	return m
+}
+
+// StormBenchConfig parameterizes the reroute-storm comparison.
+type StormBenchConfig struct {
+	// K and HostsPerEdge size the fabric (default k=16 with 4 hosts per
+	// edge: 512 hosts). FlowsPerHost sizes the offered load (default 20 →
+	// 10240 flows).
+	K, HostsPerEdge, FlowsPerHost int
+	// Waves is the number of reroute storms (default 3), WaveBatch the
+	// reroutes per storm (default 256).
+	Waves, WaveBatch int
+	// Smoke marks a reduced-scale run (set by DataplaneBench's smoke mode);
+	// carried into the result so GateMetrics can exclude it.
+	Smoke bool
+}
+
+// StormBenchResult compares the incremental engine against the retained
+// full-recompute reference on an identical reroute-storm workload: ~85%
+// rack-local / 15% pod-local traffic with staggered arrivals, plus waves of
+// ECMP reroutes mid-run. Both engines replay the exact same schedule; their
+// FCTs must agree (MaxRelDiff is a hard error above 1e-3, not a gate).
+type StormBenchResult struct {
+	Experiment    string  `json:"experiment"`
+	K             int     `json:"k"`
+	Flows         int     `json:"flows"`
+	Events        int64   `json:"events"`
+	Smoke         bool    `json:"smoke,omitempty"`
+	IncWallMS     float64 `json:"inc_wall_ms"`
+	FullWallMS    float64 `json:"full_wall_ms"`
+	WallSpeedup   float64 `json:"wall_speedup"`
+	IncWork       int64   `json:"inc_recompute_work"`
+	FullWork      int64   `json:"full_recompute_work"`
+	WorkRatio     float64 `json:"work_ratio"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	MaxRelDiffFCT float64 `json:"fct_max_rel_diff"`
+}
+
+// stormFlow is one generated flow of the storm schedule.
+type stormFlow struct {
+	bytes, arrival float64
+	path           topo.Path
+}
+
+// stormReroute is one reroute of a storm wave.
+type stormReroute struct {
+	id   fluid.FlowID
+	path topo.Path
+}
+
+// StormBench generates the deterministic storm schedule once, replays it
+// through the incremental engine and the forced-full reference, and reports
+// the work and wall-clock ratios. This is the workload behind the
+// `dataplane.storm_*` gate metrics and the EXPERIMENTS.md scale table.
+func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 16
+	}
+	if cfg.HostsPerEdge == 0 {
+		cfg.HostsPerEdge = 4
+	}
+	if cfg.FlowsPerHost == 0 {
+		cfg.FlowsPerHost = 20
+	}
+	if cfg.Waves == 0 {
+		cfg.Waves = 3
+	}
+	if cfg.WaveBatch == 0 {
+		cfg.WaveBatch = 256
+	}
+	ft, err := topo.NewFatTree(topo.Config{K: cfg.K, HostsPerEdge: cfg.HostsPerEdge, HostCapacity: 40})
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(7))
+	n := ft.NumHosts()
+	per := cfg.HostsPerEdge
+	perPod := (cfg.K / 2) * per
+	flows := make([]stormFlow, 0, n*cfg.FlowsPerHost)
+	var multipath []fluid.FlowID
+	for i := 0; i < n*cfg.FlowsPerHost; i++ {
+		src := i % n
+		var dst int
+		if per > 1 && r.Float64() < 0.85 {
+			// Rack-local: another host under the same edge switch — the
+			// locality skew of real DC traffic, and the regime where
+			// component scoping pays.
+			base := (src / per) * per
+			dst = base + r.Intn(per)
+			for dst == src {
+				dst = base + r.Intn(per)
+			}
+		} else {
+			// Pod-local cross-rack: multi-path (reroutable through the
+			// pod's aggs) but confined to the pod, keeping link-sharing
+			// components pod-sized. Inter-pod flows would glue the fabric
+			// into one component through the core.
+			base := (src / perPod) * perPod
+			dst = base + r.Intn(perPod)
+			for dst == src || dst/per == src/per {
+				dst = base + r.Intn(perPod)
+			}
+		}
+		paths, err := ft.ECMPPaths(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		flows = append(flows, stormFlow{
+			bytes:   500 + r.Float64()*1500,
+			arrival: r.Float64() * 10,
+			path:    paths[r.Intn(len(paths))],
+		})
+		if len(paths) > 1 {
+			multipath = append(multipath, fluid.FlowID(i))
+		}
+	}
+	waves := make([]struct {
+		at       float64
+		reroutes []stormReroute
+	}, cfg.Waves)
+	for w := range waves {
+		waves[w].at = 4 + 2*float64(w)
+		batch := cfg.WaveBatch
+		if batch > len(multipath) {
+			batch = len(multipath)
+		}
+		for b := 0; b < batch; b++ {
+			id := multipath[r.Intn(len(multipath))]
+			src := int(id) % n
+			p := flows[id].path
+			dstNode := p.Nodes[len(p.Nodes)-1]
+			paths, err := ft.ECMPPaths(src, ft.Node(dstNode).Index)
+			if err != nil {
+				return nil, err
+			}
+			waves[w].reroutes = append(waves[w].reroutes, stormReroute{
+				id:   id,
+				path: paths[r.Intn(len(paths))],
+			})
+		}
+	}
+
+	replay := func(full bool) (time.Duration, int64, int64, []float64, error) {
+		sim := fluid.New(ft.Topology)
+		sim.ForceFullRecompute(full)
+		start := time.Now()
+		for i, f := range flows {
+			if err := sim.AddFlow(fluid.FlowID(i), f.bytes, f.arrival, f.path); err != nil {
+				return 0, 0, 0, nil, err
+			}
+		}
+		events := int64(len(flows))
+		for _, wv := range waves {
+			if err := sim.Run(wv.at); err != nil {
+				return 0, 0, 0, nil, err
+			}
+			for _, rr := range wv.reroutes {
+				if sim.Flow(rr.id).Done() {
+					continue
+				}
+				if err := sim.SetPath(rr.id, rr.path); err != nil {
+					return 0, 0, 0, nil, err
+				}
+				events++
+			}
+		}
+		if err := sim.RunToCompletion(); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		wall := time.Since(start)
+		st := sim.Stats()
+		fcts := make([]float64, len(flows))
+		for i := range flows {
+			fcts[i] = sim.Flow(fluid.FlowID(i)).Finish()
+		}
+		return wall, st.RecomputeWork, events + st.HeapPops, fcts, nil
+	}
+
+	incWall, incWork, events, incFCT, err := replay(false)
+	if err != nil {
+		return nil, err
+	}
+	fullWall, fullWork, _, fullFCT, err := replay(true)
+	if err != nil {
+		return nil, err
+	}
+	maxRel := 0.0
+	for i := range incFCT {
+		d := math.Abs(incFCT[i]-fullFCT[i]) / (math.Abs(fullFCT[i]) + 1)
+		if d > maxRel {
+			maxRel = d
+		}
+	}
+	if maxRel > 1e-3 {
+		return nil, fmt.Errorf("storm bench: incremental and full engines diverged: max relative FCT difference %g", maxRel)
+	}
+	return &StormBenchResult{
+		Experiment:    "dataplane-storm",
+		K:             cfg.K,
+		Flows:         len(flows),
+		Events:        events,
+		Smoke:         cfg.Smoke,
+		IncWallMS:     float64(incWall.Nanoseconds()) / 1e6,
+		FullWallMS:    float64(fullWall.Nanoseconds()) / 1e6,
+		WallSpeedup:   fullWall.Seconds() / incWall.Seconds(),
+		IncWork:       incWork,
+		FullWork:      fullWork,
+		WorkRatio:     float64(fullWork) / float64(incWork),
+		EventsPerSec:  float64(events) / incWall.Seconds(),
+		MaxRelDiffFCT: maxRel,
+	}, nil
 }

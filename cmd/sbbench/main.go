@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trials        = fs.Int("trials", 32, "failovers per kind for the recovery benchmark")
 		tolerance     = fs.Float64("tolerance", 0.10, "default allowed relative regression for metrics without their own tolerance")
 		noWrite       = fs.Bool("no-write", false, "gate against the prior files without updating them")
+		smoke         = fs.Bool("smoke", false, "shrink the data-plane storm comparison to CI scale (storm metrics reported but not gated)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return f, fmt.Sprintf("%d techs, %d recoveries each", len(res.Techs), res.Techs[0].Recoveries), nil
 	})
 	gate(*dataplanePath, "dataplane", func() (*bench.File, string, error) {
-		res, err := sharebackup.DataplaneBench(sharebackup.DataplaneBenchConfig{K: *k})
+		res, err := sharebackup.DataplaneBench(sharebackup.DataplaneBenchConfig{K: *k, Smoke: *smoke})
 		if err != nil {
 			return nil, "", err
 		}
@@ -109,8 +110,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := f.SetDetail(res); err != nil {
 			return nil, "", err
 		}
-		return f, fmt.Sprintf("%d flows, fct p50=%dµs p99=%dµs, wall %.0fms",
-			res.Flows, res.FCTUS.P50, res.FCTUS.P99, res.WallMS), nil
+		summary := fmt.Sprintf("%d flows, fct p50=%dµs p99=%dµs, wall %.0fms, %.0f events/s, %.1f allocs/event",
+			res.Flows, res.FCTUS.P50, res.FCTUS.P99, res.WallMS, res.EventsPerSec, res.AllocsPerEvent)
+		if s := res.Storm; s != nil {
+			mode := ""
+			if s.Smoke {
+				mode = " (smoke, ungated)"
+			}
+			summary += fmt.Sprintf("; storm k=%d %d flows: %.1fx work, %.1fx wall%s",
+				s.K, s.Flows, s.WorkRatio, s.WallSpeedup, mode)
+		}
+		return f, summary, nil
 	})
 	gate(*sweepPath, "sweep", func() (*bench.File, string, error) {
 		res, err := sharebackup.SweepBench(sharebackup.SweepBenchConfig{K: *k})

@@ -16,7 +16,7 @@ func runGate(t *testing.T, dir string, extra ...string) (int, string) {
 		"-recovery", filepath.Join(dir, "BENCH_recovery.json"),
 		"-dataplane", filepath.Join(dir, "BENCH_dataplane.json"),
 		"-sweep", filepath.Join(dir, "BENCH_sweep.json"),
-		"-k", "4", "-trials", "2",
+		"-k", "4", "-trials", "2", "-smoke",
 	}, extra...)
 	var out, errb bytes.Buffer
 	code := run(args, &out, &errb)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
+	"sharebackup/internal/bench"
 	"sharebackup/internal/obs"
 )
 
@@ -66,6 +69,58 @@ func TestCollectSpansDeinterleavesShards(t *testing.T) {
 	}
 	if n := breakdown(spans, "").N(); n != 2 {
 		t.Fatalf("breakdown aggregated %d recoveries, want 2", n)
+	}
+}
+
+// A BENCH_*.json trajectory file must be recognized, its metrics listed, and
+// -hist must find and render every histogram snapshot inside the detail tree
+// (here: the recompute-work histogram nested one level down).
+func TestRenderBenchFile(t *testing.T) {
+	h := &obs.Histogram{}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 7)
+	}
+	f := &bench.File{
+		Metrics: map[string]bench.Metric{
+			"dataplane.rate_recompute_work": {Value: 12345, Unit: "incidences", Better: "lower"},
+			"dataplane.events_per_sec":      {Value: 27000, Unit: "events/s", Better: "higher"},
+		},
+	}
+	if err := f.SetDetail(map[string]interface{}{
+		"recompute_work_per_pass": h.Snapshot(),
+		"summary_without_buckets": map[string]int{"count": 5, "mean": 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := parseBenchFile(data)
+	if !ok {
+		t.Fatal("bench file not recognized")
+	}
+	out := renderBenchFile("BENCH_dataplane.json", bf, true)
+	for _, want := range []string{
+		"dataplane.rate_recompute_work",
+		"better=higher",
+		"detail.recompute_work_per_pass",
+		"p50=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "summary_without_buckets") {
+		t.Errorf("bucketless summary rendered as histogram:\n%s", out)
+	}
+
+	// JSONL event streams must fall through to the event path.
+	if _, ok := parseBenchFile([]byte("{\"kind\":1}\n{\"kind\":2}\n")); ok {
+		t.Error("multi-line JSONL misread as bench file")
+	}
+	if _, ok := parseBenchFile([]byte("{\"kind\":1}\n")); ok {
+		t.Error("single event misread as bench file")
 	}
 }
 

@@ -1,0 +1,95 @@
+package fluid
+
+// finEvent is one scheduled completion: the exact finish time implied by
+// the flow's rate at the epoch the event was pushed. Rate changes bump the
+// flow's epoch instead of searching the heap, and mismatched entries are
+// dropped when they surface — classic lazy invalidation, which keeps every
+// rate change O(log n) instead of O(n).
+type finEvent struct {
+	t     float64
+	epoch uint32
+	f     *Flow
+}
+
+// finHeap is a hand-rolled binary min-heap of finish events, ordered by
+// time then flow ID (the ID tie-break keeps cohort completion order
+// deterministic and ID-sorted, matching the seed engine's scan order).
+// Hand-rolled rather than container/heap so push/pop stay inlineable and
+// allocation-free on the hot path.
+type finHeap []finEvent
+
+func (h finHeap) Len() int { return len(h) }
+
+func (h finHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].f.ID < h[j].f.ID
+}
+
+func (h *finHeap) push(e finEvent) {
+	*h = append(*h, e)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+// popHead removes the minimum entry. Callers peek h[0] first; popHead
+// exists separately so the peek-discard loops don't copy entries around
+// when the head is kept.
+func (h *finHeap) popHead() {
+	a := *h
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = finEvent{}
+	a = a[:n]
+	*h = a
+	h.siftDown(0)
+}
+
+func (h *finHeap) siftDown(i int) {
+	a := *h
+	n := len(a)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && a.less(c+1, c) {
+			c++
+		}
+		if !a.less(c, i) {
+			return
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+}
+
+// compact drops every invalidated entry in one pass and re-heapifies,
+// returning how many entries were discarded. Called when the heap is
+// dominated by stale debris (reroute storms invalidate aggressively).
+func (h *finHeap) compact() int {
+	a := *h
+	kept := a[:0]
+	for _, e := range a {
+		if !e.f.done && e.epoch == e.f.epoch {
+			kept = append(kept, e)
+		}
+	}
+	dropped := len(a) - len(kept)
+	for i := len(kept); i < len(a); i++ {
+		a[i] = finEvent{}
+	}
+	*h = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return dropped
+}

@@ -5,13 +5,21 @@
 // among competing flows, which the classical max-min (progressive-filling)
 // model captures. The simulator supports mid-run rerouting and stalling, so
 // failure and recovery events can be injected between runs.
+//
+// The hot path is incremental (DESIGN.md §10): an event only recomputes
+// rates inside the connected component of flows sharing links with the
+// changed flow (full recomputation is the fallback for oversized
+// components), the next completion comes from a lazily-invalidated
+// finish-time heap instead of a scan, and bytes drain lazily so advancing
+// time is O(1). Max-min allocations decompose exactly over link-sharing
+// components, so scoped recomputation is equivalent to the global
+// algorithm; the differential property tests in property_test.go replay
+// randomized schedules through both engines to enforce it.
 package fluid
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 	"sync/atomic"
 
 	"sharebackup/internal/topo"
@@ -29,15 +37,38 @@ type Flow struct {
 	// (disconnected): it holds its remaining bytes at zero rate.
 	Path topo.Path
 
-	remaining float64
+	remaining float64 // bytes left as of lastT (drains lazily after that)
+	lastT     float64 // simulation time remaining was last materialized at
 	rate      float64
+	prevRate  float64 // scratch: rate before the in-flight recompute
 	started   bool
 	done      bool
 	finish    float64
+
+	epoch     uint32  // bumped on every rate change; stale heap entries differ
+	activeIdx int32   // index in sim.active, -1 when not active
+	visit     uint64  // component-BFS visit generation
+	linkPos   []int32 // linkPos[j] = this flow's slot in sim.linkFlows[Path.Links[j]]
+
+	sim *Simulator
 }
 
-// Remaining returns the bytes the flow still has to transfer.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns the bytes the flow still has to transfer. Bytes drain
+// lazily between rate changes, so the value is materialized on demand from
+// the current rate and the simulator clock.
+func (f *Flow) Remaining() float64 {
+	if f.sim == nil || !f.started || f.done {
+		return f.remaining
+	}
+	r := f.remaining
+	if f.rate > 0 {
+		r -= f.rate * (f.sim.now - f.lastT)
+		if r < 0 {
+			r = 0
+		}
+	}
+	return r
+}
 
 // Rate returns the flow's current max-min fair rate.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -51,6 +82,25 @@ func (f *Flow) Finish() float64 { return f.finish }
 // Stalled reports whether the flow is active but disconnected.
 func (f *Flow) Stalled() bool { return f.started && !f.done && len(f.Path.Links) == 0 }
 
+// linkRef is one entry of a per-link flow list: the flow plus which slot of
+// its path the link occupies, so swap-removal can repair the moved flow's
+// linkPos in O(1).
+type linkRef struct {
+	f    *Flow
+	slot int32
+}
+
+// EngineStats counts the incremental engine's work in simulator-owned plain
+// integers (telemetry-independent, so benchmarks and regression tests can
+// assert on algorithmic cost instead of wall-clock).
+type EngineStats struct {
+	Recomputes     int64 // rate recomputation passes (scoped or full)
+	FullRecomputes int64 // passes that ran over the whole active set
+	RecomputeWork  int64 // flow×link incidences touched by filling passes
+	HeapPops       int64 // finish events consumed from the heap
+	StalePops      int64 // lazily-invalidated heap entries discarded
+}
+
 // Simulator advances a set of flows over a capacitated topology.
 type Simulator struct {
 	topo *topo.Topology
@@ -58,11 +108,33 @@ type Simulator struct {
 
 	now     float64
 	flows   map[FlowID]*Flow
-	active  []*Flow // started, not done; sorted by ID
+	active  []*Flow // started, not done; index-mapped via Flow.activeIdx
 	pending arrivalHeap
+	fin     finHeap // finish-time heap, lazily invalidated via Flow.epoch
 
-	ratesDirty bool
-	linkIdx    []int32 // scratch: link ID -> engaged-link index, reused across recomputes
+	linkFlows [][]linkRef // per-link lists of active flows crossing the link
+
+	// Dirty tracking: links whose flow set or demand changed since the last
+	// recompute seed the component BFS; fullDirty forces a global pass.
+	dirtySeeds []topo.LinkID
+	fullDirty  bool
+	forceFull  bool // ForceFullRecompute: retained reference engine
+
+	// Scratch buffers reused across recomputes (allocation-free steady
+	// state). linkIdx maps link ID -> engaged-link index and is kept
+	// all -1 between passes; linkGen/gen mark BFS-visited links.
+	linkIdx   []int32
+	linkGen   []uint64
+	gen       uint64
+	engaged   []topo.LinkID
+	residual  []float64
+	count     []int32
+	satList   []int32
+	compFlows []*Flow
+	compLinks []topo.LinkID
+	utilBuf   []float64
+
+	stats EngineStats
 
 	// tel, when non-nil, receives data-plane samples (flow lifecycle,
 	// FCT/rate histograms). Every hook site is a single atomic load plus
@@ -85,11 +157,22 @@ type Simulator struct {
 // default telemetry if one is installed (SetDefaultTelemetry); override
 // per-simulator with SetTelemetry.
 func New(t *topo.Topology) *Simulator {
-	caps := make([]float64, t.NumLinks())
+	nl := t.NumLinks()
+	caps := make([]float64, nl)
 	for i, l := range t.Links {
 		caps[i] = l.Capacity
 	}
-	s := &Simulator{topo: t, caps: caps, flows: make(map[FlowID]*Flow)}
+	s := &Simulator{
+		topo:      t,
+		caps:      caps,
+		flows:     make(map[FlowID]*Flow),
+		linkFlows: make([][]linkRef, nl),
+		linkIdx:   make([]int32, nl),
+		linkGen:   make([]uint64, nl),
+	}
+	for i := range s.linkIdx {
+		s.linkIdx[i] = -1
+	}
 	s.tel.Store(defaultTel.Load())
 	return s
 }
@@ -106,6 +189,15 @@ func (s *Simulator) PendingCount() int { return s.pending.Len() }
 // Flow returns the flow record, or nil if unknown.
 func (s *Simulator) Flow(id FlowID) *Flow { return s.flows[id] }
 
+// Stats returns a snapshot of the engine's internal work counters.
+func (s *Simulator) Stats() EngineStats { return s.stats }
+
+// ForceFullRecompute disables component-scoped recomputation: every dirty
+// event triggers a global progressive-filling pass, exactly the seed
+// algorithm's behaviour. This is the retained reference engine the
+// differential property tests and the storm benchmark compare against.
+func (s *Simulator) ForceFullRecompute(on bool) { s.forceFull = on }
+
 // AddFlow schedules a flow. Arrival must not be in the simulator's past.
 // Bytes must be positive. A zero-length path stalls the flow from the start.
 func (s *Simulator) AddFlow(id FlowID, bytes, arrival float64, path topo.Path) error {
@@ -118,9 +210,9 @@ func (s *Simulator) AddFlow(id FlowID, bytes, arrival float64, path topo.Path) e
 	if arrival < s.now {
 		return fmt.Errorf("fluid: flow %d arrives at %v, before now (%v)", id, arrival, s.now)
 	}
-	f := &Flow{ID: id, Bytes: bytes, Arrival: arrival, Path: path, remaining: bytes}
+	f := &Flow{ID: id, Bytes: bytes, Arrival: arrival, Path: path, remaining: bytes, activeIdx: -1, sim: s}
 	s.flows[id] = f
-	heap.Push(&s.pending, f)
+	s.pending.push(f)
 	return nil
 }
 
@@ -141,9 +233,84 @@ func (s *Simulator) SetPath(id FlowID, path topo.Path) error {
 			tel.Reroutes.Inc()
 		}
 	}
+	if !f.started {
+		// Pending flow: just swap the path; rates don't depend on it yet.
+		f.Path = path
+		return nil
+	}
+	// Materialize bytes at the old rate before the route (and hence the
+	// rate) changes, then perturb both the old and new components. The
+	// epoch is NOT bumped here: if the recompute lands on the same rate,
+	// the flow's existing finish event is still exact. Only a rate change
+	// invalidates it — in fill, or right below for a stall (the one rate
+	// change that happens outside a filling pass).
+	s.drain(f)
+	s.detachLinks(f)
 	f.Path = path
-	s.ratesDirty = true
+	s.attachLinks(f)
+	if len(path.Links) == 0 && f.rate != 0 {
+		f.rate = 0 // stalled immediately; no finish event until rerouted
+		f.epoch++
+	}
 	return nil
+}
+
+// drain materializes f's remaining bytes up to the current time at its
+// current rate. Must be called before any change to f.rate.
+func (s *Simulator) drain(f *Flow) {
+	if f.rate > 0 && s.now > f.lastT {
+		f.remaining -= f.rate * (s.now - f.lastT)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastT = s.now
+}
+
+// attachLinks adds f to the per-link flow lists of its current path and
+// marks those links dirty.
+func (s *Simulator) attachLinks(f *Flow) {
+	if cap(f.linkPos) < len(f.Path.Links) {
+		f.linkPos = make([]int32, len(f.Path.Links))
+	}
+	f.linkPos = f.linkPos[:len(f.Path.Links)]
+	for j, l := range f.Path.Links {
+		f.linkPos[j] = int32(len(s.linkFlows[l]))
+		s.linkFlows[l] = append(s.linkFlows[l], linkRef{f: f, slot: int32(j)})
+		s.markDirty(l)
+	}
+}
+
+// detachLinks removes f from the per-link flow lists of its current path
+// (swap-remove, repairing the moved entry's back-index) and marks those
+// links dirty.
+func (s *Simulator) detachLinks(f *Flow) {
+	for j, l := range f.Path.Links {
+		list := s.linkFlows[l]
+		i := f.linkPos[j]
+		last := int32(len(list) - 1)
+		moved := list[last]
+		list[i] = moved
+		moved.f.linkPos[moved.slot] = i
+		s.linkFlows[l] = list[:last]
+		s.markDirty(l)
+	}
+}
+
+// maxDirtySeeds bounds the dirty-link list; past it the next recompute is
+// global anyway, so the seeds stop being worth tracking individually.
+const maxDirtySeeds = 4096
+
+func (s *Simulator) markDirty(l topo.LinkID) {
+	if s.fullDirty {
+		return
+	}
+	if len(s.dirtySeeds) >= maxDirtySeeds {
+		s.fullDirty = true
+		s.dirtySeeds = s.dirtySeeds[:0]
+		return
+	}
+	s.dirtySeeds = append(s.dirtySeeds, l)
 }
 
 // Run advances the simulation until `until` (inclusive), processing every
@@ -154,60 +321,23 @@ func (s *Simulator) Run(until float64) error {
 		return fmt.Errorf("fluid: Run(%v) is before now (%v)", until, s.now)
 	}
 	for {
-		if s.ratesDirty {
-			s.computeRates()
-		}
+		s.recompute()
 		tArr := math.Inf(1)
 		if s.pending.Len() > 0 {
 			tArr = s.pending[0].Arrival
 		}
-		fin, tFin := s.nextFinish()
+		tFin := s.nextFinishTime()
 		t := math.Min(tArr, tFin)
 		if t > until {
-			s.advance(until)
+			s.now = until
 			return nil
 		}
-		s.advance(t)
-		switch {
-		case tArr <= tFin:
+		s.now = t
+		if tArr <= tFin {
 			s.admitArrivals(tArr)
-		default:
-			s.completeFinished(fin)
+		} else {
+			s.completeDue()
 		}
-	}
-}
-
-// completeFinished completes `first` plus every other active flow that has
-// (numerically) drained, so cohorts finishing together cost one rate
-// recomputation instead of one each.
-func (s *Simulator) completeFinished(first *Flow) {
-	s.complete(first)
-	for i := 0; i < len(s.active); {
-		f := s.active[i]
-		if f.rate > 0 && f.remaining <= relEps*f.Bytes {
-			s.complete(f)
-			continue // complete() removed s.active[i]
-		}
-		i++
-	}
-}
-
-// admitArrivals starts every pending flow arriving exactly at t, so a batch
-// of simultaneous arrivals costs one rate recomputation instead of one each.
-func (s *Simulator) admitArrivals(t float64) {
-	admitted := 0
-	for s.pending.Len() > 0 && s.pending[0].Arrival == t {
-		f := heap.Pop(&s.pending).(*Flow)
-		f.started = true
-		s.active = append(s.active, f)
-		admitted++
-	}
-	sort.Slice(s.active, func(i, j int) bool { return s.active[i].ID < s.active[j].ID })
-	s.ratesDirty = true
-	if tel := s.tel.Load(); tel != nil {
-		tel.FlowsStarted.Add(int64(admitted))
-		tel.ActiveFlows.Set(int64(len(s.active)))
-		tel.PendingFlows.Set(int64(s.pending.Len()))
 	}
 }
 
@@ -216,77 +346,81 @@ func (s *Simulator) admitArrivals(t float64) {
 // else happening).
 func (s *Simulator) RunToCompletion() error {
 	for s.pending.Len() > 0 || len(s.active) > 0 {
-		if s.ratesDirty {
-			s.computeRates()
-		}
+		s.recompute()
 		tArr := math.Inf(1)
 		if s.pending.Len() > 0 {
 			tArr = s.pending[0].Arrival
 		}
-		fin, tFin := s.nextFinish()
+		tFin := s.nextFinishTime()
 		if math.IsInf(tArr, 1) && math.IsInf(tFin, 1) {
 			return fmt.Errorf("fluid: %d stalled flows cannot make progress", len(s.active))
 		}
 		if tArr <= tFin {
-			s.advance(tArr)
+			s.now = tArr
 			s.admitArrivals(tArr)
 		} else {
-			s.advance(tFin)
-			s.completeFinished(fin)
+			s.now = tFin
+			s.completeDue()
 		}
 	}
 	return nil
 }
 
-// advance moves time forward, draining bytes at current rates.
-func (s *Simulator) advance(t float64) {
-	dt := t - s.now
-	if dt > 0 {
-		for _, f := range s.active {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
+// admitArrivals starts every pending flow arriving exactly at t, so a batch
+// of simultaneous arrivals costs one rate recomputation instead of one each.
+func (s *Simulator) admitArrivals(t float64) {
+	admitted := 0
+	for s.pending.Len() > 0 && s.pending[0].Arrival == t {
+		f := s.pending.pop()
+		f.started = true
+		f.lastT = t
+		f.activeIdx = int32(len(s.active))
+		s.active = append(s.active, f)
+		s.attachLinks(f)
+		admitted++
 	}
-	s.now = t
+	if tel := s.tel.Load(); tel != nil {
+		tel.FlowsStarted.Add(int64(admitted))
+		tel.ActiveFlows.Set(int64(len(s.active)))
+		tel.PendingFlows.Set(int64(s.pending.Len()))
+	}
 }
 
-// Utilization returns each link's current aggregate flow rate divided by its
-// capacity — a snapshot of fabric load for experiments and debugging. Rates
-// are refreshed if a topology or flow change is pending.
-func (s *Simulator) Utilization() []float64 {
-	if s.ratesDirty {
-		s.computeRates()
-	}
-	out := make([]float64, len(s.caps))
-	for _, f := range s.active {
-		for _, l := range f.Path.Links {
-			out[l] += f.rate
-		}
-	}
-	for i := range out {
-		if s.caps[i] > 0 {
-			out[i] /= s.caps[i]
-		}
-	}
-	return out
-}
-
-// nextFinish returns the active flow finishing soonest and its finish time.
-func (s *Simulator) nextFinish() (*Flow, float64) {
-	var best *Flow
-	bestT := math.Inf(1)
-	for _, f := range s.active {
-		if f.rate <= 0 {
+// nextFinishTime peeks the earliest valid finish event, discarding entries
+// whose epoch no longer matches their flow (the lazy half of invalidation).
+func (s *Simulator) nextFinishTime() float64 {
+	for s.fin.Len() > 0 {
+		e := s.fin[0]
+		if e.f.done || e.epoch != e.f.epoch {
+			s.fin.popHead()
+			s.stats.StalePops++
 			continue
 		}
-		t := s.now + f.remaining/f.rate
-		if t < bestT {
-			best, bestT = f, t
-		}
+		return e.t
 	}
-	return best, bestT
+	return math.Inf(1)
+}
+
+// completeDue completes every flow whose (valid) finish event falls within
+// relEps of the current time, so cohorts finishing together cost one rate
+// recomputation instead of one each. The heap orders ties by flow ID, which
+// keeps completion order deterministic and ID-sorted like the seed's scan.
+func (s *Simulator) completeDue() {
+	tol := relEps * (math.Abs(s.now) + 1)
+	for s.fin.Len() > 0 {
+		e := s.fin[0]
+		if e.f.done || e.epoch != e.f.epoch {
+			s.fin.popHead()
+			s.stats.StalePops++
+			continue
+		}
+		if e.t > s.now+tol {
+			return
+		}
+		s.fin.popHead()
+		s.stats.HeapPops++
+		s.complete(e.f)
+	}
 }
 
 const (
@@ -296,8 +430,14 @@ const (
 	// same instant are batched into one event.
 	relEps = 1e-9
 	// satTol merges bottleneck links whose fair shares tie within this
-	// relative tolerance into one progressive-filling round.
-	satTol = 1e-6
+	// relative tolerance into one progressive-filling round. It must stay
+	// at float-rounding scale: the merge outcome depends on which links
+	// share a pass, so any tolerance wide enough to capture genuinely
+	// different capacities would make component-scoped passes disagree
+	// with full passes and void the exact-decomposition invariant
+	// (exercised by TestDifferentialIncrementalVsFull, seed 1081: two
+	// random capacities 1.2e-6 apart).
+	satTol = 1e-12
 )
 
 func (s *Simulator) complete(f *Flow) {
@@ -306,13 +446,18 @@ func (s *Simulator) complete(f *Flow) {
 	rate := f.rate
 	f.rate = 0
 	f.remaining = 0
-	for i, g := range s.active {
-		if g == f {
-			s.active = append(s.active[:i], s.active[i+1:]...)
-			break
-		}
-	}
-	s.ratesDirty = true
+	f.lastT = s.now
+	s.detachLinks(f)
+	// Swap-remove from the active set; the index map keeps this O(1)
+	// regardless of cohort size (the seed's pointer-equality splice was
+	// O(active) per completion).
+	i := f.activeIdx
+	last := len(s.active) - 1
+	moved := s.active[last]
+	s.active[i] = moved
+	moved.activeIdx = i
+	s.active = s.active[:last]
+	f.activeIdx = -1
 	if tel := s.tel.Load(); tel != nil {
 		tel.FlowsCompleted.Inc()
 		tel.ActiveFlows.Set(int64(len(s.active)))
@@ -324,138 +469,294 @@ func (s *Simulator) complete(f *Flow) {
 	}
 }
 
-// computeRates runs progressive filling: all unfrozen flows' rates rise
-// together; when a link saturates, its flows freeze at the current level.
-// Stalled flows get rate zero. The implementation keeps per-link flow lists
-// so each flow is frozen exactly once: O(iterations * links + flows *
-// pathlen) overall.
-func (s *Simulator) computeRates() {
-	s.ratesDirty = false
-	if tel := s.tel.Load(); tel != nil {
+// Utilization returns each link's current aggregate flow rate divided by its
+// capacity — a snapshot of fabric load for experiments and debugging. Rates
+// are refreshed if a topology or flow change is pending. The slice is newly
+// allocated; hot callers should use UtilizationInto.
+func (s *Simulator) Utilization() []float64 { return s.UtilizationInto(nil) }
+
+// UtilizationInto is Utilization filling a caller-reusable buffer: buf is
+// resized (reallocating only when too small) and returned.
+func (s *Simulator) UtilizationInto(buf []float64) []float64 {
+	s.recompute()
+	if cap(buf) < len(s.caps) {
+		buf = make([]float64, len(s.caps))
+	}
+	buf = buf[:len(s.caps)]
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, f := range s.active {
+		for _, l := range f.Path.Links {
+			buf[l] += f.rate
+		}
+	}
+	for i := range buf {
+		if s.caps[i] > 0 {
+			buf[i] /= s.caps[i]
+		}
+	}
+	return buf
+}
+
+// recompute refreshes rates if any link is dirty. The dirty component —
+// every flow reachable from the seed links via link-sharing — is
+// recomputed in isolation; by construction no flow outside the component
+// shares a link with one inside, and max-min allocations decompose exactly
+// over such components, so the scoped result equals the global one. When
+// the component exceeds half the active set (or the seed list overflowed),
+// the global pass is cheaper than BFS + scoped filling and runs instead.
+func (s *Simulator) recompute() {
+	if !s.fullDirty && len(s.dirtySeeds) == 0 {
+		return
+	}
+	s.stats.Recomputes++
+	tel := s.tel.Load()
+	if tel != nil {
 		tel.RateRecomputes.Inc()
 	}
+	full := s.forceFull || s.fullDirty
+	if !full {
+		comp := s.componentOfDirty()
+		if 2*len(comp) > len(s.active) {
+			full = true
+		} else {
+			s.fill(comp, tel)
+		}
+	}
+	if full {
+		s.stats.FullRecomputes++
+		if tel != nil {
+			tel.FullRecomputes.Inc()
+		}
+		s.fill(s.active, tel)
+	}
+	s.fullDirty = false
+	s.dirtySeeds = s.dirtySeeds[:0]
+}
+
+// componentOfDirty BFSes the link-sharing graph outward from the dirty seed
+// links: a link pulls in every flow crossing it, a flow pulls in every link
+// on its path. The result (kept in reusable scratch) is closed under
+// sharing: all flows on any collected link are collected.
+func (s *Simulator) componentOfDirty() []*Flow {
+	s.gen++
+	links := s.compLinks[:0]
+	comp := s.compFlows[:0]
+	for _, l := range s.dirtySeeds {
+		if s.linkGen[l] != s.gen {
+			s.linkGen[l] = s.gen
+			links = append(links, l)
+		}
+	}
+	for qi := 0; qi < len(links); qi++ {
+		for _, ref := range s.linkFlows[links[qi]] {
+			f := ref.f
+			if f.visit == s.gen {
+				continue
+			}
+			f.visit = s.gen
+			comp = append(comp, f)
+			for _, l2 := range f.Path.Links {
+				if s.linkGen[l2] != s.gen {
+					s.linkGen[l2] = s.gen
+					links = append(links, l2)
+				}
+			}
+		}
+	}
+	s.compLinks, s.compFlows = links, comp
+	return comp
+}
+
+// fill runs progressive filling over flowSet: all unfrozen flows' rates
+// rise together; when a link saturates, its flows freeze at the current
+// level. Stalled flows get rate zero. flowSet must be closed under link
+// sharing (a component union, or the whole active set), so every engaged
+// link's full capacity belongs to the set. Flows whose rate changed get a
+// new epoch and a fresh finish event; unchanged flows keep their exact
+// heap entries.
+func (s *Simulator) fill(flowSet []*Flow, tel *Telemetry) {
 	// Engaged links are gathered into dense slices so the per-iteration
 	// min-search and residual updates are cache-friendly scans; the
-	// linkIdx scratch array (sized to the topology, reused across
-	// recomputes) translates link IDs once, during setup. In symmetric
-	// topologies most flows freeze in a few mass rounds, which makes this
-	// linear sweep faster in practice than a lazy-heap formulation.
-	if s.linkIdx == nil {
-		s.linkIdx = make([]int32, len(s.caps))
-	}
-	for i := range s.linkIdx {
-		s.linkIdx[i] = -1
-	}
+	// linkIdx scratch array (sized to the topology, all -1 between passes)
+	// translates link IDs once, during setup. Freezing walks the saturated
+	// links' flow lists rather than rescanning every unfrozen flow per
+	// round, and links whose flows have all frozen are swap-removed, so a
+	// pass costs O(setup + rounds×live links + flow×link incidences)
+	// instead of the seed's O(rounds × flows×links).
 	var (
-		residual []float64
-		count    []int32
-		satFlag  []bool
+		residual = s.residual[:0]
+		count    = s.count[:0]
+		engaged  = s.engaged[:0]
+		satList  = s.satList[:0]
+		work     int64
 	)
-	unfrozen := make([]*Flow, 0, len(s.active))
-	for _, f := range s.active {
+	unfrozen := 0
+	for _, f := range flowSet {
+		s.drain(f)
+		f.prevRate = f.rate
 		f.rate = 0
 		if len(f.Path.Links) == 0 {
 			continue
 		}
-		unfrozen = append(unfrozen, f)
+		unfrozen++
+		work += int64(len(f.Path.Links))
 		for _, l := range f.Path.Links {
 			li := s.linkIdx[l]
 			if li < 0 {
 				li = int32(len(residual))
 				s.linkIdx[l] = li
+				engaged = append(engaged, l)
 				residual = append(residual, s.caps[l])
 				count = append(count, 0)
-				satFlag = append(satFlag, false)
 			}
 			count[li]++
 		}
 	}
 	level := 0.0
-	for len(unfrozen) > 0 {
-		// The next saturating increment.
+	for unfrozen > 0 {
+		// Swap-remove links whose flows have all frozen, then find the
+		// next saturating increment over the (all-live) rest. Dropping
+		// dead links keeps late rounds proportional to what is still
+		// contested, and min over floats is order-independent, so the
+		// reshuffling cannot change any computed rate.
 		delta := math.Inf(1)
-		for i := range residual {
+		for i := 0; i < len(residual); {
 			if count[i] == 0 {
+				last := len(residual) - 1
+				s.linkIdx[engaged[i]] = -1
+				if i != last {
+					residual[i], count[i], engaged[i] = residual[last], count[last], engaged[last]
+					s.linkIdx[engaged[i]] = int32(i)
+				}
+				residual, count, engaged = residual[:last], count[:last], engaged[:last]
 				continue
 			}
 			if d := residual[i] / float64(count[i]); d < delta {
 				delta = d
 			}
+			i++
 		}
+		work += int64(len(residual))
 		if math.IsInf(delta, 1) {
 			break // defensive; cannot happen while unfrozen > 0
 		}
 		level += delta
-		anySat := false
+		satList = satList[:0]
 		// Links whose fair share ties the bottleneck within satTol
-		// saturate together; merging near-ties collapses cascades of
-		// almost-equal bottlenecks at a bounded relative rate error.
+		// saturate together (exact ties in symmetric fabrics collapse into
+		// one round; satTol stays at rounding scale — see its comment).
 		for i := range residual {
-			if count[i] > 0 {
-				slack := delta * float64(count[i]) * satTol
-				residual[i] -= delta * float64(count[i])
-				if residual[i] < eps+slack {
-					residual[i] = 0
-					satFlag[i] = true
-					anySat = true
-				}
+			slack := delta * float64(count[i]) * satTol
+			residual[i] -= delta * float64(count[i])
+			if residual[i] < eps+slack {
+				residual[i] = 0
+				satList = append(satList, int32(i))
 			}
 		}
-		if !anySat {
+		if len(satList) == 0 {
 			// Defensive: float underflow could leave the chosen
 			// bottleneck fractionally positive; force progress by
-			// saturating the minimum link.
-			for i := range residual {
-				if count[i] > 0 {
-					residual[i] = 0
-					satFlag[i] = true
-					break
-				}
-			}
+			// saturating the first live link.
+			residual[0] = 0
+			satList = append(satList, 0)
 		}
-		// Freeze every unfrozen flow crossing a saturated link,
-		// compacting the unfrozen list in place.
-		kept := unfrozen[:0]
-		for _, f := range unfrozen {
-			sat := false
-			for _, l := range f.Path.Links {
-				if satFlag[s.linkIdx[l]] {
-					sat = true
-					break
+		// Freeze the saturated links' unfrozen flows at the current level
+		// via the per-link flow lists. flowSet is closed under link
+		// sharing, so every flow on an engaged link is in this pass and
+		// had its rate zeroed above; rate != 0 marks "already frozen".
+		for _, li := range satList {
+			for _, ref := range s.linkFlows[engaged[li]] {
+				f := ref.f
+				work++
+				if f.rate != 0 {
+					continue
 				}
-			}
-			if sat {
 				f.rate = level
+				unfrozen--
+				work += int64(len(f.Path.Links))
 				for _, l := range f.Path.Links {
 					count[s.linkIdx[l]]--
 				}
-			} else {
-				kept = append(kept, f)
 			}
 		}
-		unfrozen = kept
-		for i := range satFlag {
-			satFlag[i] = false
+	}
+	// Re-index finish events for every flow whose rate actually changed;
+	// bit-identical rates keep their exact heap entries valid.
+	for _, f := range flowSet {
+		if f.rate != f.prevRate {
+			f.epoch++
+			if f.rate > 0 {
+				s.fin.push(finEvent{t: f.lastT + f.remaining/f.rate, epoch: f.epoch, f: f})
+			}
 		}
+	}
+	// At most one valid entry exists per active flow; past 4×active the
+	// heap is mostly invalidated debris — compact it in one O(n) pass.
+	if len(s.fin) > 4*len(s.active)+64 {
+		s.stats.StalePops += int64(s.fin.compact())
+	}
+	// Restore the linkIdx all -1 invariant and hand scratch back.
+	for _, l := range engaged {
+		s.linkIdx[l] = -1
+	}
+	s.engaged = engaged[:0]
+	s.residual, s.count, s.satList = residual, count, satList[:0]
+	s.stats.RecomputeWork += work
+	if tel != nil {
+		tel.RateRecomputeWork.Add(work)
+		tel.RecomputeWork.Record(work)
 	}
 }
 
 // arrivalHeap orders pending flows by arrival time, then ID for determinism.
+// Hand-rolled (not container/heap) so push/pop stay inlineable and free of
+// interface boxing on the hot path.
 type arrivalHeap []*Flow
 
 func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
+func (h arrivalHeap) less(i, j int) bool {
 	if h[i].Arrival != h[j].Arrival {
 		return h[i].Arrival < h[j].Arrival
 	}
 	return h[i].ID < h[j].ID
 }
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*Flow)) }
-func (h *arrivalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	f := old[n-1]
-	*h = old[:n-1]
+
+func (h *arrivalHeap) push(f *Flow) {
+	*h = append(*h, f)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *arrivalHeap) pop() *Flow {
+	a := *h
+	f := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	a = a[:n]
+	*h = a
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && a.less(c+1, c) {
+			c++
+		}
+		if !a.less(c, i) {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
 	return f
 }

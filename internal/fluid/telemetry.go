@@ -21,18 +21,21 @@ import (
 type Telemetry struct {
 	reg *obs.Registry
 
-	FlowsStarted   *obs.Counter // flows admitted into the active set
-	FlowsCompleted *obs.Counter // flows drained to zero bytes
-	Stalls         *obs.Counter // SetPath to an empty path (disconnection)
-	Reroutes       *obs.Counter // SetPath to a different non-empty path
-	RateRecomputes *obs.Counter // progressive-filling passes
+	FlowsStarted      *obs.Counter // flows admitted into the active set
+	FlowsCompleted    *obs.Counter // flows drained to zero bytes
+	Stalls            *obs.Counter // SetPath to an empty path (disconnection)
+	Reroutes          *obs.Counter // SetPath to a different non-empty path
+	RateRecomputes    *obs.Counter // progressive-filling passes (scoped or full)
+	FullRecomputes    *obs.Counter // passes that fell back to the whole active set
+	RateRecomputeWork *obs.Counter // flow×link incidences touched by filling passes
 
 	ActiveFlows  *obs.Gauge // started, unfinished flows
 	PendingFlows *obs.Gauge // scheduled, not yet arrived
 
-	FCT      *obs.Histogram // flow completion time, µs of simulated time
-	FlowRate *obs.Histogram // max-min rate at completion, bytes/s
-	LinkUtil *obs.Histogram // per-link utilization samples, permille
+	FCT           *obs.Histogram // flow completion time, µs of simulated time
+	FlowRate      *obs.Histogram // max-min rate at completion, bytes/s
+	LinkUtil      *obs.Histogram // per-link utilization samples, permille
+	RecomputeWork *obs.Histogram // flow×link incidences per filling pass
 
 	MaxLinkUtil *obs.Gauge // worst link's utilization at last sample, permille
 
@@ -51,18 +54,21 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 		reg = obs.DefaultRegistry
 	}
 	return &Telemetry{
-		reg:            reg,
-		FlowsStarted:   reg.Counter("fluid.flows_started"),
-		FlowsCompleted: reg.Counter("fluid.flows_completed"),
-		Stalls:         reg.Counter("fluid.stalls"),
-		Reroutes:       reg.Counter("fluid.reroutes"),
-		RateRecomputes: reg.Counter("fluid.rate_recomputes"),
-		ActiveFlows:    reg.Gauge("fluid.active_flows"),
-		PendingFlows:   reg.Gauge("fluid.pending_flows"),
-		FCT:            reg.Histogram("fluid.fct_us"),
-		FlowRate:       reg.Histogram("fluid.flow_rate_Bps"),
-		LinkUtil:       reg.Histogram("fluid.link_util_permille"),
-		MaxLinkUtil:    reg.Gauge("fluid.max_link_util_permille"),
+		reg:               reg,
+		FlowsStarted:      reg.Counter("fluid.flows_started"),
+		FlowsCompleted:    reg.Counter("fluid.flows_completed"),
+		Stalls:            reg.Counter("fluid.stalls"),
+		Reroutes:          reg.Counter("fluid.reroutes"),
+		RateRecomputes:    reg.Counter("fluid.rate_recomputes"),
+		FullRecomputes:    reg.Counter("fluid.rate_recomputes_full"),
+		RateRecomputeWork: reg.Counter("fluid.rate_recompute_work"),
+		ActiveFlows:       reg.Gauge("fluid.active_flows"),
+		PendingFlows:      reg.Gauge("fluid.pending_flows"),
+		FCT:               reg.Histogram("fluid.fct_us"),
+		FlowRate:          reg.Histogram("fluid.flow_rate_Bps"),
+		LinkUtil:          reg.Histogram("fluid.link_util_permille"),
+		RecomputeWork:     reg.Histogram("fluid.recompute_work_per_pass"),
+		MaxLinkUtil:       reg.Gauge("fluid.max_link_util_permille"),
 	}
 }
 
@@ -118,7 +124,8 @@ func (s *Simulator) SampleUtilization() {
 	if tel == nil {
 		return
 	}
-	util := s.Utilization()
+	s.utilBuf = s.UtilizationInto(s.utilBuf)
+	util := s.utilBuf
 	maxPm := int64(0)
 	for link, u := range util {
 		pm := int64(u*1000 + 0.5)
