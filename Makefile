@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ctlnet/... ./internal/obs/... ./internal/sweep/... ./internal/fluid/...
+	$(GO) test -race ./internal/ctlnet/... ./internal/obs/... ./internal/sweep/... ./internal/fluid/... ./internal/topo/... ./internal/routing/...
 
 # Recovery-path microbenchmarks; instrumentation must stay free when no
 # event sink is attached, so watch these against the seed numbers.

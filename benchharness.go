@@ -274,7 +274,7 @@ func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
 			if s == d {
 				continue
 			}
-			paths, err := ft.ECMPPaths(s, d)
+			paths, err := ft.PathStore().Paths(s, d)
 			if err != nil {
 				return nil, err
 			}
@@ -473,7 +473,7 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 				dst = base + r.Intn(perPod)
 			}
 		}
-		paths, err := ft.ECMPPaths(src, dst)
+		paths, err := ft.PathStore().Paths(src, dst)
 		if err != nil {
 			return nil, err
 		}
@@ -501,7 +501,7 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 			src := int(id) % n
 			p := flows[id].path
 			dstNode := p.Nodes[len(p.Nodes)-1]
-			paths, err := ft.ECMPPaths(src, ft.Node(dstNode).Index)
+			paths, err := ft.PathStore().Paths(src, ft.Node(dstNode).Index)
 			if err != nil {
 				return nil, err
 			}

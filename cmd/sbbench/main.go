@@ -1,6 +1,7 @@
 // Command sbbench is the benchmark trajectory gate: it runs the repo's
 // benchmark suite (control-plane recovery latency, data-plane fluid
-// simulation, sweep-engine throughput and determinism), stamps the results
+// simulation, sweep-engine throughput and determinism, routing-core lookup
+// cost), stamps the results
 // with provenance (git SHA, UTC timestamp,
 // toolchain, host), compares them against the committed BENCH_*.json files
 // from the previous run, and exits non-zero when a metric regressed beyond
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		recoveryPath  = fs.String("recovery", "BENCH_recovery.json", "recovery benchmark trajectory file (empty skips)")
 		dataplanePath = fs.String("dataplane", "BENCH_dataplane.json", "data-plane benchmark trajectory file (empty skips)")
 		sweepPath     = fs.String("sweep", "BENCH_sweep.json", "sweep-engine benchmark trajectory file (empty skips)")
+		routingPath   = fs.String("routing", "BENCH_routing.json", "routing-core benchmark trajectory file (empty skips)")
 		k             = fs.Int("k", 8, "fat-tree parameter")
 		n             = fs.Int("n", 1, "backup switches per failure group")
 		trials        = fs.Int("trials", 32, "failovers per kind for the recovery benchmark")
@@ -137,6 +139,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return f, fmt.Sprintf("%d shards, %.0f trials/s at 1 worker, %.2fx at %d workers, deterministic",
 			res.Shards, res.TrialsPerSec1, res.Speedup, res.Workers), nil
+	})
+
+	gate(*routingPath, "routing", func() (*bench.File, string, error) {
+		res, err := sharebackup.RoutingBench(sharebackup.RoutingBenchConfig{Smoke: *smoke})
+		if err != nil {
+			return nil, "", err
+		}
+		f := &bench.File{Metrics: res.GateMetrics()}
+		if err := f.SetDetail(res); err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("k=%d, %d pairs / %d interned paths, pathfor %.0fns %.2f allocs/op (fresh %.0fns, %.0fx), storm %.0f lookups/s",
+			res.K, res.WarmedPairs, res.InternedPaths, res.PathForNSOp, res.PathForAllocsOp,
+			res.FreshNSOp, res.SpeedupVsFresh, res.StormLookupsPerSec), nil
 	})
 
 	switch status {

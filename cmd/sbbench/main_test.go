@@ -16,6 +16,7 @@ func runGate(t *testing.T, dir string, extra ...string) (int, string) {
 		"-recovery", filepath.Join(dir, "BENCH_recovery.json"),
 		"-dataplane", filepath.Join(dir, "BENCH_dataplane.json"),
 		"-sweep", filepath.Join(dir, "BENCH_sweep.json"),
+		"-routing", filepath.Join(dir, "BENCH_routing.json"),
 		"-k", "4", "-trials", "2", "-smoke",
 	}, extra...)
 	var out, errb bytes.Buffer
@@ -51,6 +52,16 @@ func TestTrajectoryGate(t *testing.T) {
 	}
 	if got := sw.Metrics["sweep.deterministic"].Value; got != 1 {
 		t.Fatalf("sweep.deterministic = %v, want 1", got)
+	}
+	rt, err := bench.Read(filepath.Join(dir, "BENCH_routing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Metrics["routing.pathfor_allocs_op"].Value; got != 0 {
+		t.Fatalf("routing.pathfor_allocs_op = %v, want 0", got)
+	}
+	if got := rt.Metrics["routing.speedup_vs_fresh"].Value; got < 1 {
+		t.Fatalf("routing.speedup_vs_fresh = %v, want >= 1", got)
 	}
 
 	// Second run against its own output: recovery latencies are

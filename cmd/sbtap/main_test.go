@@ -124,6 +124,44 @@ func TestRenderBenchFile(t *testing.T) {
 	}
 }
 
+// TestRenderRoutingBenchFile pins the BENCH_routing.json shape written by
+// `sbbench -routing` to the generic renderer: metrics list and the
+// histogram-free detail section render cleanly.
+func TestRenderRoutingBenchFile(t *testing.T) {
+	f := &bench.File{
+		Metrics: map[string]bench.Metric{
+			"routing.pathfor_ns_op":         {Value: 45.2, Unit: "ns", Better: "lower"},
+			"routing.pathfor_allocs_op":     {Value: 0, Unit: "allocs", Better: "lower"},
+			"routing.speedup_vs_fresh":      {Value: 120, Unit: "x", Better: "higher"},
+			"routing.storm_lookups_per_sec": {Value: 8.5e5, Unit: "lookups/s", Better: "higher"},
+		},
+	}
+	if err := f.SetDetail(map[string]interface{}{
+		"experiment": "routing-core", "k": 16, "interned_paths": 999424,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := parseBenchFile(data)
+	if !ok {
+		t.Fatal("routing bench file not recognized")
+	}
+	out := renderBenchFile("BENCH_routing.json", bf, true)
+	for _, want := range []string{
+		"routing.pathfor_ns_op",
+		"routing.pathfor_allocs_op",
+		"routing.speedup_vs_fresh",
+		"better=higher",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // Untagged events (shard 0, the process bus) form their own stream alongside
 // tagged ones.
 func TestSeqLossUntaggedStream(t *testing.T) {

@@ -270,6 +270,7 @@ func applyScheme(ft *topo.FatTree, flows []flowRef, blocked *topo.Blocked, schem
 	}
 	out := make([]flowRef, len(flows))
 	load := routing.NewLinkLoad(ft.Topology)
+	var scratch routing.Scratch // one avoid set for the whole storm
 	for _, f := range flows {
 		if blocked.PathOK(f.path) {
 			load.Add(f.path, 1)
@@ -288,7 +289,7 @@ func applyScheme(ft *topo.FatTree, flows []flowRef, blocked *topo.Blocked, schem
 		case schemeGlobalOptimal:
 			np, ok = routing.GlobalOptimalReroute(ft, src, dst, blocked, load)
 		case schemeF10Local:
-			np, ok = routing.F10LocalReroute(ft, f.path, blocked)
+			np, ok = routing.F10LocalReroute(ft, f.path, blocked, &scratch)
 			if !ok {
 				// F10 falls back to pushback (upstream) rerouting
 				// when no local detour exists.

@@ -148,13 +148,20 @@ func sampleCount(n int, rate float64) (int, error) {
 // Blocked converts failed elements into a path filter.
 func Blocked(nodes []topo.NodeID, links []topo.LinkID) *topo.Blocked {
 	b := topo.NewBlocked()
+	BlockedInto(b, nodes, links)
+	return b
+}
+
+// BlockedInto resets b and fills it with the failed elements, so trial loops
+// can reuse one allocation instead of building a fresh set per scenario.
+func BlockedInto(b *topo.Blocked, nodes []topo.NodeID, links []topo.LinkID) {
+	b.Reset()
 	for _, n := range nodes {
 		b.BlockNode(n)
 	}
 	for _, l := range links {
 		b.BlockLink(l)
 	}
-	return b
 }
 
 // Scenario is one timed failure for recovery experiments: the element fails

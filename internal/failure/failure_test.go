@@ -151,7 +151,7 @@ func TestSampleLinks(t *testing.T) {
 func TestBlockedConstruction(t *testing.T) {
 	ft := newFT(t, 4)
 	b := Blocked([]topo.NodeID{ft.Core(0)}, []topo.LinkID{0})
-	if !b.Nodes[ft.Core(0)] || !b.Links[0] {
+	if !b.NodeBlocked(ft.Core(0)) || !b.LinkBlocked(0) {
 		t.Error("Blocked missing entries")
 	}
 }
@@ -170,12 +170,12 @@ func TestScenarios(t *testing.T) {
 		if s.Repair != 300 {
 			t.Error("window not applied")
 		}
-		if !s.Blocked().Nodes[s.Node] {
+		if !s.Blocked().NodeBlocked(s.Node) {
 			t.Error("Blocked missing the failed node")
 		}
 	}
 	ls := SingleLinkScenarios([]topo.LinkID{3}, 300)
-	if len(ls) != 1 || !ls[0].Blocked().Links[3] {
+	if len(ls) != 1 || !ls[0].Blocked().LinkBlocked(3) {
 		t.Error("link scenario wrong")
 	}
 	bad := Scenario{Node: topo.None, Link: topo.NoLink}

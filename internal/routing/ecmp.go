@@ -28,9 +28,11 @@ func (e *ECMP) hash64(flowID uint64) uint64 {
 }
 
 // PathFor returns the ECMP path for the flow between two hosts (by global
-// host index).
+// host index). Paths come from the topology's interned PathStore: after a
+// pair's first lookup the call is an allocation-free table lookup returning
+// an immutable shared path (clone before mutating).
 func (e *ECMP) PathFor(src, dst int, flowID uint64) (topo.Path, error) {
-	paths, err := e.FT.ECMPPaths(src, dst)
+	paths, err := e.FT.PathStore().Paths(src, dst)
 	if err != nil {
 		return topo.Path{}, err
 	}
@@ -43,6 +45,13 @@ type LinkLoad []int
 
 // NewLinkLoad returns a zeroed load vector sized for t.
 func NewLinkLoad(t *topo.Topology) LinkLoad { return make(LinkLoad, t.NumLinks()) }
+
+// Reset zeroes the vector in place so one allocation serves many trials.
+func (ll LinkLoad) Reset() {
+	for i := range ll {
+		ll[i] = 0
+	}
+}
 
 // Add applies delta flows along every link of p.
 func (ll LinkLoad) Add(p topo.Path, delta int) {
@@ -88,6 +97,28 @@ func (ll LinkLoad) MaxOnInterior(p topo.Path) int {
 	return max
 }
 
+// Scratch holds reusable per-worker state for the reroute strategies so a
+// reroute storm does not allocate an avoid-set per broken flow. The zero
+// value is ready to use; a Scratch must not be shared between goroutines.
+type Scratch struct {
+	avoid *topo.Blocked
+}
+
+// avoidSet returns the scratch's avoid set primed with a copy of blocked.
+// A nil receiver falls back to a fresh allocation.
+func (s *Scratch) avoidSet(blocked *topo.Blocked) *topo.Blocked {
+	if s == nil {
+		b := topo.NewBlocked()
+		b.CopyFrom(blocked)
+		return b
+	}
+	if s.avoid == nil {
+		s.avoid = topo.NewBlocked()
+	}
+	s.avoid.CopyFrom(blocked)
+	return s.avoid
+}
+
 // GlobalOptimalReroute is the fat-tree baseline of Figure 1(c): when a
 // flow's path is broken, the (idealized, globally informed) routing picks
 // the surviving equal-cost path with the lowest load. There is no path
@@ -96,7 +127,7 @@ func (ll LinkLoad) MaxOnInterior(p topo.Path) int {
 // ok is false when no equal-cost path survives — e.g. the destination's
 // edge switch is down.
 func GlobalOptimalReroute(ft *topo.FatTree, src, dst int, blocked *topo.Blocked, load LinkLoad) (topo.Path, bool) {
-	paths, err := ft.ECMPPaths(src, dst)
+	paths, err := ft.PathStore().Paths(src, dst)
 	if err != nil {
 		return topo.Path{}, false
 	}
@@ -123,8 +154,9 @@ func GlobalOptimalReroute(ft *topo.FatTree, src, dst int, blocked *topo.Blocked,
 // is fast and requires no upstream notification, but the detour is longer
 // (typically +2 hops) and concentrates load near the failure — the paper
 // measures F10's CCT suffering more than fat-tree's for exactly this reason.
-// ok is false when no local detour exists.
-func F10LocalReroute(ft *topo.FatTree, orig topo.Path, blocked *topo.Blocked) (topo.Path, bool) {
+// ok is false when no local detour exists. scratch may be nil; passing one
+// reuses its avoid set across calls.
+func F10LocalReroute(ft *topo.FatTree, orig topo.Path, blocked *topo.Blocked, scratch *Scratch) (topo.Path, bool) {
 	p := orig.Clone()
 	// A path may cross several failed elements (or the detour may be
 	// broken too); repair iteratively with a small bound.
@@ -134,7 +166,7 @@ func F10LocalReroute(ft *topo.FatTree, orig topo.Path, blocked *topo.Blocked) (t
 			return p, true
 		}
 		var ok bool
-		p, ok = spliceDetour(ft, p, idx, isNode, blocked)
+		p, ok = spliceDetour(ft, p, idx, isNode, blocked, scratch)
 		if !ok {
 			return topo.Path{}, false
 		}
@@ -154,10 +186,10 @@ func firstBroken(p topo.Path, blocked *topo.Blocked) (idx int, isNode bool) {
 		return -1, false
 	}
 	for i, n := range p.Nodes {
-		if blocked.Nodes[n] {
+		if blocked.NodeBlocked(n) {
 			return i, true
 		}
-		if i < len(p.Links) && blocked.Links[p.Links[i]] {
+		if i < len(p.Links) && blocked.LinkBlocked(p.Links[i]) {
 			return i, false
 		}
 	}
@@ -168,7 +200,7 @@ func firstBroken(p topo.Path, blocked *topo.Blocked) (idx int, isNode bool) {
 // local detour: a shortest path from the node immediately upstream of the
 // failure to the node immediately downstream, avoiding every blocked element
 // and every node already used earlier on the path (no loops).
-func spliceDetour(ft *topo.FatTree, p topo.Path, idx int, isNode bool, blocked *topo.Blocked) (topo.Path, bool) {
+func spliceDetour(ft *topo.FatTree, p topo.Path, idx int, isNode bool, blocked *topo.Blocked, scratch *Scratch) (topo.Path, bool) {
 	var uIdx, wIdx int // indices into p.Nodes: detour endpoints
 	if isNode {
 		uIdx, wIdx = idx-1, idx+1
@@ -183,13 +215,7 @@ func spliceDetour(ft *topo.FatTree, p topo.Path, idx int, isNode bool, blocked *
 	// Forbid revisiting upstream nodes (and the failed downstream
 	// remainder's duplicates are impossible since fat-tree paths are
 	// simple).
-	avoid := topo.NewBlocked()
-	for n := range blocked.Nodes {
-		avoid.BlockNode(n)
-	}
-	for l := range blocked.Links {
-		avoid.BlockLink(l)
-	}
+	avoid := scratch.avoidSet(blocked)
 	for i := 0; i < uIdx; i++ {
 		avoid.BlockNode(p.Nodes[i])
 	}

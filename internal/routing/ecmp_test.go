@@ -137,7 +137,7 @@ func TestF10LocalRerouteDstPodAgg(t *testing.T) {
 	}
 	blocked := topo.NewBlocked()
 	blocked.BlockNode(dstAgg)
-	p, ok := F10LocalReroute(ft, orig, blocked)
+	p, ok := F10LocalReroute(ft, orig, blocked, nil)
 	if !ok {
 		t.Fatal("no local detour found")
 	}
@@ -166,7 +166,7 @@ func TestF10LocalRerouteLink(t *testing.T) {
 	// Fail the agg'->edge' link in the destination pod (link index 4).
 	blocked := topo.NewBlocked()
 	blocked.BlockLink(orig.Links[4])
-	p, ok := F10LocalReroute(ft, orig, blocked)
+	p, ok := F10LocalReroute(ft, orig, blocked, nil)
 	if !ok {
 		t.Fatal("no local detour found")
 	}
@@ -188,7 +188,7 @@ func TestF10LocalRerouteLink(t *testing.T) {
 func TestF10LocalRerouteCleanPath(t *testing.T) {
 	ft := newFT(t, 4)
 	paths, _ := ft.ECMPPaths(0, 4)
-	p, ok := F10LocalReroute(ft, paths[0], topo.NewBlocked())
+	p, ok := F10LocalReroute(ft, paths[0], topo.NewBlocked(), nil)
 	if !ok {
 		t.Fatal("clean path rejected")
 	}
@@ -202,7 +202,7 @@ func TestF10LocalRerouteUnrecoverable(t *testing.T) {
 	paths, _ := ft.ECMPPaths(0, 1) // same edge: [host, edge, host]
 	blocked := topo.NewBlocked()
 	blocked.BlockNode(ft.EdgeOfHost(0))
-	if _, ok := F10LocalReroute(ft, paths[0], blocked); ok {
+	if _, ok := F10LocalReroute(ft, paths[0], blocked, nil); ok {
 		t.Error("detour claimed around a failed edge switch for its own hosts")
 	}
 }
@@ -217,7 +217,7 @@ func TestF10LocalRerouteSrcSideFailure(t *testing.T) {
 	// Fail the source-side agg (node 2).
 	blocked := topo.NewBlocked()
 	blocked.BlockNode(orig.Nodes[2])
-	p, ok := F10LocalReroute(ft, orig, blocked)
+	p, ok := F10LocalReroute(ft, orig, blocked, nil)
 	if !ok {
 		t.Fatal("no detour for source-side agg failure")
 	}

@@ -127,7 +127,7 @@ func TestQuickF10DetourProperties(t *testing.T) {
 		} else {
 			blocked.BlockLink(orig.Links[r.Intn(len(orig.Links))])
 		}
-		np, ok := F10LocalReroute(ft, orig, blocked)
+		np, ok := F10LocalReroute(ft, orig, blocked, nil)
 		if !ok {
 			return true // some failures have no local detour
 		}

@@ -1,6 +1,9 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Config describes a fat-tree (or F10 AB fat-tree) to build.
 type Config struct {
@@ -67,6 +70,8 @@ type FatTree struct {
 	core     []NodeID   // [j] -> C_j
 	hosts    []NodeID   // [j] -> H_j
 	hostEdge []NodeID   // host global index -> its edge switch
+
+	store atomic.Pointer[PathStore] // lazily created shared path store
 }
 
 // NewFatTree builds a fat-tree from cfg. Node IDs are assigned
@@ -148,6 +153,20 @@ func NewFatTree(cfg Config) (*FatTree, error) {
 		}
 	}
 	return ft, nil
+}
+
+// PathStore returns the topology's shared interned path store, creating it
+// on first use. The store is safe for concurrent use; all callers of one
+// FatTree see the same instance, so interned pairs are built at most once.
+func (ft *FatTree) PathStore() *PathStore {
+	if ps := ft.store.Load(); ps != nil {
+		return ps
+	}
+	ps := NewPathStore(ft)
+	if !ft.store.CompareAndSwap(nil, ps) {
+		return ft.store.Load()
+	}
+	return ps
 }
 
 // K returns the fat-tree parameter.

@@ -1,6 +1,9 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // LinkID identifies a link within one Topology. IDs are dense: they index
 // into Topology.Links.
@@ -48,6 +51,10 @@ type Topology struct {
 
 	adj    [][]LinkID
 	byPair map[linkKey]LinkID
+
+	// bfsPool recycles ShortestPath scratch (visit marks, predecessor
+	// arrays, queue) across searches and goroutines.
+	bfsPool sync.Pool
 }
 
 // AddNode appends a node of the given kind and returns its ID.

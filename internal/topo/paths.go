@@ -56,6 +56,10 @@ func buildPath(t *Topology, nodes ...NodeID) (Path, error) {
 // structure of the Clos network: same edge -> 2 hops, same pod -> 4 hops via
 // any shared aggregation switch, different pods -> 6 hops via any
 // (aggregation, core) pair reachable from the source edge.
+//
+// Every call re-enumerates and allocates fresh paths; hot paths should use
+// the interned PathStore (FatTree.PathStore), which returns bit-identical
+// paths without allocating.
 func (ft *FatTree) ECMPPaths(srcHost, dstHost int) ([]Path, error) {
 	if srcHost == dstHost {
 		return nil, fmt.Errorf("topo: ECMPPaths: src and dst are the same host %d", srcHost)
@@ -103,22 +107,89 @@ func (ft *FatTree) ECMPPaths(srcHost, dstHost int) ([]Path, error) {
 	return paths, nil
 }
 
+// bitset is a growable bit vector over a dense non-negative index space.
+type bitset []uint64
+
+func (b bitset) get(i int) bool {
+	w := i >> 6
+	// The uint cast folds negative indices (NodeID None / NoLink sentinels)
+	// into the out-of-range branch: they are simply never blocked.
+	return uint(w) < uint(len(b)) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitset) set(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("topo: bitset: negative index %d", i))
+	}
+	w := i >> 6
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+func (b bitset) clear(i int) {
+	w := i >> 6
+	if uint(w) < uint(len(b)) {
+		b[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // Blocked reports which topology elements are unavailable to a path search.
+// The sets are bitsets over the dense NodeID/LinkID spaces, so membership
+// tests are branch-and-mask instead of map lookups and a set can be Reset
+// and reused across trials without reallocating. A nil *Blocked blocks
+// nothing and is valid for every query method.
 type Blocked struct {
-	Nodes map[NodeID]bool
-	Links map[LinkID]bool
+	nodes bitset
+	links bitset
 }
 
 // NewBlocked returns an empty Blocked set.
-func NewBlocked() *Blocked {
-	return &Blocked{Nodes: make(map[NodeID]bool), Links: make(map[LinkID]bool)}
-}
+func NewBlocked() *Blocked { return &Blocked{} }
 
 // BlockNode marks a node (and implicitly all its links) unusable.
-func (b *Blocked) BlockNode(n NodeID) { b.Nodes[n] = true }
+func (b *Blocked) BlockNode(n NodeID) { b.nodes.set(int(n)) }
 
 // BlockLink marks a link unusable.
-func (b *Blocked) BlockLink(l LinkID) { b.Links[l] = true }
+func (b *Blocked) BlockLink(l LinkID) { b.links.set(int(l)) }
+
+// UnblockNode clears a node block.
+func (b *Blocked) UnblockNode(n NodeID) { b.nodes.clear(int(n)) }
+
+// UnblockLink clears a link block.
+func (b *Blocked) UnblockLink(l LinkID) { b.links.clear(int(l)) }
+
+// NodeBlocked reports whether node n is blocked.
+func (b *Blocked) NodeBlocked(n NodeID) bool { return b != nil && b.nodes.get(int(n)) }
+
+// LinkBlocked reports whether link l is blocked.
+func (b *Blocked) LinkBlocked(l LinkID) bool { return b != nil && b.links.get(int(l)) }
+
+// Reset clears every block, keeping the backing storage for reuse.
+func (b *Blocked) Reset() {
+	b.nodes.reset()
+	b.links.reset()
+}
+
+// CopyFrom makes b an exact copy of src (nil src clears b), reusing b's
+// storage. It replaces the per-element copy loops reroute scratch sets used
+// to need with two word-level copies.
+func (b *Blocked) CopyFrom(src *Blocked) {
+	if src == nil {
+		b.nodes = b.nodes[:0]
+		b.links = b.links[:0]
+		return
+	}
+	b.nodes = append(b.nodes[:0], src.nodes...)
+	b.links = append(b.links[:0], src.links...)
+}
 
 // PathOK reports whether p avoids every blocked node and link.
 func (b *Blocked) PathOK(p Path) bool {
@@ -126,73 +197,105 @@ func (b *Blocked) PathOK(p Path) bool {
 		return true
 	}
 	for _, n := range p.Nodes {
-		if b.Nodes[n] {
+		if b.nodes.get(int(n)) {
 			return false
 		}
 	}
 	for _, l := range p.Links {
-		if b.Links[l] {
+		if b.links.get(int(l)) {
 			return false
 		}
 	}
 	return true
 }
 
+// bfsScratch is the pooled per-search state of ShortestPath. Visited marks
+// are epoch stamps, so reusing the scratch costs one counter increment
+// instead of clearing the arrays.
+type bfsScratch struct {
+	prevNode []NodeID
+	prevLink []LinkID
+	seen     []uint32
+	epoch    uint32
+	queue    []NodeID
+}
+
+// getBFSScratch checks a scratch out of the topology's pool, sized for the
+// current node count and with a fresh epoch.
+func (t *Topology) getBFSScratch() *bfsScratch {
+	s, _ := t.bfsPool.Get().(*bfsScratch)
+	if s == nil {
+		s = &bfsScratch{}
+	}
+	if len(s.seen) < len(t.Nodes) {
+		s.prevNode = make([]NodeID, len(t.Nodes))
+		s.prevLink = make([]LinkID, len(t.Nodes))
+		s.seen = make([]uint32, len(t.Nodes))
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	return s
+}
+
 // ShortestPath runs a breadth-first search from a to z avoiding blocked
 // elements. Endpoints themselves must not be blocked. It returns ok=false if
-// z is unreachable.
+// z is unreachable. The search scratch is pooled per topology; only the
+// returned path allocates.
 func (t *Topology) ShortestPath(a, z NodeID, blocked *Blocked) (Path, bool) {
-	if blocked != nil && (blocked.Nodes[a] || blocked.Nodes[z]) {
+	if blocked.NodeBlocked(a) || blocked.NodeBlocked(z) {
 		return Path{}, false
 	}
 	if a == z {
 		return Path{Nodes: []NodeID{a}}, true
 	}
-	prevNode := make([]NodeID, len(t.Nodes))
-	prevLink := make([]LinkID, len(t.Nodes))
-	seen := make([]bool, len(t.Nodes))
-	for i := range prevNode {
-		prevNode[i] = None
-		prevLink[i] = NoLink
-	}
-	queue := []NodeID{a}
-	seen[a] = true
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	s := t.getBFSScratch()
+	defer t.bfsPool.Put(s)
+	s.seen[a] = s.epoch
+	s.queue = append(s.queue, a)
+	for qi := 0; qi < len(s.queue); qi++ {
+		cur := s.queue[qi]
 		for _, lid := range t.adj[cur] {
-			if blocked != nil && blocked.Links[lid] {
+			if blocked.LinkBlocked(lid) {
 				continue
 			}
 			next := t.Links[lid].Other(cur)
-			if seen[next] || (blocked != nil && blocked.Nodes[next]) {
+			if s.seen[next] == s.epoch || blocked.NodeBlocked(next) {
 				continue
 			}
-			seen[next] = true
-			prevNode[next] = cur
-			prevLink[next] = lid
+			s.seen[next] = s.epoch
+			s.prevNode[next] = cur
+			s.prevLink[next] = lid
 			if next == z {
-				return tracePath(prevNode, prevLink, a, z), true
+				return tracePath(s.prevNode, s.prevLink, a, z), true
 			}
-			queue = append(queue, next)
+			s.queue = append(s.queue, next)
 		}
 	}
 	return Path{}, false
 }
 
+// tracePath reconstructs the found path into exact-size fresh slices (the
+// result escapes to the caller; the scratch does not).
 func tracePath(prevNode []NodeID, prevLink []LinkID, a, z NodeID) Path {
-	var nodes []NodeID
-	var links []LinkID
+	n := 1
 	for cur := z; cur != a; cur = prevNode[cur] {
-		nodes = append(nodes, cur)
-		links = append(links, prevLink[cur])
+		n++
 	}
-	nodes = append(nodes, a)
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-	}
-	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
-		links[i], links[j] = links[j], links[i]
+	nodes := make([]NodeID, n)
+	links := make([]LinkID, n-1)
+	nodes[0] = a
+	i := n - 1
+	for cur := z; cur != a; cur = prevNode[cur] {
+		nodes[i] = cur
+		links[i-1] = prevLink[cur]
+		i--
 	}
 	return Path{Nodes: nodes, Links: links}
 }

@@ -1,0 +1,233 @@
+package topo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PathID identifies one interned ECMP path within a PathStore. The encoding
+// is (ordered host-pair index << pathRankBits) | rank, where rank is the
+// path's position in the pair's ECMP enumeration order — so IDs are a pure
+// function of the topology and the lookup arguments, independent of the
+// order in which pairs were first requested (or which goroutine built them).
+type PathID uint64
+
+// pathRankBits is the low-bit budget for the per-pair path rank. A k-ary
+// fat-tree has at most (k/2)^2 equal-cost paths per pair, so 16 bits cover
+// every k up to 512.
+const pathRankBits = 16
+
+// PathStore interns the ECMP path sets of a fat-tree: each ordered host
+// pair's equal-cost paths are enumerated once, stored in shared backing
+// slabs, and handed out as immutable views. Lookups after the first are
+// lock-free and allocation-free — the hot-path contract ECMP routing and the
+// reroute strategies rely on during failure sweeps.
+//
+// Interning exploits fat-tree symmetry: the interior of every path (source
+// edge switch through the agg/core pattern to the destination edge switch)
+// depends only on the (src-edge, dst-edge) class, not on which hosts under
+// those edges are talking. The store enumerates each class once and stamps
+// per-pair paths from the class's interior plus the pair's two access links,
+// so the expensive graph walk runs once per class rather than once per pair
+// (and never at lookup time).
+//
+// Exactness contract: Paths(src, dst) returns paths bit-identical — same
+// order, same node and link sequences — to a fresh FatTree.ECMPPaths
+// enumeration. pathstore_test.go enforces this differentially across
+// topology sizes and wirings.
+//
+// The returned paths alias interned storage and must not be mutated; use
+// Path.Clone for a private copy. A single store may be shared by any number
+// of goroutines.
+type PathStore struct {
+	ft       *FatTree
+	numHosts int
+
+	// pairs[src*numHosts+dst] holds the pair's interned paths once built.
+	// Reads are lock-free atomic loads; builds double-check under mu.
+	pairs []atomic.Pointer[pairEntry]
+
+	mu      sync.Mutex
+	classes map[classKey]*classEntry
+
+	builtPairs    atomic.Int64
+	internedPaths atomic.Int64
+}
+
+// classKey identifies an edge-pair equivalence class.
+type classKey struct{ es, ed NodeID }
+
+// classEntry is the host-independent interior of one class: every equal-cost
+// src-edge → ... → dst-edge segment, in ECMPPaths enumeration order. All
+// segments of a class have equal length (the paths are equal-cost).
+type classEntry struct {
+	nodes [][]NodeID
+	links [][]LinkID
+}
+
+// pairEntry is one ordered host pair's interned path set.
+type pairEntry struct {
+	paths []Path
+	ids   []PathID
+}
+
+// NewPathStore returns an empty store over ft. Paths are built lazily on
+// first lookup; FatTree.PathStore returns a per-topology shared instance.
+func NewPathStore(ft *FatTree) *PathStore {
+	n := ft.NumHosts()
+	return &PathStore{
+		ft:       ft,
+		numHosts: n,
+		pairs:    make([]atomic.Pointer[pairEntry], n*n),
+		classes:  make(map[classKey]*classEntry),
+	}
+}
+
+// checkHostPair validates a host-pair lookup with the exact errors
+// ECMPPaths produces, so interned and fresh enumeration are interchangeable.
+func (ps *PathStore) checkHostPair(srcHost, dstHost int) error {
+	if srcHost == dstHost {
+		return fmt.Errorf("topo: ECMPPaths: src and dst are the same host %d", srcHost)
+	}
+	if srcHost < 0 || srcHost >= ps.numHosts || dstHost < 0 || dstHost >= ps.numHosts {
+		return fmt.Errorf("topo: ECMPPaths(%d, %d): host index out of range", srcHost, dstHost)
+	}
+	return nil
+}
+
+// Paths returns the interned ECMP path set for the ordered host pair,
+// bit-identical to FatTree.ECMPPaths. The slice and the paths it holds are
+// shared and immutable. After the pair's first lookup the call is
+// allocation-free.
+func (ps *PathStore) Paths(srcHost, dstHost int) ([]Path, error) {
+	e, err := ps.entry(srcHost, dstHost)
+	if err != nil {
+		return nil, err
+	}
+	return e.paths, nil
+}
+
+// IDs returns the pair's path identifiers, parallel to Paths.
+func (ps *PathStore) IDs(srcHost, dstHost int) ([]PathID, error) {
+	e, err := ps.entry(srcHost, dstHost)
+	if err != nil {
+		return nil, err
+	}
+	return e.ids, nil
+}
+
+// Path resolves an interned path by ID (building its pair if needed).
+func (ps *PathStore) Path(id PathID) (Path, error) {
+	idx := int(id >> pathRankBits)
+	rank := int(id & (1<<pathRankBits - 1))
+	if idx < 0 || idx >= len(ps.pairs) {
+		return Path{}, fmt.Errorf("topo: PathID %#x: pair index out of range", uint64(id))
+	}
+	e, err := ps.entry(idx/ps.numHosts, idx%ps.numHosts)
+	if err != nil {
+		return Path{}, err
+	}
+	if rank >= len(e.paths) {
+		return Path{}, fmt.Errorf("topo: PathID %#x: rank %d out of range (%d paths)", uint64(id), rank, len(e.paths))
+	}
+	return e.paths[rank], nil
+}
+
+func (ps *PathStore) entry(srcHost, dstHost int) (*pairEntry, error) {
+	if err := ps.checkHostPair(srcHost, dstHost); err != nil {
+		return nil, err
+	}
+	idx := srcHost*ps.numHosts + dstHost
+	if e := ps.pairs[idx].Load(); e != nil {
+		return e, nil
+	}
+	return ps.build(idx, srcHost, dstHost)
+}
+
+// build materializes one pair's path set under the store lock: resolve the
+// pair's class interior (enumerating it on the class's first appearance),
+// then stamp the pair's endpoints and access links into fresh slabs.
+func (ps *PathStore) build(idx, srcHost, dstHost int) (*pairEntry, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if e := ps.pairs[idx].Load(); e != nil {
+		return e, nil
+	}
+	ft := ps.ft
+	es, ed := ft.hostEdge[srcHost], ft.hostEdge[dstHost]
+	cls, err := ps.class(es, ed, srcHost, dstHost)
+	if err != nil {
+		return nil, err
+	}
+	m := len(cls.nodes)
+	if m == 0 || m >= 1<<pathRankBits {
+		return nil, fmt.Errorf("topo: PathStore: %d paths for pair (%d, %d) outside the PathID rank range", m, srcHost, dstHost)
+	}
+	s, d := ft.hosts[srcHost], ft.hosts[dstHost]
+	sl, dl := ft.LinkBetween(s, es), ft.LinkBetween(d, ed)
+	if sl == NoLink || dl == NoLink {
+		return nil, fmt.Errorf("topo: PathStore: host (%d, %d) missing access link", srcHost, dstHost)
+	}
+	// One slab per pair; each path gets a full-capacity subslice so an
+	// (erroneous) append on a returned path cannot clobber its neighbor.
+	nn, nl := len(cls.nodes[0])+2, len(cls.links[0])+2
+	nodesSlab := make([]NodeID, m*nn)
+	linksSlab := make([]LinkID, m*nl)
+	e := &pairEntry{paths: make([]Path, m), ids: make([]PathID, m)}
+	for i := 0; i < m; i++ {
+		nv := nodesSlab[i*nn : (i+1)*nn : (i+1)*nn]
+		lv := linksSlab[i*nl : (i+1)*nl : (i+1)*nl]
+		nv[0] = s
+		copy(nv[1:], cls.nodes[i])
+		nv[nn-1] = d
+		lv[0] = sl
+		copy(lv[1:], cls.links[i])
+		lv[nl-1] = dl
+		e.paths[i] = Path{Nodes: nv, Links: lv}
+		e.ids[i] = PathID(uint64(idx)<<pathRankBits | uint64(i))
+	}
+	ps.builtPairs.Add(1)
+	ps.internedPaths.Add(int64(m))
+	ps.pairs[idx].Store(e)
+	return e, nil
+}
+
+// class resolves the (es, ed) interior, enumerating it from the requesting
+// pair's fresh ECMPPaths on first use — stripping the pair-specific endpoints
+// leaves exactly the class-invariant interior, so exactness holds by
+// construction rather than by a parallel reimplementation of the wiring
+// rules. Callers hold ps.mu.
+func (ps *PathStore) class(es, ed NodeID, srcHost, dstHost int) (*classEntry, error) {
+	key := classKey{es, ed}
+	if c, ok := ps.classes[key]; ok {
+		return c, nil
+	}
+	fresh, err := ps.ft.ECMPPaths(srcHost, dstHost)
+	if err != nil {
+		return nil, err
+	}
+	c := &classEntry{nodes: make([][]NodeID, len(fresh)), links: make([][]LinkID, len(fresh))}
+	for i, p := range fresh {
+		c.nodes[i] = p.Nodes[1 : len(p.Nodes)-1]
+		c.links[i] = p.Links[1 : len(p.Links)-1]
+	}
+	ps.classes[key] = c
+	return c, nil
+}
+
+// PathStoreStats summarizes a store's interned state.
+type PathStoreStats struct {
+	// Pairs is the number of ordered host pairs materialized so far.
+	Pairs int
+	// Paths is the total number of interned paths across those pairs.
+	Paths int
+}
+
+// Stats reports how much of the pair space has been materialized.
+func (ps *PathStore) Stats() PathStoreStats {
+	return PathStoreStats{
+		Pairs: int(ps.builtPairs.Load()),
+		Paths: int(ps.internedPaths.Load()),
+	}
+}

@@ -1,0 +1,272 @@
+package topo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func pathsEqual(a, b Path) bool {
+	if len(a.Nodes) != len(b.Nodes) || len(a.Links) != len(b.Links) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPathStoreDifferential is the exactness contract: for every wiring and a
+// randomized sample of host pairs, the interned paths must be bit-identical —
+// same order, same node and link sequences — to a fresh ECMPPaths enumeration.
+func TestPathStoreDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		k  int
+		ab bool
+	}{
+		{4, false}, {4, true}, {8, false}, {8, true}, {16, false}, {16, true},
+	} {
+		ft, err := NewFatTree(Config{K: tc.k, AB: tc.ab})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := ft.PathStore()
+		n := ft.NumHosts()
+		r := rand.New(rand.NewSource(int64(tc.k) + 100))
+		// All pairs at k=4; a random sample at larger k.
+		trials := n * (n - 1)
+		if tc.k > 4 {
+			trials = 500
+		}
+		for trial := 0; trial < trials; trial++ {
+			var src, dst int
+			if tc.k == 4 {
+				src, dst = trial/(n-1), trial%(n-1)
+				if dst >= src {
+					dst++
+				}
+			} else {
+				src, dst = r.Intn(n), r.Intn(n)
+				if src == dst {
+					continue
+				}
+			}
+			fresh, err := ft.ECMPPaths(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := ps.Paths(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fresh) != len(cached) {
+				t.Fatalf("k=%d ab=%v pair (%d,%d): %d cached paths, want %d",
+					tc.k, tc.ab, src, dst, len(cached), len(fresh))
+			}
+			for i := range fresh {
+				if !pathsEqual(fresh[i], cached[i]) {
+					t.Fatalf("k=%d ab=%v pair (%d,%d) path %d differs:\ncached %v\nfresh  %v",
+						tc.k, tc.ab, src, dst, i, cached[i], fresh[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPathStoreIDs checks that PathIDs round-trip through Path and are a pure
+// function of the pair, independent of build order.
+func TestPathStoreIDs(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewPathStore(ft)
+	ids, err := ps.IDs(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ps.Paths(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(paths) {
+		t.Fatalf("%d ids, %d paths", len(ids), len(paths))
+	}
+	for i, id := range ids {
+		p, err := ps.Path(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pathsEqual(p, paths[i]) {
+			t.Fatalf("id %#x resolves to the wrong path", uint64(id))
+		}
+	}
+	// A second store queried in a different order yields identical IDs.
+	ps2 := NewPathStore(ft)
+	if _, err := ps2.Paths(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	ids2, err := ps2.IDs(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Fatalf("PathID depends on build order: %#x vs %#x", uint64(ids[i]), uint64(ids2[i]))
+		}
+	}
+	// Path on an unbuilt pair builds it.
+	ps3 := NewPathStore(ft)
+	if _, err := ps3.Path(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range IDs fail cleanly.
+	if _, err := ps3.Path(PathID(1) << 60); err == nil {
+		t.Fatal("expected error for out-of-range pair index")
+	}
+	if _, err := ps3.Path(ids[0] | 0xffff); err == nil {
+		t.Fatal("expected error for out-of-range rank")
+	}
+}
+
+// TestPathStoreErrors checks lookups fail with the same errors as ECMPPaths.
+func TestPathStoreErrors(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := ft.PathStore()
+	for _, pair := range [][2]int{{3, 3}, {-1, 0}, {0, ft.NumHosts()}} {
+		_, freshErr := ft.ECMPPaths(pair[0], pair[1])
+		_, cachedErr := ps.Paths(pair[0], pair[1])
+		if freshErr == nil || cachedErr == nil {
+			t.Fatalf("pair %v: expected errors, got fresh=%v cached=%v", pair, freshErr, cachedErr)
+		}
+		if freshErr.Error() != cachedErr.Error() {
+			t.Fatalf("pair %v: error mismatch:\nfresh  %v\ncached %v", pair, freshErr, cachedErr)
+		}
+	}
+}
+
+// TestPathStoreStats checks the pair/path counters and that FatTree.PathStore
+// returns one shared instance.
+func TestPathStoreStats(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := ft.PathStore()
+	if ps != ft.PathStore() {
+		t.Fatal("FatTree.PathStore is not a stable singleton")
+	}
+	if st := ps.Stats(); st.Pairs != 0 || st.Paths != 0 {
+		t.Fatalf("fresh store stats = %+v, want zero", st)
+	}
+	p1, err := ps.Paths(0, 15) // inter-pod: (k/2)^2 = 4 paths
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Paths(0, 15); err != nil { // repeat: no new pair
+		t.Fatal(err)
+	}
+	st := ps.Stats()
+	if st.Pairs != 1 || st.Paths != len(p1) {
+		t.Fatalf("stats = %+v, want {1 %d}", st, len(p1))
+	}
+}
+
+// TestInternedPathInvariants covers topo.Path behavior on interned storage:
+// Clone independence and membership queries.
+func TestInternedPathInvariants(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ft.PathStore().Paths(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paths[0]
+	for _, n := range p.Nodes {
+		if !p.Contains(n) {
+			t.Fatalf("interned path misses its own node %d", n)
+		}
+	}
+	for _, l := range p.Links {
+		if !p.ContainsLink(l) {
+			t.Fatalf("interned path misses its own link %d", l)
+		}
+	}
+	if p.Contains(None) || p.ContainsLink(NoLink) {
+		t.Fatal("interned path contains sentinels")
+	}
+	clone := p.Clone()
+	clone.Nodes[0] = None
+	clone.Links[0] = NoLink
+	again, err := ft.PathStore().Paths(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Nodes[0] == None || again[0].Links[0] == NoLink {
+		t.Fatal("mutating a clone corrupted interned storage")
+	}
+	// Appending to a returned path must not clobber the neighboring
+	// interned path (full-capacity subslices).
+	grown := append(paths[0].Nodes, None)
+	_ = grown
+	if fresh, _ := ft.ECMPPaths(0, 15); !pathsEqual(fresh[1], paths[1]) {
+		t.Fatal("append on one interned path clobbered its neighbor")
+	}
+}
+
+// TestPathStoreConcurrent proves sweep workers can share one store: many
+// goroutines hammer overlapping pairs while the store builds lazily. Run
+// under -race this is the data-race proof required by the interning contract.
+func TestPathStoreConcurrent(t *testing.T) {
+	ft, err := NewFatTree(Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := ft.PathStore()
+	n := ft.NumHosts()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				src, dst := r.Intn(n), r.Intn(n)
+				if src == dst {
+					continue
+				}
+				paths, err := ps.Paths(src, dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Read through the shared storage.
+				for _, p := range paths {
+					if p.Nodes[0] != ft.Host(src) || p.Nodes[len(p.Nodes)-1] != ft.Host(dst) {
+						t.Errorf("pair (%d,%d): wrong endpoints", src, dst)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

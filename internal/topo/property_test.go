@@ -63,14 +63,14 @@ func TestQuickShortestPathMatchesReachability(t *testing.T) {
 		// Reference connectivity over surviving elements.
 		uf := newUF(n)
 		for _, l := range g.Links {
-			if blocked.Links[l.ID] || blocked.Nodes[l.A] || blocked.Nodes[l.B] {
+			if blocked.LinkBlocked(l.ID) || blocked.NodeBlocked(l.A) || blocked.NodeBlocked(l.B) {
 				continue
 			}
 			uf.union(int(l.A), int(l.B))
 		}
 		a, z := NodeID(r.Intn(n)), NodeID(r.Intn(n))
 		p, ok := g.ShortestPath(a, z, blocked)
-		wantOK := !blocked.Nodes[a] && !blocked.Nodes[z] && uf.find(int(a)) == uf.find(int(z))
+		wantOK := !blocked.NodeBlocked(a) && !blocked.NodeBlocked(z) && uf.find(int(a)) == uf.find(int(z))
 		if ok != wantOK {
 			return false
 		}

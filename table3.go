@@ -166,10 +166,10 @@ func hasUpstreamRepair(before, after []flowRef, blocked *topo.Blocked) bool {
 		// node on the OLD path is the failed one.
 		lastCommon := d - 1
 		adjacent := false
-		if lastCommon < len(old.Links) && blocked.Links[old.Links[lastCommon]] {
+		if lastCommon < len(old.Links) && blocked.LinkBlocked(old.Links[lastCommon]) {
 			adjacent = true
 		}
-		if lastCommon+1 < len(old.Nodes) && blocked.Nodes[old.Nodes[lastCommon+1]] {
+		if lastCommon+1 < len(old.Nodes) && blocked.NodeBlocked(old.Nodes[lastCommon+1]) {
 			adjacent = true
 		}
 		if !adjacent {

@@ -182,6 +182,7 @@ func completionTimes(ft *topo.FatTree, flows []flowRef, bytes float64, blocked *
 		}
 		// Recovery: resume on the scheme's paths.
 		load := routing.NewLinkLoad(ft.Topology)
+		var scratch routing.Scratch // shared avoid set across the reroute burst
 		for i, f := range flows {
 			if !sim.Flow(fluid.FlowID(i)).Done() && blocked.PathOK(f.path) {
 				load.Add(f.path, 1)
@@ -199,7 +200,7 @@ func completionTimes(ft *topo.FatTree, flows []flowRef, bytes float64, blocked *
 				dst := hostIndexOf(ft, f.path.Nodes[len(f.path.Nodes)-1])
 				np, ok = routing.GlobalOptimalReroute(ft, src, dst, blocked, load)
 			case schemeF10Local:
-				np, ok = routing.F10LocalReroute(ft, f.path, blocked)
+				np, ok = routing.F10LocalReroute(ft, f.path, blocked, &scratch)
 				if !ok {
 					src := hostIndexOf(ft, f.path.Nodes[0])
 					dst := hostIndexOf(ft, f.path.Nodes[len(f.path.Nodes)-1])
