@@ -9,17 +9,28 @@
 //	sbemu -k 6 -n 1 -src 0/0/0 -dst 3/1/2 -fail-path
 //	sbemu -fail-path -trace trace.jsonl   # then: sbtap trace.jsonl
 //	sbemu -fail-path -events              # human-readable event log on stderr
+//
+// -ctlnet switches to the distributed control-plane emulation: a real ctlnet
+// controller server, switch agents, and circuit-switch services talking over
+// loopback TCP, each process-in-miniature writing its own trace file into
+// -trace-dir. It injects one link failure per agent and prints the files to
+// stitch:
+//
+//	sbemu -ctlnet -trace-dir /tmp/traces -slo-budget 50us -flight-recorder
+//	sbtap -stitch /tmp/traces/*.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"sharebackup"
+	"sharebackup/internal/ctlnet"
 	"sharebackup/internal/emu"
 	"sharebackup/internal/obs"
 	"sharebackup/internal/obs/debughttp"
@@ -36,9 +47,21 @@ func main() {
 		failPath  = flag.Bool("fail-path", false, "fail every switch on the path, recover, and re-trace")
 		trace     = flag.String("trace", "", "write structured events as JSONL to this file (summarize with sbtap)")
 		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
-		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
+		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events, /metricsz) on this address, e.g. 127.0.0.1:6060")
+
+		ctlnetMode = flag.Bool("ctlnet", false, "run the multi-process control-plane emulation over loopback TCP instead of a packet trace")
+		traceDir   = flag.String("trace-dir", "", "ctlnet mode: directory for per-process trace files (stitch with sbtap -stitch)")
+		numAgents  = flag.Int("agents", 2, "ctlnet mode: number of switch agents")
+		numCS      = flag.Int("cs", 1, "ctlnet mode: number of circuit-switch services")
+		sloBudget  = flag.Duration("slo-budget", 0, "recovery-time SLO budget; breaches trip the watchdog (0 disables)")
+		flightRec  = flag.Bool("flight-recorder", false, "keep an always-on event ring and dump a diagnostic bundle on anomalies")
 	)
 	flag.Parse()
+
+	if *ctlnetMode {
+		runCtlnet(*k, *n, *numAgents, *numCS, *traceDir, *sloBudget, *flightRec)
+		return
+	}
 
 	if *debugAddr != "" {
 		srv, err := debughttp.Start(*debugAddr, debughttp.Config{})
@@ -64,6 +87,23 @@ func main() {
 		defer obs.EventsToLogf(nil, func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		})()
+	}
+	if *sloBudget > 0 {
+		w := obs.NewSLOWatchdog(obs.SLOConfig{Budget: *sloBudget, Registry: obs.DefaultRegistry})
+		obs.Default.Attach(w)
+		defer obs.Default.Detach(w)
+	}
+	if *flightRec {
+		fr := obs.NewFlightRecorder(obs.FlightConfig{
+			SLOBudget:             *sloBudget,
+			KeepAliveGapThreshold: 3,
+			DropBurstThreshold:    1024,
+		})
+		fr.Attach(obs.Default)
+		defer func() {
+			obs.Default.Detach(fr)
+			fr.Close()
+		}()
 	}
 
 	src, err := parseHost(*srcStr)
@@ -120,6 +160,77 @@ func main() {
 	} else {
 		fatal(fmt.Errorf("logical path changed — impersonation broken"))
 	}
+}
+
+// runCtlnet drives the distributed control-plane emulation: a real ctlnet
+// controller server, switch agents, and circuit-switch services over loopback
+// TCP, one trace file per process. One link failure is injected per agent,
+// then the per-process files are listed for stitching.
+func runCtlnet(k, n, agents, cs int, traceDir string, budget time.Duration, flight bool) {
+	if traceDir == "" {
+		dir, err := os.MkdirTemp("", "sbemu-ctlnet-")
+		if err != nil {
+			fatal(err)
+		}
+		traceDir = dir
+	}
+	em, err := ctlnet.NewEmulation(ctlnet.EmulationConfig{
+		K:              k,
+		N:              n,
+		NumAgents:      agents,
+		NumCS:          cs,
+		TraceDir:       traceDir,
+		SLOBudget:      budget,
+		FlightRecorder: flight,
+		Registry:       obs.DefaultRegistry,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ctlnet emulation up: controller %s, %d agents, %d circuit switches\n",
+		em.Server.Addr(), len(em.Agents), len(em.CS))
+
+	mon, err := ctlnet.Subscribe(em.Server.Addr())
+	if err != nil {
+		fatal(err)
+	}
+	defer mon.Close()
+
+	if !em.WaitClockSync(5 * time.Second) {
+		fatal(fmt.Errorf("agents did not complete clock sync"))
+	}
+	for i := range em.Agents {
+		if err := em.FailLink(i, time.Millisecond); err != nil {
+			fatal(err)
+		}
+		select {
+		case _, ok := <-mon.Events:
+			if !ok {
+				fatal(fmt.Errorf("event monitor closed: %v", mon.Err()))
+			}
+		case <-time.After(5 * time.Second):
+			fatal(fmt.Errorf("no recovery event for agent %d within 5s", i))
+		}
+	}
+	fmt.Printf("injected %d link failures; all recovered\n", len(em.Agents))
+	if w := em.Watchdog; w != nil {
+		fmt.Printf("slo watchdog: %d recoveries, %d breaches, burn rate %.2f (budget %v)\n",
+			w.Recoveries(), w.Breaches(), w.BurnRate(), budget)
+	}
+	files := em.TraceFiles()
+	if err := em.Close(); err != nil {
+		fatal(err)
+	}
+	if f := em.Flight; f != nil {
+		for _, d := range f.Dumps() {
+			fmt.Printf("flight-recorder bundle: %s\n", d)
+		}
+	}
+	fmt.Println("per-process traces:")
+	for _, f := range files {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Printf("stitch them: sbtap -stitch %s\n", filepath.Join(traceDir, "*.jsonl"))
 }
 
 func printWalk(sys *sharebackup.System, walk []emu.Hop) {

@@ -42,7 +42,9 @@ func main() {
 		jsonPath  = flag.String("json", "", "run the recovery benchmark and write phase percentiles to this file (e.g. BENCH_recovery.json)")
 		trials    = flag.Int("trials", 32, "failovers per kind for the -json benchmark")
 		workers   = flag.Int("workers", 0, "sweep worker pool size for fig1a/fig1b/fig1c and the -json benchmark (0 = GOMAXPROCS; results are identical for any value)")
-		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
+		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events, /metricsz) on this address, e.g. 127.0.0.1:6060")
+		sloBudget = flag.Duration("slo-budget", 0, "recovery-time SLO budget; breaches trip the watchdog (0 disables)")
+		flightRec = flag.Bool("flight-recorder", false, "keep an always-on event ring and dump a diagnostic bundle on anomalies")
 	)
 	flag.Parse()
 
@@ -77,6 +79,23 @@ func main() {
 		defer obs.EventsToLogf(nil, func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		})()
+	}
+	if *sloBudget > 0 {
+		w := obs.NewSLOWatchdog(obs.SLOConfig{Budget: *sloBudget, Registry: obs.DefaultRegistry})
+		obs.Default.Attach(w)
+		defer obs.Default.Detach(w)
+	}
+	if *flightRec {
+		fr := obs.NewFlightRecorder(obs.FlightConfig{
+			SLOBudget:             *sloBudget,
+			KeepAliveGapThreshold: 3,
+			DropBurstThreshold:    1024,
+		})
+		fr.Attach(obs.Default)
+		defer func() {
+			obs.Default.Detach(fr)
+			fr.Close()
+		}()
 	}
 	if *jsonPath != "" {
 		if err := runBenchJSON(*k, *n, *trials, *workers, *jsonPath, traceSink); err != nil {

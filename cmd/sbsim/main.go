@@ -44,7 +44,9 @@ func main() {
 		windows   = flag.Int("windows", 1, "number of trace windows; scenarios spread round-robin (cct study)")
 		traceOut  = flag.String("trace-out", "", "write structured events as JSONL to this file (summarize with sbtap)")
 		events    = flag.Bool("events", false, "log structured events human-readably to stderr")
-		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events) on this address, e.g. 127.0.0.1:6060")
+		debugAddr = flag.String("debug-addr", "", "serve live introspection (pprof, /varz, /events, /metricsz) on this address, e.g. 127.0.0.1:6060")
+		sloBudget = flag.Duration("slo-budget", 0, "recovery-time SLO budget; breaches trip the watchdog (0 disables)")
+		flightRec = flag.Bool("flight-recorder", false, "keep an always-on event ring and dump a diagnostic bundle on anomalies")
 	)
 	flag.Parse()
 
@@ -75,6 +77,23 @@ func main() {
 		defer obs.EventsToLogf(nil, func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		})()
+	}
+	if *sloBudget > 0 {
+		w := obs.NewSLOWatchdog(obs.SLOConfig{Budget: *sloBudget, Registry: obs.DefaultRegistry})
+		obs.Default.Attach(w)
+		defer obs.Default.Detach(w)
+	}
+	if *flightRec {
+		fr := obs.NewFlightRecorder(obs.FlightConfig{
+			SLOBudget:             *sloBudget,
+			KeepAliveGapThreshold: 3,
+			DropBurstThreshold:    1024,
+		})
+		fr.Attach(obs.Default)
+		defer func() {
+			obs.Default.Detach(fr)
+			fr.Close()
+		}()
 	}
 
 	var trace *coflow.Trace

@@ -12,6 +12,18 @@
 //	sbtap -f trace.jsonl         # follow: render events as they are appended
 //	sbemu -fail-path -trace /dev/stdout | sbtap
 //
+// Multi-process traces (one JSONL file per process, as written by
+// sbemu -ctlnet -trace-dir) are merged with -stitch: clock-sync events align
+// the processes' independent epochs, and spans sharing a trace ID are linked
+// into one causal tree per recovery with per-hop phase attribution:
+//
+//	sbtap -stitch dir/controller.jsonl dir/agent-*.jsonl dir/cs-*.jsonl
+//
+// -strict makes sbtap exit non-zero when the trace shows integrity problems:
+// sequence gaps (events lost to a bounded sink) or, with -stitch,
+// unstitchable references (spans whose parent is missing from the file set,
+// processes with no clock-sync path to the reference).
+//
 // sbtap also reads benchmark trajectory files (the BENCH_*.json written by
 // sbbench): it lists the gated metrics, and -hist renders every histogram
 // snapshot found in the detail section (FCT, flow rate, link utilization,
@@ -26,7 +38,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"sharebackup/internal/bench"
@@ -38,15 +52,24 @@ func main() {
 		follow = flag.Bool("f", false, "follow the file: render events human-readably as they are appended")
 		spans  = flag.Bool("spans", false, "list every recovery span with its phase breakdown")
 		hist   = flag.Bool("hist", false, "render recovery phase latencies as bucketed histograms with p50/p90/p99")
+		stitch = flag.Bool("stitch", false, "merge several per-process trace files into cross-process recovery timelines (clock-offset aligned)")
+		strict = flag.Bool("strict", false, "exit non-zero on sequence gaps or (with -stitch) unstitchable trace references")
 	)
 	flag.Parse()
+
+	if *stitch {
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("-stitch needs at least one trace file"))
+		}
+		os.Exit(stitchFiles(flag.Args(), *strict))
+	}
 
 	var (
 		in   io.Reader = os.Stdin
 		name           = "stdin"
 	)
 	if flag.NArg() > 1 {
-		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+		fatal(fmt.Errorf("at most one input file, got %d (use -stitch to merge per-process traces)", flag.NArg()))
 	}
 	if flag.NArg() == 1 {
 		f, err := os.Open(flag.Arg(0))
@@ -83,6 +106,7 @@ func main() {
 		fmt.Printf("%s: no events\n", name)
 		return
 	}
+	exitCode := 0
 	fmt.Print(obs.KindCounts(evs).String())
 	if shards := shardCount(evs); shards > 1 {
 		fmt.Printf("trace interleaves %d sweep shards (see the shard field; sequence numbers are per shard)\n", shards)
@@ -90,6 +114,9 @@ func main() {
 	if lost, gaps := seqLoss(evs); lost > 0 {
 		fmt.Printf("WARNING: %d events missing from the stream (%d sequence gaps) — a bounded sink dropped them (see obs.ring_dropped_events on /varz)\n",
 			lost, gaps)
+		if *strict {
+			exitCode = 1
+		}
 	}
 
 	if *hist {
@@ -100,7 +127,7 @@ func main() {
 	all := breakdown(shardSpans, "")
 	if all.N() == 0 {
 		fmt.Println("no completed recovery spans")
-		return
+		os.Exit(exitCode)
 	}
 	fmt.Print(all.Table(fmt.Sprintf("recovery phase breakdown — all kinds (%d recoveries)", all.N())).String())
 	for _, kind := range []string{"node", "link"} {
@@ -123,6 +150,63 @@ func main() {
 				ss.span.Detection, ss.span.Report, ss.span.Reconfig, ss.span.Total, len(ss.span.Events))
 		}
 	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// stitchFiles merges per-process trace files into cross-process recovery
+// timelines and renders them. The exit code is non-zero only under strict
+// when the file set shows integrity problems: sequence gaps inside any file,
+// or unstitchable references across the set.
+func stitchFiles(paths []string, strict bool) int {
+	procs := make([]obs.ProcTrace, 0, len(paths))
+	bad := false
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".jsonl")
+		if lost, gaps := seqLoss(evs); lost > 0 {
+			fmt.Printf("WARNING: %s: %d events missing from the stream (%d sequence gaps)\n", name, lost, gaps)
+			bad = true
+		}
+		procs = append(procs, obs.ProcTrace{Name: name, Events: evs})
+	}
+
+	res, err := obs.Stitch(procs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stitched %d processes, reference clock %q\n", len(procs), res.Reference)
+	names := make([]string, 0, len(res.Offsets))
+	for n := range res.Offsets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-20s epoch shift %v\n", n, res.Offsets[n])
+	}
+	if len(res.Traces) == 0 {
+		fmt.Println("no recovery traces found")
+	}
+	for _, tr := range res.Traces {
+		fmt.Printf("\ntrace %016x:\n%s", tr.Trace, tr.Render())
+	}
+	for _, u := range res.Unstitchable {
+		fmt.Printf("UNSTITCHABLE: %s\n", u)
+		bad = true
+	}
+	if strict && bad {
+		return 1
+	}
+	return 0
 }
 
 // parseBenchFile reports whether data is a bench trajectory file. Multi-line

@@ -80,6 +80,11 @@ type Recovery struct {
 	Comm time.Duration
 	// Reconfig is the circuit reconfiguration latency.
 	Reconfig time.Duration
+	// Trace and Span identify the recovery's causal span on the event bus,
+	// so wall-clock mirrors of the same recovery (the ctlnet server's
+	// recovered event, circuit-switch agent reconfigurations) can join it.
+	Trace uint64
+	Span  uint64
 }
 
 // Total returns the end-to-end recovery latency.
@@ -285,13 +290,17 @@ func (c *Controller) RecoverNode(id sbnet.SwitchID, at time.Duration) (*Recovery
 	c.recoveries = append(c.recoveries, rec)
 	c.mFailovers.Inc()
 	c.noteBackupUse(c.net.Switch(backup).Group)
-	c.emitRecoveryDone(span, at, &rec)
+	c.emitRecoveryDone(span, at, &c.recoveries[len(c.recoveries)-1])
 	return &c.recoveries[len(c.recoveries)-1], nil
 }
 
 // emitRecoveryDone publishes the backup-assigned and recovery-complete
 // events closing a recovery span.
 func (c *Controller) emitRecoveryDone(span uint64, at time.Duration, rec *Recovery) {
+	// Record the span identity on the recovery itself (before the deferred
+	// EndSpan clears the bus context) so cross-process mirrors can join it.
+	rec.Span = span
+	rec.Trace = c.bus.ActiveTrace()
 	if !c.bus.Enabled() {
 		return
 	}
@@ -403,7 +412,7 @@ func (c *Controller) ReportLinkFailureDetected(a, b EndPoint, at, detection time
 		c.pendingDiagnosis = append(c.pendingDiagnosis, LinkSuspects{A: a, B: b})
 		c.mLinkRecoveries.Inc()
 		c.gPendingDiagnosis.Set(int64(len(c.pendingDiagnosis)))
-		c.emitRecoveryDone(span, at, &rec)
+		c.emitRecoveryDone(span, at, &c.recoveries[len(c.recoveries)-1])
 		return &c.recoveries[len(c.recoveries)-1], firstErr
 	}
 	return nil, firstErr
@@ -507,7 +516,7 @@ func (c *Controller) HandleHostLinkFailure(edge sbnet.SwitchID, port int, host i
 	c.recoveries = append(c.recoveries, rec)
 	c.mLinkRecoveries.Inc()
 	c.noteBackupUse(c.net.Switch(backup).Group)
-	c.emitRecoveryDone(span, at, &rec)
+	c.emitRecoveryDone(span, at, &c.recoveries[len(c.recoveries)-1])
 	if hostAtFault {
 		// Replacement did not fix the link: mark the switch healthy
 		// and trouble-shoot the host.

@@ -4,11 +4,18 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sharebackup/internal/obs"
 	"sharebackup/internal/routing"
 	"sharebackup/internal/sbnet"
 )
+
+// clockSyncEvery is how many keep-alives pass between piggybacked clock-sync
+// probes once a bus is attached (the first probe goes out on the first tick,
+// so a trace captured right after startup is already alignable).
+const clockSyncEvery = 8
 
 // Agent is a switch-side keep-alive client: it registers with the controller
 // server and sends periodic keep-alives until stopped. Stopping the agent
@@ -19,8 +26,16 @@ type Agent struct {
 
 	conn     net.Conn
 	interval time.Duration
+	// start is the agent's private epoch: its events' T values are
+	// durations since it, aligned to other processes via clock sync.
+	start time.Time
+
+	// offsetNS is the latest measured clock offset to the server
+	// (t_agent ~= t_server + offset), stored +1 so zero means "unmeasured".
+	offsetNS atomic.Int64
 
 	mu      sync.Mutex
+	bus     *obs.Bus
 	stopped bool
 	table   *routing.VLANTable
 	quit    chan struct{}
@@ -49,6 +64,7 @@ func Dial(addr string, id sbnet.SwitchID, interval time.Duration) (*Agent, error
 		ID:          id,
 		conn:        conn,
 		interval:    interval,
+		start:       time.Now(),
 		quit:        make(chan struct{}),
 		done:        make(chan struct{}),
 		tableLoaded: make(chan struct{}),
@@ -58,6 +74,32 @@ func Dial(addr string, id sbnet.SwitchID, interval time.Duration) (*Agent, error
 	return a, nil
 }
 
+// SetObserver attaches an event bus: the agent emits failure-declared and
+// clock-sync events on it, giving the switch process its own span in
+// stitched traces. Name the bus (e.g. bus.SetProc("agent-12")) so spans are
+// attributable. Attach before failures are reported.
+func (a *Agent) SetObserver(bus *obs.Bus) {
+	a.mu.Lock()
+	a.bus = bus
+	a.mu.Unlock()
+}
+
+func (a *Agent) observer() *obs.Bus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bus
+}
+
+// ClockOffset returns the latest measured offset to the server's epoch
+// (t_agent ~= t_server + offset) and whether a measurement exists yet.
+func (a *Agent) ClockOffset() (time.Duration, bool) {
+	v := a.offsetNS.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return time.Duration(v - 1), true
+}
+
 // readLoop handles server-to-agent messages (currently: the preloaded
 // failure-group table). It exits when the connection closes.
 func (a *Agent) readLoop() {
@@ -65,6 +107,10 @@ func (a *Agent) readLoop() {
 		typ, payload, err := readFrame(a.conn)
 		if err != nil {
 			return
+		}
+		if typ == msgClockSyncAck {
+			a.handleClockSyncAck(payload)
+			continue
 		}
 		if typ != msgTableLoad {
 			continue
@@ -102,6 +148,28 @@ func (a *Agent) WaitTable(timeout time.Duration) bool {
 	}
 }
 
+// handleClockSyncAck finishes one NTP-style exchange: the ack echoes our
+// send time t1 and carries the server's receive time t2 (server epoch);
+// with our receive time t3, offset = (t1+t3)/2 - t2.
+func (a *Agent) handleClockSyncAck(payload []byte) {
+	t3 := time.Since(a.start)
+	t1, t2, proc, err := decodeClockSyncAck(payload)
+	if err != nil {
+		return
+	}
+	offset := time.Duration((t1+t3.Nanoseconds())/2 - t2)
+	a.offsetNS.Store(int64(offset) + 1)
+	if bus := a.observer(); bus.Enabled() {
+		ev := obs.NewEvent(obs.KindClockSync, t3)
+		ev.Wall = true
+		ev.Switch = int32(a.ID)
+		ev.Detail = proc
+		ev.Offset = offset
+		ev.RTT = t3 - time.Duration(t1)
+		bus.Emit(ev)
+	}
+}
+
 func (a *Agent) keepAliveLoop() {
 	defer close(a.done)
 	ticker := time.NewTicker(a.interval)
@@ -115,6 +183,11 @@ func (a *Agent) keepAliveLoop() {
 			seq++
 			a.mu.Lock()
 			err := writeFrame(a.conn, msgKeepAlive, encodeKeepAlive(a.ID, seq))
+			if err == nil && a.bus != nil && seq%clockSyncEvery == 1 {
+				// Piggyback a clock-sync probe so stitched traces can align
+				// this agent's epoch with the controller's.
+				err = writeFrame(a.conn, msgClockSync, encodeClockSync(time.Since(a.start).Nanoseconds()))
+			}
 			a.mu.Unlock()
 			if err != nil {
 				return
@@ -133,6 +206,38 @@ func (a *Agent) ReportLinkFailure(ownPort int, peer sbnet.SwitchID, peerPort int
 		return fmt.Errorf("ctlnet: agent %d stopped", a.ID)
 	}
 	return writeFrame(a.conn, msgLinkFail, encodeLinkFail(a.ID, ownPort, peer, peerPort))
+}
+
+// ReportLinkFailureDetected is ReportLinkFailure for an agent that measured
+// the failure itself (e.g. via a detect.Monitor): it opens the recovery's
+// root span on the agent's bus, emits the failure-declared event with the
+// given detection latency, and sends a traced report so the controller's
+// recovery — and the circuit-switch reconfigurations under it — join one
+// cross-process trace.
+func (a *Agent) ReportLinkFailureDetected(ownPort int, peer sbnet.SwitchID, peerPort int, detection time.Duration) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return fmt.Errorf("ctlnet: agent %d stopped", a.ID)
+	}
+	bus := a.bus
+	if !bus.Enabled() {
+		return writeFrame(a.conn, msgLinkFail, encodeLinkFail(a.ID, ownPort, peer, peerPort))
+	}
+	span := bus.BeginSpan()
+	defer bus.EndSpan()
+	ev := obs.NewEvent(obs.KindFailureDeclared, time.Since(a.start))
+	ev.Wall = true
+	ev.Span = span
+	ev.Switch = int32(a.ID)
+	ev.Port = int32(ownPort)
+	ev.Peer = int32(peer)
+	ev.PeerPort = int32(peerPort)
+	ev.Detection = detection
+	ev.Detail = "link"
+	bus.Emit(ev)
+	ctx := bus.ActiveContext()
+	return writeFrame(a.conn, msgLinkFailTraced, encodeLinkFailTraced(ctx, detection, a.ID, ownPort, peer, peerPort))
 }
 
 // StopHeartbeats silences the agent without closing the connection —

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sharebackup/internal/circuit"
+	"sharebackup/internal/obs"
 )
 
 // Circuit-switch control messages.
@@ -17,6 +18,10 @@ const (
 	msgCSReconfig byte = 16 // client -> service: batch of circuit changes
 	msgCSAck      byte = 17 // service -> client: applied, with latency
 	msgCSErr      byte = 18 // service -> client: error text
+	// msgCSReconfigTraced is msgCSReconfig prefixed with a trace context, so
+	// the service's circuit-reconfigured event joins the recovery's
+	// cross-process trace as a child of the controller's span.
+	msgCSReconfigTraced byte = 19
 )
 
 // CSService exposes one circuit switch's bare-minimum control software
@@ -28,8 +33,12 @@ const (
 type CSService struct {
 	sw *circuit.Switch
 	ln net.Listener
+	// start is the service's private epoch; its events' T values are
+	// durations since it, aligned offline via clock-sync offsets.
+	start time.Time
 
 	mu     sync.Mutex
+	bus    *obs.Bus
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -40,10 +49,25 @@ func NewCSService(addr string, sw *circuit.Switch) (*CSService, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ctlnet: cs service listen: %w", err)
 	}
-	s := &CSService{sw: sw, ln: ln}
+	s := &CSService{sw: sw, ln: ln, start: time.Now()}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetObserver attaches an event bus: traced reconfigurations emit
+// circuit-reconfigured events on it (name the bus' process via SetProc so
+// stitched traces can tell circuit switches apart).
+func (s *CSService) SetObserver(bus *obs.Bus) {
+	s.mu.Lock()
+	s.bus = bus
+	s.mu.Unlock()
+}
+
+func (s *CSService) observer() *obs.Bus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bus
 }
 
 // Addr returns the service's listen address.
@@ -86,7 +110,30 @@ func (s *CSService) handle(conn net.Conn) {
 			}
 			return
 		}
-		if typ != msgCSReconfig {
+		var ctx obs.TraceContext
+		switch typ {
+		case msgClockSync:
+			t1, err := decodeClockSync(payload)
+			if err != nil {
+				_ = writeFrame(conn, msgCSErr, []byte(err.Error()))
+				return
+			}
+			ack := encodeClockSyncAck(t1, time.Since(s.start).Nanoseconds(), s.observer().Proc())
+			if err := writeFrame(conn, msgClockSyncAck, ack); err != nil {
+				return
+			}
+			continue
+		case msgCSReconfig:
+		case msgCSReconfigTraced:
+			var rest []byte
+			var err error
+			ctx, rest, err = readTraceContext(payload)
+			if err != nil {
+				_ = writeFrame(conn, msgCSErr, []byte(err.Error()))
+				return
+			}
+			payload = rest
+		default:
 			_ = writeFrame(conn, msgCSErr, []byte(fmt.Sprintf("unexpected message type %d", typ)))
 			return
 		}
@@ -96,7 +143,27 @@ func (s *CSService) handle(conn net.Conn) {
 			return
 		}
 		s.mu.Lock()
+		bus := s.bus
+		at := time.Since(s.start)
+		var span uint64
+		if ctx.Trace != 0 && bus.Enabled() {
+			// Join the controller's recovery trace as a child span covering
+			// this crossbar reconfiguration.
+			bus.SetRemoteParent(ctx)
+			span = bus.BeginSpan()
+		}
 		d, err := s.sw.Apply(changes)
+		if span != 0 && err == nil {
+			ev := obs.NewEvent(obs.KindCircuitReconfigured, at)
+			ev.Wall = true
+			ev.Span = span
+			ev.Reconfig = d
+			ev.Count = int32(len(changes))
+			bus.Emit(ev)
+		}
+		if span != 0 {
+			bus.EndSpan()
+		}
 		s.mu.Unlock()
 		if err != nil {
 			if werr := writeFrame(conn, msgCSErr, []byte(err.Error())); werr != nil {
@@ -131,11 +198,28 @@ func DialCS(addr string) (*CSClient, error) {
 // Reconfigure applies a batch of circuit changes and returns the crossbar's
 // reconfiguration delay plus the measured request round-trip time.
 func (c *CSClient) Reconfigure(changes []circuit.Change) (reconfig time.Duration, rtt time.Duration, err error) {
+	return c.reconfigure(obs.TraceContext{}, changes)
+}
+
+// ReconfigureTraced is Reconfigure carrying the caller's trace context, so
+// the service's reconfiguration event joins the recovery's trace.
+func (c *CSClient) ReconfigureTraced(ctx obs.TraceContext, changes []circuit.Change) (reconfig time.Duration, rtt time.Duration, err error) {
+	return c.reconfigure(ctx, changes)
+}
+
+func (c *CSClient) reconfigure(ctx obs.TraceContext, changes []circuit.Change) (reconfig time.Duration, rtt time.Duration, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t0 := time.Now()
-	if err := writeFrame(c.conn, msgCSReconfig, encodeCSReconfig(changes)); err != nil {
-		return 0, 0, err
+	var werr error
+	if ctx.Trace != 0 {
+		payload := appendTraceContext(nil, ctx)
+		werr = writeFrame(c.conn, msgCSReconfigTraced, append(payload, encodeCSReconfig(changes)...))
+	} else {
+		werr = writeFrame(c.conn, msgCSReconfig, encodeCSReconfig(changes))
+	}
+	if werr != nil {
+		return 0, 0, werr
 	}
 	typ, payload, err := readFrame(c.conn)
 	if err != nil {
@@ -153,6 +237,36 @@ func (c *CSClient) Reconfigure(changes []circuit.Change) (reconfig time.Duration
 	default:
 		return 0, rtt, fmt.Errorf("ctlnet: cs client got message type %d", typ)
 	}
+}
+
+// SyncClock measures the clock offset between the caller's epoch and the
+// service's: it returns offset such that t_local ~= t_service + offset,
+// along with the request RTT and the service's process name. The caller
+// passes its own epoch (the instant its event timestamps are relative to).
+func (c *CSClient) SyncClock(epoch time.Time) (offset, rtt time.Duration, proc string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t1 := time.Since(epoch)
+	if err := writeFrame(c.conn, msgClockSync, encodeClockSync(t1.Nanoseconds())); err != nil {
+		return 0, 0, "", err
+	}
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	t3 := time.Since(epoch)
+	if typ != msgClockSyncAck {
+		return 0, 0, "", fmt.Errorf("ctlnet: clock sync got message type %d", typ)
+	}
+	t1e, t2, proc, err := decodeClockSyncAck(payload)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if t1e != t1.Nanoseconds() {
+		return 0, 0, "", fmt.Errorf("ctlnet: clock sync ack echoes t1=%d, sent %d", t1e, t1.Nanoseconds())
+	}
+	offset = time.Duration((t1.Nanoseconds()+t3.Nanoseconds())/2 - t2)
+	return offset, t3 - t1, proc, nil
 }
 
 // Close tears the control session down.

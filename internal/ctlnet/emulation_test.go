@@ -1,0 +1,224 @@
+package ctlnet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// startEmulation builds a trace-collecting emulation and tears it down with
+// the test.
+func startEmulation(t *testing.T, cfg EmulationConfig) *Emulation {
+	t.Helper()
+	e, err := NewEmulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestEmulationStitchedTrace drives one link-failure recovery through the
+// multi-process emulation — agent, controller, and circuit-switch services,
+// each with a private bus, epoch, and trace file — and checks that sbtap's
+// stitcher reassembles a single cross-process causal trace with per-hop
+// Table-2 phase attribution.
+func TestEmulationStitchedTrace(t *testing.T) {
+	dir := t.TempDir()
+	e := startEmulation(t, EmulationConfig{
+		NumAgents: 2,
+		NumCS:     2,
+		TraceDir:  dir,
+	})
+
+	mon, err := Subscribe(e.Server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	if !e.WaitClockSync(5 * time.Second) {
+		t.Fatal("agents never synced clocks with the controller")
+	}
+	if err := e.FailLink(0, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-mon.Events:
+		if !ok {
+			t.Fatalf("monitor closed: %v", mon.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no recovery event within 5s")
+	}
+
+	files := e.TraceFiles()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var procs []obs.ProcTrace
+	for _, path := range files {
+		evs, err := obs.ReadJSONL(mustOpen(t, path))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".jsonl")
+		procs = append(procs, obs.ProcTrace{Name: name, Events: evs})
+	}
+	res, err := obs.Stitch(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unstitchable) != 0 {
+		t.Fatalf("unstitchable: %v", res.Unstitchable)
+	}
+	if res.Reference != "controller" {
+		t.Errorf("reference proc = %q, want controller", res.Reference)
+	}
+	if len(res.Traces) != 1 {
+		t.Fatalf("stitched %d traces, want 1", len(res.Traces))
+	}
+	tr := res.Traces[0]
+
+	// One causal tree: the agent's root span, the controller's recovery
+	// under it, and a circuit-switch reconfiguration under that.
+	if len(tr.Roots) != 1 {
+		t.Fatalf("trace has %d roots, want 1:\n%s", len(tr.Roots), tr.Render())
+	}
+	root := tr.Roots[0]
+	if !strings.HasPrefix(root.Proc, "agent-") {
+		t.Errorf("trace root on %q, want the reporting agent", root.Proc)
+	}
+	byProc := map[string]int{}
+	for _, ss := range tr.Spans {
+		byProc[ss.Proc]++
+	}
+	if byProc["controller"] == 0 {
+		t.Errorf("no controller span in trace:\n%s", tr.Render())
+	}
+	csSpans := 0
+	for proc, n := range byProc {
+		if strings.HasPrefix(proc, "cs-") {
+			csSpans += n
+		}
+	}
+	if csSpans != 2 {
+		t.Errorf("trace has %d circuit-switch spans, want 2:\n%s", csSpans, tr.Render())
+	}
+	var ctlSpan *obs.StitchedSpan
+	for _, ss := range tr.Spans {
+		if ss.Proc == "controller" {
+			ctlSpan = ss
+		}
+	}
+	if ctlSpan.Parent != root {
+		t.Error("controller span is not a child of the agent's root span")
+	}
+
+	// Table-2 phase attribution per hop: detection on the agent, report and
+	// reconfiguration on the controller, crossbar time on the cs procs.
+	attr := map[string]map[string]time.Duration{}
+	for _, a := range tr.Attribution() {
+		if attr[a.Phase] == nil {
+			attr[a.Phase] = map[string]time.Duration{}
+		}
+		attr[a.Phase][a.Proc] += a.Value
+	}
+	if got := attr["detection"][root.Proc]; got != 5*time.Millisecond {
+		t.Errorf("detection attributed to %s = %v, want 5ms", root.Proc, got)
+	}
+	if _, ok := attr["report"]["controller"]; !ok {
+		t.Errorf("no report phase attributed to controller: %v", attr)
+	}
+	if _, ok := attr["reconfig"]["controller"]; !ok {
+		t.Errorf("no reconfig phase attributed to controller: %v", attr)
+	}
+
+	// The controller span carries the completed recovery's breakdown.
+	if !ctlSpan.Span.Complete {
+		t.Error("controller span not marked complete")
+	}
+	if ctlSpan.Span.Total <= 0 {
+		t.Errorf("controller span total = %v", ctlSpan.Span.Total)
+	}
+}
+
+// TestEmulationSLOBreachFlightDump injects an over-budget recovery and
+// checks the SLO watchdog counts the breach (once, despite the virtual- and
+// wall-clock mirrors of the event) and the flight recorder writes a bundle.
+func TestEmulationSLOBreachFlightDump(t *testing.T) {
+	t.Setenv("SHAREBACKUP_FLIGHT_DIR", filepath.Join(t.TempDir(), "dumps"))
+	e := startEmulation(t, EmulationConfig{
+		NumAgents:      1,
+		NumCS:          1,
+		TraceDir:       t.TempDir(),
+		SLOBudget:      time.Nanosecond, // every real recovery breaches
+		FlightRecorder: true,
+	})
+
+	mon, err := Subscribe(e.Server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	if err := e.FailLink(0, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-mon.Events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no recovery event within 5s")
+	}
+
+	if got := e.Watchdog.Breaches(); got != 1 {
+		t.Errorf("breaches = %d, want 1 (virtual+wall mirrors must dedup)", got)
+	}
+	if got := e.Watchdog.Recoveries(); got != 1 {
+		t.Errorf("recoveries = %d, want 1", got)
+	}
+	if rate := e.Watchdog.BurnRate(); rate != 1 {
+		t.Errorf("burn rate = %v, want 1", rate)
+	}
+
+	if !e.Flight.WaitDump(1, 5*time.Second) {
+		t.Fatal("flight recorder wrote no bundle within 5s")
+	}
+	dumps := e.Flight.Dumps()
+	bundle := dumps[0]
+	if !strings.Contains(filepath.Base(bundle), "slo-breach") {
+		t.Errorf("bundle %s not named for its slo-breach trigger", bundle)
+	}
+	evs, err := obs.ReadJSONL(mustOpen(t, filepath.Join(bundle, "events.jsonl")))
+	if err != nil {
+		t.Fatalf("bundle events: %v", err)
+	}
+	sawRecovery := false
+	for _, ev := range evs {
+		if ev.Kind == obs.KindRecoveryComplete {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("bundle events.jsonl has no recovery-complete event")
+	}
+	for _, name := range []string{"varz.json", "goroutines.txt", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(bundle, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sharebackup/internal/circuit"
 	"sharebackup/internal/controller"
 	"sharebackup/internal/obs"
 	"sharebackup/internal/routing"
@@ -37,8 +38,19 @@ type ServerConfig struct {
 	// recovery-complete, tables-preloaded, log) with wall-clock
 	// timestamps relative to server start. Defaults to obs.Default so
 	// command-level -trace/-events flags observe the server without
-	// plumbing; set it explicitly to isolate a server in tests.
+	// plumbing; set it explicitly to isolate a server in tests. If the bus
+	// has no process name yet, the server names it "controller".
 	Obs *obs.Bus
+	// CSAddrs lists circuit-switch control-service addresses. The server
+	// dials each at startup, measures clock offsets (emitting clock-sync
+	// events the trace stitcher aligns epochs with), and mirrors every
+	// recovery to each service as a traced reconfiguration batch — making
+	// the controller-to-circuit-switch leg a measured hop of the recovery's
+	// cross-process trace. Empty disables mirroring.
+	CSAddrs []string
+	// CSChanges maps a recovery to the circuit-change batch mirrored to
+	// each circuit switch. Default: one crossbar swap of ports 0 and 1.
+	CSChanges func(rec *controller.Recovery) []circuit.Change
 }
 
 func (c *ServerConfig) setDefaults() {
@@ -60,11 +72,12 @@ func (c *ServerConfig) setDefaults() {
 // tracks keep-alives on the wall clock, and drives failover on the
 // underlying network when a switch goes silent.
 type Server struct {
-	cfg   ServerConfig
-	ctl   *controller.Controller
-	ln    net.Listener
-	start time.Time
-	bus   *obs.Bus
+	cfg       ServerConfig
+	ctl       *controller.Controller
+	ln        net.Listener
+	start     time.Time
+	bus       *obs.Bus
+	csClients []*CSClient
 
 	// Runtime metrics, merged into the controller's registry so one varz
 	// snapshot covers both layers.
@@ -142,10 +155,46 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 	if ctl.Observer() == nil {
 		ctl.SetObserver(s.bus)
 	}
+	if s.bus.Proc() == "" {
+		s.bus.SetProc("controller")
+	}
+	for _, addr := range cfg.CSAddrs {
+		cl, err := DialCS(addr)
+		if err != nil {
+			for _, c := range s.csClients {
+				c.Close()
+			}
+			ln.Close()
+			return nil, fmt.Errorf("ctlnet: cs dial %s: %w", addr, err)
+		}
+		s.csClients = append(s.csClients, cl)
+		// Three probes give the stitcher a median over per-exchange jitter.
+		for i := 0; i < 3; i++ {
+			s.syncCSClock(cl)
+		}
+	}
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.detectLoop()
 	return s, nil
+}
+
+// syncCSClock runs one clock-sync exchange against a circuit-switch service
+// and emits the resulting offset edge for the trace stitcher.
+func (s *Server) syncCSClock(cl *CSClient) {
+	off, rtt, proc, err := cl.SyncClock(s.start)
+	if err != nil {
+		s.logf("ctlnet: cs clock sync: %v", err)
+		return
+	}
+	if proc != "" && s.bus.Enabled() {
+		ev := obs.NewEvent(obs.KindClockSync, time.Since(s.start))
+		ev.Wall = true
+		ev.Detail = proc
+		ev.Offset = off
+		ev.RTT = rtt
+		s.bus.Emit(ev)
+	}
 }
 
 // Addr returns the server's listen address.
@@ -168,6 +217,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	for _, c := range s.csClients {
+		c.Close()
+	}
 	return err
 }
 
@@ -248,7 +300,26 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			s.mLinkReports.Inc()
-			s.handleLinkFail(aSw, aPort, bSw, bPort)
+			s.handleLinkFail(obs.TraceContext{}, 0, aSw, aPort, bSw, bPort)
+		case msgLinkFailTraced:
+			ctx, detection, aSw, aPort, bSw, bPort, err := decodeLinkFailTraced(payload)
+			if err != nil {
+				s.logf("ctlnet: %v", err)
+				return
+			}
+			s.mLinkReports.Inc()
+			s.handleLinkFail(ctx, detection, aSw, aPort, bSw, bPort)
+		case msgClockSync:
+			t1, err := decodeClockSync(payload)
+			if err != nil {
+				s.logf("ctlnet: %v", err)
+				return
+			}
+			ack := encodeClockSyncAck(t1, time.Since(s.start).Nanoseconds(), s.bus.Proc())
+			if err := writeFrame(conn, msgClockSyncAck, ack); err != nil {
+				s.logf("ctlnet: clock sync ack: %v", err)
+				return
+			}
 		case msgVarzReq:
 			if err := writeFrame(conn, msgVarz, []byte(s.Varz())); err != nil {
 				s.logf("ctlnet: varz reply: %v", err)
@@ -316,14 +387,24 @@ func (s *Server) seen(id sbnet.SwitchID) {
 	s.mu.Unlock()
 }
 
-func (s *Server) handleLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) {
+func (s *Server) handleLinkFail(ctx obs.TraceContext, detection time.Duration, aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) {
 	t0 := time.Now()
 	s.mu.Lock()
+	if ctx.Trace != 0 {
+		// The reporting agent opened the recovery's root span; the
+		// controller's BeginSpan below joins it as a child.
+		s.bus.SetRemoteParent(ctx)
+	}
 	rec, err := s.ctl.ReportLinkFailure(
 		controller.EndPoint{Switch: aSw, Port: aPort},
 		controller.EndPoint{Switch: bSw, Port: bPort},
 		t0.Sub(s.start),
 	)
+	if err != nil && rec == nil && ctx.Trace != 0 {
+		// Recovery never opened a span; drop the staged remote parent so it
+		// cannot leak into an unrelated recovery.
+		s.bus.EndSpan()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.logf("ctlnet: link recovery: %v", err)
@@ -331,7 +412,8 @@ func (s *Server) handleLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchI
 			return
 		}
 	}
-	s.emitRecovered(rec, t0.Sub(s.start), time.Since(t0))
+	s.emitRecovered(rec, t0.Sub(s.start), time.Since(t0), detection)
+	s.mirrorCS(rec)
 	s.publish(RecoveryEvent{
 		Kind:    "link",
 		Failed:  rec.Failed,
@@ -340,20 +422,48 @@ func (s *Server) handleLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchI
 	})
 }
 
+// mirrorCS sends the recovery's reconfiguration batch to every attached
+// circuit-switch service, carrying the recovery's trace context so each
+// crossbar reconfiguration lands as a child span of the controller's.
+func (s *Server) mirrorCS(rec *controller.Recovery) {
+	if len(s.csClients) == 0 || rec == nil {
+		return
+	}
+	changes := []circuit.Change{{A: 0, B: 1}}
+	if s.cfg.CSChanges != nil {
+		changes = s.cfg.CSChanges(rec)
+	}
+	if len(changes) == 0 {
+		return
+	}
+	ctx := obs.TraceContext{Trace: rec.Trace, Span: rec.Span, Proc: s.bus.Proc()}
+	for _, cl := range s.csClients {
+		if _, _, err := cl.ReconfigureTraced(ctx, changes); err != nil {
+			s.logf("ctlnet: cs mirror: %v", err)
+		}
+	}
+}
+
 // emitRecovered publishes the wall-clock recovery-complete event for a
 // recovery the server just drove: detection and circuit reconfiguration come
-// from the controller's record, the report phase is the measured server
-// processing time, and T is the offset of completion since server start.
-// (The controller already emitted the virtual-time span; this event is the
-// wall-clock view of the same recovery, tied by the shared Detail and
-// Switch/Backup fields rather than a span.)
-func (s *Server) emitRecovered(rec *controller.Recovery, at, processing time.Duration) {
+// from the controller's record (or the reporting agent's measured detection,
+// when it sent one), the report phase is the measured server processing
+// time, and T is the offset of completion since server start. The controller
+// already emitted the virtual-time span; this event is the wall-clock view
+// of the same recovery, sharing its trace and span IDs so stitchers and the
+// SLO watchdog see one recovery, not two.
+func (s *Server) emitRecovered(rec *controller.Recovery, at, processing, detection time.Duration) {
 	if !s.bus.Enabled() {
 		return
+	}
+	if detection == 0 {
+		detection = rec.Detection
 	}
 	ev := obs.NewEvent(obs.KindRecoveryComplete, at+processing)
 	ev.Wall = true
 	ev.Detail = rec.Kind
+	ev.Span = rec.Span
+	ev.Trace = rec.Trace
 	if len(rec.Failed) > 0 {
 		ev.Switch = int32(rec.Failed[0])
 	}
@@ -361,10 +471,10 @@ func (s *Server) emitRecovered(rec *controller.Recovery, at, processing time.Dur
 		ev.Backup = int32(rec.Backup[0])
 	}
 	ev.Count = int32(len(rec.Failed))
-	ev.Detection = rec.Detection
+	ev.Detection = detection
 	ev.Report = processing
 	ev.Reconfig = rec.Reconfig
-	ev.Total = rec.Detection + processing + rec.Reconfig
+	ev.Total = detection + processing + rec.Reconfig
 	s.bus.Emit(ev)
 }
 
@@ -406,7 +516,8 @@ func (s *Server) detectLoop() {
 					s.logf("ctlnet: node recovery of %d: %v", id, err)
 					continue
 				}
-				s.emitRecovered(rec, now.Sub(s.start), time.Since(now))
+				s.emitRecovered(rec, now.Sub(s.start), time.Since(now), 0)
+				s.mirrorCS(rec)
 				s.publish(RecoveryEvent{
 					Kind:    "node",
 					Failed:  rec.Failed,

@@ -15,6 +15,7 @@ import (
 	"io"
 	"time"
 
+	"sharebackup/internal/obs"
 	"sharebackup/internal/sbnet"
 )
 
@@ -29,6 +30,21 @@ const (
 	msgTableLoad byte = 7 // server -> agent: preloaded failure-group table (§4.3)
 	msgVarzReq   byte = 8 // client -> server: request the metrics snapshot
 	msgVarz      byte = 9 // server -> client: text metrics snapshot
+
+	// Clock synchronization (usable on both agent->server and
+	// controller->circuit-switch sessions): the requester sends its local
+	// epoch-relative send time t1; the responder echoes t1 and adds its own
+	// epoch-relative receive time t2 plus its process name. The requester
+	// computes, NTP-style, offset = (t1+t3)/2 - t2 (t3 its receive time),
+	// meaning t_requester ~= t_responder + offset — what sbtap's stitcher
+	// uses to align independent per-process epochs.
+	msgClockSync    byte = 10 // requester -> responder: int64 t1 ns
+	msgClockSyncAck byte = 11 // responder -> requester: int64 t1, int64 t2, proc name
+
+	// msgLinkFailTraced is msgLinkFail carrying a trace context (the
+	// reporting agent's root span) plus the agent-measured detection
+	// latency, so the controller's recovery joins the agent's causal trace.
+	msgLinkFailTraced byte = 12
 )
 
 // maxFrame bounds frame sizes; control messages are tiny.
@@ -113,6 +129,85 @@ func decodeLinkFail(p []byte) (aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID
 	}
 	return sbnet.SwitchID(binary.BigEndian.Uint32(p[0:4])), int(int32(binary.BigEndian.Uint32(p[4:8]))),
 		sbnet.SwitchID(binary.BigEndian.Uint32(p[8:12])), int(int32(binary.BigEndian.Uint32(p[12:16]))), nil
+}
+
+// appendTraceContext appends trace(8) span(8) procLen(1) proc.
+func appendTraceContext(b []byte, ctx obs.TraceContext) []byte {
+	var v [16]byte
+	binary.BigEndian.PutUint64(v[:8], ctx.Trace)
+	binary.BigEndian.PutUint64(v[8:], ctx.Span)
+	b = append(b, v[:]...)
+	proc := ctx.Proc
+	if len(proc) > 255 {
+		proc = proc[:255]
+	}
+	b = append(b, byte(len(proc)))
+	return append(b, proc...)
+}
+
+// readTraceContext consumes a trace context, returning the remainder.
+func readTraceContext(p []byte) (obs.TraceContext, []byte, error) {
+	if len(p) < 17 {
+		return obs.TraceContext{}, nil, fmt.Errorf("ctlnet: truncated trace context (%d bytes)", len(p))
+	}
+	ctx := obs.TraceContext{
+		Trace: binary.BigEndian.Uint64(p[:8]),
+		Span:  binary.BigEndian.Uint64(p[8:16]),
+	}
+	n := int(p[16])
+	if len(p) < 17+n {
+		return obs.TraceContext{}, nil, fmt.Errorf("ctlnet: trace context proc truncated")
+	}
+	ctx.Proc = string(p[17 : 17+n])
+	return ctx, p[17+n:], nil
+}
+
+func encodeClockSync(t1 int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(t1))
+	return b[:]
+}
+
+func decodeClockSync(p []byte) (int64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("ctlnet: clocksync payload %d bytes, want 8", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), nil
+}
+
+func encodeClockSyncAck(t1, t2 int64, proc string) []byte {
+	b := make([]byte, 16, 16+len(proc))
+	binary.BigEndian.PutUint64(b[:8], uint64(t1))
+	binary.BigEndian.PutUint64(b[8:16], uint64(t2))
+	return append(b, proc...)
+}
+
+func decodeClockSyncAck(p []byte) (t1, t2 int64, proc string, err error) {
+	if len(p) < 16 {
+		return 0, 0, "", fmt.Errorf("ctlnet: clocksync ack payload %d bytes, want >= 16", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p[:8])), int64(binary.BigEndian.Uint64(p[8:16])), string(p[16:]), nil
+}
+
+func encodeLinkFailTraced(ctx obs.TraceContext, detection time.Duration, aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) []byte {
+	b := appendTraceContext(make([]byte, 0, 17+len(ctx.Proc)+8+16), ctx)
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(detection))
+	b = append(b, d[:]...)
+	return append(b, encodeLinkFail(aSw, aPort, bSw, bPort)...)
+}
+
+func decodeLinkFailTraced(p []byte) (ctx obs.TraceContext, detection time.Duration, aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int, err error) {
+	ctx, rest, err := readTraceContext(p)
+	if err != nil {
+		return ctx, 0, 0, 0, 0, 0, err
+	}
+	if len(rest) != 8+16 {
+		return ctx, 0, 0, 0, 0, 0, fmt.Errorf("ctlnet: traced linkfail payload %d bytes after context, want 24", len(rest))
+	}
+	detection = time.Duration(binary.BigEndian.Uint64(rest[:8]))
+	aSw, aPort, bSw, bPort, err = decodeLinkFail(rest[8:])
+	return ctx, detection, aSw, aPort, bSw, bPort, err
 }
 
 // RecoveryEvent is the server's notification of a completed failover.

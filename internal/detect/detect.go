@@ -144,6 +144,7 @@ func (m *Monitor) Advance(now time.Duration) (Event, bool) {
 				ev.Port = m.port
 				ev.Check = k.String()
 				ev.Count = int32(m.misses[k])
+				ev.Span = m.bus.ActiveSpan()
 				m.bus.Emit(ev)
 			}
 			if m.misses[k] >= m.cfg.MissThreshold {
@@ -156,6 +157,7 @@ func (m *Monitor) Advance(now time.Duration) (Event, bool) {
 					ev.Check = k.String()
 					ev.Detection = latency
 					ev.Detail = "link"
+					ev.Span = m.bus.ActiveSpan()
 					m.bus.Emit(ev)
 				}
 				return Event{

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,48 @@ type Bus struct {
 	seq   atomic.Uint64 // event sequence numbers
 	spans atomic.Uint64 // span ID allocator
 	cur   atomic.Uint64 // active span (single-writer control planes)
+
+	// proc names this bus' process for stitched multi-process traces;
+	// stamped onto every emitted event that doesn't carry one already.
+	proc atomic.Pointer[string]
+	// ctx is the active trace context: the trace ID the current span
+	// belongs to plus the (possibly remote) parent span it descends from.
+	// Set by SetRemoteParent before BeginSpan (cross-process causality) or
+	// allocated fresh by BeginSpan; cleared by EndSpan.
+	ctx atomic.Pointer[TraceContext]
+}
+
+// TraceContext identifies a position in a cross-process trace: the trace ID
+// and the span (qualified by its owning process) that new work descends
+// from. It is what the ctlnet wire frames carry.
+type TraceContext struct {
+	Trace uint64
+	Span  uint64
+	Proc  string
+}
+
+// traceSeed randomizes trace IDs per process so traces originating in
+// different processes never collide; overridable for deterministic tests.
+var (
+	traceSeed atomic.Uint64
+	traceCtr  atomic.Uint64
+)
+
+func init() {
+	traceSeed.Store(uint64(time.Now().UnixNano())*0x9e3779b97f4a7c15 ^ uint64(os.Getpid())<<32)
+}
+
+// SetTraceIDSeed fixes the process' trace-ID seed (deterministic tests).
+func SetTraceIDSeed(seed uint64) { traceSeed.Store(seed) }
+
+// NewTraceID allocates a process-unique, cross-process-collision-resistant
+// trace ID (never 0).
+func NewTraceID() uint64 {
+	id := traceSeed.Load() ^ traceCtr.Add(1)*0x9e3779b97f4a7c15
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Default is the process-wide bus. sharebackup.New wires it into every
@@ -40,8 +83,9 @@ func (b *Bus) Enabled() bool {
 	return s != nil && len(*s) > 0
 }
 
-// Emit delivers the event to every attached sink, stamping its Seq. It is a
-// no-op (and allocation-free) when no sink is attached.
+// Emit delivers the event to every attached sink, stamping its Seq, the
+// bus' process name, and — for span-tagged events — the active trace
+// context. It is a no-op (and allocation-free) when no sink is attached.
 func (b *Bus) Emit(ev Event) {
 	if b == nil {
 		return
@@ -51,6 +95,18 @@ func (b *Bus) Emit(ev Event) {
 		return
 	}
 	ev.Seq = b.seq.Add(1)
+	if ev.Proc == "" {
+		if p := b.proc.Load(); p != nil {
+			ev.Proc = *p
+		}
+	}
+	if ev.Span != 0 && ev.Trace == 0 {
+		if ctx := b.ctx.Load(); ctx != nil {
+			ev.Trace = ctx.Trace
+			ev.Parent = ctx.Span
+			ev.ParentProc = ctx.Proc
+		}
+	}
 	b.mu.Lock()
 	// Reload under the lock: Detach may have run since the fast-path check.
 	if s := b.sinks.Load(); s != nil {
@@ -116,13 +172,19 @@ func (b *Bus) BeginSpan() uint64 {
 	}
 	id := b.spans.Add(1)
 	b.cur.Store(id)
+	// Join the remote parent's trace when one was staged via
+	// SetRemoteParent; otherwise this span roots a fresh trace.
+	if b.ctx.Load() == nil {
+		b.ctx.Store(&TraceContext{Trace: NewTraceID()})
+	}
 	return id
 }
 
-// EndSpan clears the active span.
+// EndSpan clears the active span and its trace context.
 func (b *Bus) EndSpan() {
 	if b != nil {
 		b.cur.Store(0)
+		b.ctx.Store(nil)
 	}
 }
 
@@ -132,6 +194,62 @@ func (b *Bus) ActiveSpan() uint64 {
 		return 0
 	}
 	return b.cur.Load()
+}
+
+// SetProc names this bus' process; every emitted event is stamped with it
+// (unless the event already carries one). Call once at wire-up.
+func (b *Bus) SetProc(name string) {
+	if b != nil {
+		b.proc.Store(&name)
+	}
+}
+
+// Proc returns the process name set via SetProc ("" when unset).
+func (b *Bus) Proc() string {
+	if b == nil {
+		return ""
+	}
+	if p := b.proc.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetRemoteParent stages an incoming cross-process trace context: the next
+// BeginSpan joins ctx.Trace as a child of ctx.Span/ctx.Proc instead of
+// rooting a fresh trace. A zero-trace context is ignored. Recoveries are
+// serialized per bus (see BeginSpan), so one staged slot suffices.
+func (b *Bus) SetRemoteParent(ctx TraceContext) {
+	if b == nil || ctx.Trace == 0 {
+		return
+	}
+	c := ctx
+	b.ctx.Store(&c)
+}
+
+// ActiveTrace returns the trace ID of the active span (0 outside spans).
+func (b *Bus) ActiveTrace() uint64 {
+	if b == nil {
+		return 0
+	}
+	if ctx := b.ctx.Load(); ctx != nil {
+		return ctx.Trace
+	}
+	return 0
+}
+
+// ActiveContext returns the context a request made inside the current span
+// should carry on the wire: the active trace plus this bus' span and
+// process as the parent. Zero outside spans.
+func (b *Bus) ActiveContext() TraceContext {
+	if b == nil {
+		return TraceContext{}
+	}
+	ctx := b.ctx.Load()
+	if ctx == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: ctx.Trace, Span: b.cur.Load(), Proc: b.Proc()}
 }
 
 // Logf emits a KindLog event carrying the formatted line. It is the

@@ -7,6 +7,8 @@
 //	/varz        JSON snapshot of an obs.Registry — counters, gauges, and
 //	             histogram quantiles; ?buckets=1 adds bucket detail,
 //	             ?format=text serves the classic sorted "name value" dump
+//	/metricsz    the same registry in Prometheus text exposition format
+//	             (counters, gauges, histograms-as-summaries)
 //	/events      the live event bus as JSONL; ?sse=1 (or an
 //	             Accept: text/event-stream header) switches to
 //	             server-sent events; ?replay=1 first replays the buffered
@@ -110,6 +112,7 @@ func (s *Server) handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/varz", s.serveVarz)
+	mux.HandleFunc("/metricsz", s.serveMetricsz)
 	mux.HandleFunc("/events", s.serveEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -128,9 +131,15 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `sharebackup debug server
   /healthz            liveness
   /varz               metrics snapshot (JSON; ?format=text, ?buckets=1)
+  /metricsz           Prometheus text exposition of the same registry
   /events             live event stream (JSONL; ?sse=1, ?replay=1, ?n=N)
   /debug/pprof/       profiling
 `)
+}
+
+func (s *Server) serveMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.cfg.Registry.PromText())
 }
 
 func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {

@@ -55,6 +55,16 @@ const (
 	// (internal/sweep); Count is the running number of completed shards,
 	// Detail the sweep name, and Shard the 1-based shard tag.
 	KindSweepShardDone
+	// KindClockSync is one clock-offset measurement between two processes:
+	// the emitting (measuring) process probed the remote process named in
+	// Detail over its control connection. Offset maps the remote epoch into
+	// the local one (t_local ≈ t_remote + Offset), RTT is the probe round
+	// trip. Stitchers (sbtap -stitch) use these to align per-process trace
+	// files onto one timeline.
+	KindClockSync
+	// KindFlightDump is a flight-recorder snapshot written to disk; Detail
+	// is the trigger reason and the bundle directory.
+	KindFlightDump
 	numKinds
 )
 
@@ -70,6 +80,8 @@ var kindNames = [numKinds]string{
 	"circuit-switch-halted",
 	"log",
 	"sweep-shard-done",
+	"clock-sync",
+	"flight-dump",
 }
 
 // String names the kind ("probe-missed", "recovery-complete", ...).
@@ -115,6 +127,23 @@ type Event struct {
 	// (sbtap) de-interleave them.
 	Shard uint64
 
+	// Trace groups the spans of one causal recovery across processes: the
+	// switch agent that reported, the controller that recovered, and the
+	// circuit-switch agents that reconfigured all stamp the same trace ID
+	// (carried in the ctlnet wire frames). 0 means untraced.
+	Trace uint64
+	// Parent is the span this span descends from (0 for a trace root).
+	// Span IDs are per-bus counters, so cross-process parents are
+	// qualified by ParentProc.
+	Parent uint64
+	// ParentProc names the process owning the Parent span; empty means the
+	// parent span lives on the same bus (same process).
+	ParentProc string
+	// Proc names the emitting process ("controller", "agent-12", "cs-0");
+	// stamped by the bus (Bus.SetProc) so stitched multi-process traces can
+	// tell span ID spaces apart. Empty on single-process traces.
+	Proc string
+
 	Switch   int32 // subject switch ID (None when n/a)
 	Peer     int32 // link peer switch ID
 	Backup   int32 // chosen backup switch ID
@@ -136,6 +165,12 @@ type Event struct {
 	Report    time.Duration
 	Reconfig  time.Duration
 	Total     time.Duration
+
+	// Clock-sync payload (KindClockSync): Offset maps the remote epoch
+	// (process named in Detail) into the emitter's epoch, RTT is the probe
+	// round trip bounding the estimate's error.
+	Offset time.Duration
+	RTT    time.Duration
 }
 
 // NewEvent returns an Event of the given kind at time t with all switch and
@@ -153,8 +188,21 @@ func (e Event) String() string {
 		b.WriteString("[           -] ")
 	}
 	b.WriteString(e.Kind.String())
+	if e.Proc != "" {
+		fmt.Fprintf(&b, " proc=%s", e.Proc)
+	}
 	if e.Span != 0 {
 		fmt.Fprintf(&b, " span=%d", e.Span)
+	}
+	if e.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%x", e.Trace)
+	}
+	if e.Parent != 0 {
+		if e.ParentProc != "" {
+			fmt.Fprintf(&b, " parent=%s/%d", e.ParentProc, e.Parent)
+		} else {
+			fmt.Fprintf(&b, " parent=%d", e.Parent)
+		}
 	}
 	if e.Shard != 0 {
 		fmt.Fprintf(&b, " shard=%d", e.Shard)
@@ -191,6 +239,9 @@ func (e Event) String() string {
 			fmt.Fprintf(&b, " reconfig=%v", e.Reconfig)
 		}
 	}
+	if e.Kind == KindClockSync {
+		fmt.Fprintf(&b, " offset=%v rtt=%v", e.Offset, e.RTT)
+	}
 	if e.Detail != "" {
 		fmt.Fprintf(&b, " %s", e.Detail)
 	}
@@ -199,33 +250,41 @@ func (e Event) String() string {
 
 // eventJSON is the stable JSONL wire form of an Event.
 type eventJSON struct {
-	Kind     string `json:"kind"`
-	Seq      uint64 `json:"seq,omitempty"`
-	TNs      int64  `json:"t_ns"`
-	Wall     bool   `json:"wall,omitempty"`
-	Span     uint64 `json:"span,omitempty"`
-	Shard    uint64 `json:"shard,omitempty"`
-	Switch   int32  `json:"switch"`
-	Peer     int32  `json:"peer"`
-	Backup   int32  `json:"backup"`
-	Port     int32  `json:"port"`
-	PeerPort int32  `json:"peer_port"`
-	Count    int32  `json:"count,omitempty"`
-	Check    string `json:"check,omitempty"`
-	Detail   string `json:"detail,omitempty"`
-	DetNs    int64  `json:"detection_ns,omitempty"`
-	RepNs    int64  `json:"report_ns,omitempty"`
-	RecNs    int64  `json:"reconfig_ns,omitempty"`
-	TotNs    int64  `json:"total_ns,omitempty"`
+	Kind       string `json:"kind"`
+	Seq        uint64 `json:"seq,omitempty"`
+	TNs        int64  `json:"t_ns"`
+	Wall       bool   `json:"wall,omitempty"`
+	Span       uint64 `json:"span,omitempty"`
+	Shard      uint64 `json:"shard,omitempty"`
+	Trace      uint64 `json:"trace,omitempty"`
+	Parent     uint64 `json:"parent,omitempty"`
+	ParentProc string `json:"parent_proc,omitempty"`
+	Proc       string `json:"proc,omitempty"`
+	Switch     int32  `json:"switch"`
+	Peer       int32  `json:"peer"`
+	Backup     int32  `json:"backup"`
+	Port       int32  `json:"port"`
+	PeerPort   int32  `json:"peer_port"`
+	Count      int32  `json:"count,omitempty"`
+	Check      string `json:"check,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	DetNs      int64  `json:"detection_ns,omitempty"`
+	RepNs      int64  `json:"report_ns,omitempty"`
+	RecNs      int64  `json:"reconfig_ns,omitempty"`
+	TotNs      int64  `json:"total_ns,omitempty"`
+	OffNs      int64  `json:"offset_ns,omitempty"`
+	RTTNs      int64  `json:"rtt_ns,omitempty"`
 }
 
 // MarshalJSON renders the event in the JSONL wire form.
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
 		Kind: e.Kind.String(), Seq: e.Seq, TNs: int64(e.T), Wall: e.Wall, Span: e.Span, Shard: e.Shard,
+		Trace: e.Trace, Parent: e.Parent, ParentProc: e.ParentProc, Proc: e.Proc,
 		Switch: e.Switch, Peer: e.Peer, Backup: e.Backup, Port: e.Port, PeerPort: e.PeerPort,
 		Count: e.Count, Check: e.Check, Detail: e.Detail,
 		DetNs: int64(e.Detection), RepNs: int64(e.Report), RecNs: int64(e.Reconfig), TotNs: int64(e.Total),
+		OffNs: int64(e.Offset), RTTNs: int64(e.RTT),
 	})
 }
 
@@ -241,10 +300,12 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	}
 	*e = Event{
 		Kind: kind, Seq: j.Seq, T: time.Duration(j.TNs), Wall: j.Wall, Span: j.Span, Shard: j.Shard,
+		Trace: j.Trace, Parent: j.Parent, ParentProc: j.ParentProc, Proc: j.Proc,
 		Switch: j.Switch, Peer: j.Peer, Backup: j.Backup, Port: j.Port, PeerPort: j.PeerPort,
 		Count: j.Count, Check: j.Check, Detail: j.Detail,
 		Detection: time.Duration(j.DetNs), Report: time.Duration(j.RepNs),
 		Reconfig: time.Duration(j.RecNs), Total: time.Duration(j.TotNs),
+		Offset: time.Duration(j.OffNs), RTT: time.Duration(j.RTTNs),
 	}
 	return nil
 }

@@ -140,6 +140,43 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// MergeSnapshot folds a point-in-time snapshot — the JSON form another
+// process exported over /varz or a flight-recorder bundle — into h, so
+// per-process or per-shard distributions combine into one. Bucket
+// boundaries are universal (histIndex is pure), so merging snapshots is
+// bucket-exact: merge-then-snapshot equals having recorded every
+// observation into a single histogram, up to intra-bucket placement (which
+// snapshots don't expose; count, sum, min, max, and every quantile agree).
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	for _, bk := range s.Buckets {
+		if bk.Count == 0 {
+			continue
+		}
+		low := bk.Low
+		if low < 0 {
+			low = 0
+		}
+		h.buckets[histIndex(low)].Add(bk.Count)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load() // -min-1, 0 when unset
+		if (cur != 0 && -cur-1 <= s.Min) || h.min.CompareAndSwap(cur, -s.Min-1) {
+			break
+		}
+	}
+}
+
 // Quantile returns (approximately, within one bucket) the q-quantile of the
 // recorded values, q in [0, 1]. It returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) int64 {

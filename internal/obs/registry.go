@@ -183,6 +183,78 @@ func (r *Registry) Export(buckets bool) Export {
 	return out
 }
 
+// promName sanitizes a registry metric name into the Prometheus exposition
+// charset [a-zA-Z0-9_:], mapping everything else (the registry's dots) to _.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromText renders the registry in the Prometheus text exposition format
+// (version 0.0.4) — the /metricsz body, scrapeable by any Prometheus-style
+// collector. Counters and gauges become single samples with # TYPE lines;
+// histograms are rendered as summaries (quantile-labeled samples plus _sum
+// and _count), since the log-linear buckets carry their quantiles exactly.
+func (r *Registry) PromText() string {
+	if r == nil {
+		return ""
+	}
+	ex := r.Export(false)
+	var b strings.Builder
+	sortedKeys := func(n int, iter func(func(string))) []string {
+		keys := make([]string, 0, n)
+		iter(func(k string) { keys = append(keys, k) })
+		sort.Strings(keys)
+		return keys
+	}
+	for _, name := range sortedKeys(len(ex.Counters), func(f func(string)) {
+		for k := range ex.Counters {
+			f(k)
+		}
+	}) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, ex.Counters[name])
+	}
+	for _, name := range sortedKeys(len(ex.Gauges), func(f func(string)) {
+		for k := range ex.Gauges {
+			f(k)
+		}
+	}) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, ex.Gauges[name])
+	}
+	for _, name := range sortedKeys(len(ex.Histograms), func(f func(string)) {
+		for k := range ex.Histograms {
+			f(k)
+		}
+	}) {
+		h := ex.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	return b.String()
+}
+
 // Snapshot renders every metric as "name value" lines, sorted by name — the
 // /varz-style text dump the ctlnet server serves. Histograms contribute one
 // line per order statistic (name.count, name.p50, name.p90, name.p99,

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -54,18 +56,35 @@ func (s *JSONLSink) Err() error {
 }
 
 // ReadJSONL decodes a JSONL event stream (as written by JSONLSink).
+//
+// A truncated final line — the signature a crashed or killed producer
+// leaves, since JSONLSink writes whole lines — is tolerated and dropped,
+// mirroring the sweep checkpoint's truncated-tail tolerance: flight-recorder
+// bundles and crash-cut trace files stay readable. Corruption anywhere
+// before the unterminated tail still errors.
 func ReadJSONL(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var out []Event
 	for {
-		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
 			return out, fmt.Errorf("obs: reading event %d: %w", len(out)+1, err)
 		}
-		out = append(out, ev)
+		atEOF := err == io.EOF
+		terminated := !atEOF // ReadBytes returns io.EOF only for data without the delimiter
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var ev Event
+			if uerr := json.Unmarshal(trimmed, &ev); uerr != nil {
+				if !terminated {
+					return out, nil // truncated final line from a killed producer
+				}
+				return out, fmt.Errorf("obs: reading event %d: %w", len(out)+1, uerr)
+			}
+			out = append(out, ev)
+		}
+		if atEOF {
+			return out, nil
+		}
 	}
 }
 

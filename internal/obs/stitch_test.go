@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticTraces builds a three-process recovery with deliberately skewed
+// epochs: the agent's clock runs 10ms ahead of the controller's and the
+// circuit switch's 5ms behind it.
+//
+//	controller epoch = 0 (reference)
+//	agent epoch      = controller - 10ms  => t_agent = t_controller + 10ms
+//	cs epoch         = controller + 5ms   => t_cs    = t_controller - 5ms
+func syntheticTraces() []ProcTrace {
+	const trace = uint64(0xabc)
+
+	sync := func(remote string, off time.Duration, t time.Duration) Event {
+		ev := NewEvent(KindClockSync, t)
+		ev.Detail = remote
+		ev.Offset = off
+		ev.RTT = 100 * time.Microsecond
+		return ev
+	}
+
+	// Agent: measures the controller at offset +10ms, roots the trace.
+	agentFail := NewEvent(KindFailureDeclared, 12*time.Millisecond) // 2ms controller time
+	agentFail.Span = 1
+	agentFail.Trace = trace
+	agentFail.Detection = 3 * time.Millisecond
+	agentFail.Detail = "link"
+	agent := ProcTrace{Name: "agent-5", Events: []Event{
+		sync("controller", 10*time.Millisecond, 11*time.Millisecond),
+		agentFail,
+	}}
+
+	// Controller: measures the cs at offset +5ms, recovery span child of
+	// the agent's.
+	ctlDone := NewEvent(KindRecoveryComplete, 4*time.Millisecond)
+	ctlDone.Span = 9
+	ctlDone.Trace = trace
+	ctlDone.Parent = 1
+	ctlDone.ParentProc = "agent-5"
+	ctlDone.Detail = "link"
+	ctlDone.Detection = 3 * time.Millisecond
+	ctlDone.Report = 500 * time.Microsecond
+	ctlDone.Reconfig = 30 * time.Microsecond
+	ctlDone.Total = ctlDone.Detection + ctlDone.Report + ctlDone.Reconfig
+	ctl := ProcTrace{Name: "controller", Events: []Event{
+		sync("cs-0", 5*time.Millisecond, time.Millisecond),
+		ctlDone,
+	}}
+
+	// Circuit switch: reconfiguration span child of the controller's.
+	csEv := NewEvent(KindCircuitReconfigured, 3500*time.Microsecond-5*time.Millisecond) // 3.5ms controller time in cs epoch
+	csEv.Span = 2
+	csEv.Trace = trace
+	csEv.Parent = 9
+	csEv.ParentProc = "controller"
+	csEv.Reconfig = 30 * time.Microsecond
+	cs := ProcTrace{Name: "cs-0", Events: []Event{csEv}}
+
+	return []ProcTrace{agent, ctl, cs}
+}
+
+func TestStitchAlignsEpochsAndLinksSpans(t *testing.T) {
+	procs := syntheticTraces()
+	// Stamp Proc from the file-level name, as real per-process buses do.
+	for i := range procs {
+		for j := range procs[i].Events {
+			procs[i].Events[j].Proc = procs[i].Name
+		}
+	}
+	res, err := Stitch(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reference != "controller" {
+		t.Fatalf("reference = %q", res.Reference)
+	}
+	if len(res.Unstitchable) != 0 {
+		t.Fatalf("unstitchable: %v", res.Unstitchable)
+	}
+	if got := res.Offsets["agent-5"]; got != -10*time.Millisecond {
+		t.Errorf("agent shift = %v, want -10ms", got)
+	}
+	if got := res.Offsets["cs-0"]; got != 5*time.Millisecond {
+		t.Errorf("cs shift = %v, want +5ms", got)
+	}
+	if len(res.Traces) != 1 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	tr := res.Traces[0]
+	if len(tr.Roots) != 1 || tr.Roots[0].Proc != "agent-5" {
+		t.Fatalf("root = %+v", tr.Roots)
+	}
+	// Corrected starts: agent fail at 2ms, controller at 4ms, cs at -1.5ms+5ms=... cs
+	// event T = -1.5ms, +5ms shift = 3.5ms controller time.
+	byProc := map[string]*StitchedSpan{}
+	for _, ss := range tr.Spans {
+		byProc[ss.Proc] = ss
+	}
+	if got := byProc["agent-5"].Start; got != 2*time.Millisecond {
+		t.Errorf("agent span start = %v, want 2ms", got)
+	}
+	if got := byProc["cs-0"].Start; got != 3500*time.Microsecond {
+		t.Errorf("cs span start = %v, want 3.5ms", got)
+	}
+	if byProc["controller"].Parent != byProc["agent-5"] {
+		t.Error("controller span not child of agent span")
+	}
+	if byProc["cs-0"].Parent != byProc["controller"] {
+		t.Error("cs span not child of controller span")
+	}
+	// The merged event stream is offset-corrected and time-ordered.
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].T < res.Events[i-1].T {
+			t.Fatalf("merged events out of order at %d", i)
+		}
+	}
+	// Rendering names every hop.
+	out := tr.Render()
+	for _, want := range []string{"agent-5", "controller", "cs-0", "detection=3ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStitchReportsUnstitchable(t *testing.T) {
+	procs := syntheticTraces()
+	// Drop the circuit switch's file: the controller's sync edge to it
+	// remains (harmless), but also orphan the controller's parent by
+	// dropping the agent file — parent references must be diagnosed.
+	orphan := procs[1:2] // controller only
+	res, err := Stitch(orphan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unstitchable) == 0 {
+		t.Fatal("missing parent not diagnosed")
+	}
+	found := false
+	for _, u := range res.Unstitchable {
+		if strings.Contains(u, "missing parent agent-5/1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics = %v, want missing parent agent-5/1", res.Unstitchable)
+	}
+	// The orphaned span still renders, flagged.
+	if len(res.Traces) != 1 || !res.Traces[0].Spans[0].Orphan {
+		t.Error("orphan span not flagged")
+	}
+
+	// A process with no clock-sync path is reported too.
+	disconnected := []ProcTrace{procs[0], {Name: "island", Events: []Event{NewEvent(KindLog, 0)}}}
+	res, err = Stitch(disconnected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundIsland := false
+	for _, u := range res.Unstitchable {
+		if strings.Contains(u, "island") && strings.Contains(u, "no clock-sync path") {
+			foundIsland = true
+		}
+	}
+	if !foundIsland {
+		t.Errorf("diagnostics = %v, want island unaligned", res.Unstitchable)
+	}
+}
