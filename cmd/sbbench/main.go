@@ -1,7 +1,7 @@
 // Command sbbench is the benchmark trajectory gate: it runs the repo's
 // benchmark suite (control-plane recovery latency, data-plane fluid
 // simulation, sweep-engine throughput and determinism, routing-core lookup
-// cost), stamps the results
+// cost, observability-layer self-overhead), stamps the results
 // with provenance (git SHA, UTC timestamp,
 // toolchain, host), compares them against the committed BENCH_*.json files
 // from the previous run, and exits non-zero when a metric regressed beyond
@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dataplanePath = fs.String("dataplane", "BENCH_dataplane.json", "data-plane benchmark trajectory file (empty skips)")
 		sweepPath     = fs.String("sweep", "BENCH_sweep.json", "sweep-engine benchmark trajectory file (empty skips)")
 		routingPath   = fs.String("routing", "BENCH_routing.json", "routing-core benchmark trajectory file (empty skips)")
+		obsPath       = fs.String("obs", "BENCH_obs.json", "observability-overhead benchmark trajectory file (empty skips)")
 		k             = fs.Int("k", 8, "fat-tree parameter")
 		n             = fs.Int("n", 1, "backup switches per failure group")
 		trials        = fs.Int("trials", 32, "failovers per kind for the recovery benchmark")
@@ -153,6 +154,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return f, fmt.Sprintf("k=%d, %d pairs / %d interned paths, pathfor %.0fns %.2f allocs/op (fresh %.0fns, %.0fx), storm %.0f lookups/s",
 			res.K, res.WarmedPairs, res.InternedPaths, res.PathForNSOp, res.PathForAllocsOp,
 			res.FreshNSOp, res.SpeedupVsFresh, res.StormLookupsPerSec), nil
+	})
+
+	gate(*obsPath, "obs", func() (*bench.File, string, error) {
+		res, err := sharebackup.ObsBench(sharebackup.ObsBenchConfig{Smoke: *smoke})
+		if err != nil {
+			return nil, "", err
+		}
+		f := &bench.File{Metrics: res.GateMetrics()}
+		if err := f.SetDetail(res); err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("emit no-sink %.1fns %.2f allocs/ev, ring %.0fns %.2f allocs/ev, jsonl %.0fns %.0fB/ev, tsdb sample %.0fns/%d series, promtext %.0fns",
+			res.EmitNoSinkNSOp, res.EmitNoSinkAllocsOp, res.EmitRingNSEvent, res.EmitRingAllocsOp,
+			res.EmitJSONLNSEvent, res.JSONLBytesEvent, res.TSDBSampleNSOp, res.TSDBSeries, res.PromTextNSOp), nil
 	})
 
 	switch status {

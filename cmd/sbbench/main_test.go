@@ -17,6 +17,7 @@ func runGate(t *testing.T, dir string, extra ...string) (int, string) {
 		"-dataplane", filepath.Join(dir, "BENCH_dataplane.json"),
 		"-sweep", filepath.Join(dir, "BENCH_sweep.json"),
 		"-routing", filepath.Join(dir, "BENCH_routing.json"),
+		"-obs", filepath.Join(dir, "BENCH_obs.json"),
 		"-k", "4", "-trials", "2", "-smoke",
 	}, extra...)
 	var out, errb bytes.Buffer
@@ -62,6 +63,23 @@ func TestTrajectoryGate(t *testing.T) {
 	}
 	if got := rt.Metrics["routing.speedup_vs_fresh"].Value; got < 1 {
 		t.Fatalf("routing.speedup_vs_fresh = %v, want >= 1", got)
+	}
+	ob, err := bench.Read(filepath.Join(dir, "BENCH_obs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"obs.emit_nosink_ns_op", "obs.emit_nosink_allocs_op",
+		"obs.emit_ring_ns_event", "obs.emit_ring_allocs_event",
+		"obs.jsonl_bytes_event", "obs.tsdb_sample_ns_op",
+		"obs.export_ns_op", "obs.promtext_ns_op",
+	} {
+		if _, ok := ob.Metrics[name]; !ok {
+			t.Fatalf("BENCH_obs.json missing %s: have %v", name, ob.Metrics)
+		}
+	}
+	if got := ob.Metrics["obs.emit_nosink_allocs_op"].Value; got != 0 {
+		t.Fatalf("obs.emit_nosink_allocs_op = %v, want 0", got)
 	}
 
 	// Second run against its own output: recovery latencies are

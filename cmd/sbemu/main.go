@@ -34,6 +34,8 @@ import (
 	"sharebackup/internal/emu"
 	"sharebackup/internal/obs"
 	"sharebackup/internal/obs/debughttp"
+	"sharebackup/internal/obs/prof"
+	"sharebackup/internal/obs/tsdb"
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
 )
@@ -55,8 +57,26 @@ func main() {
 		numCS      = flag.Int("cs", 1, "ctlnet mode: number of circuit-switch services")
 		sloBudget  = flag.Duration("slo-budget", 0, "recovery-time SLO budget; breaches trip the watchdog (0 disables)")
 		flightRec  = flag.Bool("flight-recorder", false, "keep an always-on event ring and dump a diagnostic bundle on anomalies")
+		profileDir = flag.String("profile-dir", "", "continuous profiler: rotating phase-labeled CPU/heap bundles in this directory (default $SHAREBACKUP_PROF_DIR; empty disables)")
 	)
 	flag.Parse()
+
+	obs.Default.MeterOverhead(obs.DefaultRegistry)
+	// One windowed metric store serves /timeseriesz and upgrades the SLO
+	// watchdog's burn rate to a wall-clock window.
+	tstore := tsdb.New(tsdb.Config{})
+	tstore.Start()
+	defer tstore.Close()
+	var profiler *prof.Profiler
+	if dir := prof.ResolveDir(*profileDir); dir != "" {
+		p, err := prof.Start(prof.Config{Dir: dir})
+		if err != nil {
+			fatal(err)
+		}
+		profiler = p
+		defer p.Close()
+		fmt.Fprintf(os.Stderr, "sbemu: continuous profiler writing bundles to %s\n", dir)
+	}
 
 	if *ctlnetMode {
 		runCtlnet(*k, *n, *numAgents, *numCS, *traceDir, *sloBudget, *flightRec)
@@ -64,7 +84,7 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		srv, err := debughttp.Start(*debugAddr, debughttp.Config{})
+		srv, err := debughttp.Start(*debugAddr, debughttp.Config{TSDB: tstore})
 		if err != nil {
 			fatal(err)
 		}
@@ -89,16 +109,20 @@ func main() {
 		})()
 	}
 	if *sloBudget > 0 {
-		w := obs.NewSLOWatchdog(obs.SLOConfig{Budget: *sloBudget, Registry: obs.DefaultRegistry})
+		w := obs.NewSLOWatchdog(obs.SLOConfig{Budget: *sloBudget, Registry: obs.DefaultRegistry, BurnSource: tstore})
 		obs.Default.Attach(w)
 		defer obs.Default.Detach(w)
 	}
 	if *flightRec {
-		fr := obs.NewFlightRecorder(obs.FlightConfig{
+		fc := obs.FlightConfig{
 			SLOBudget:             *sloBudget,
 			KeepAliveGapThreshold: 3,
 			DropBurstThreshold:    1024,
-		})
+		}
+		if profiler != nil {
+			fc.Profile = profiler
+		}
+		fr := obs.NewFlightRecorder(fc)
 		fr.Attach(obs.Default)
 		defer func() {
 			obs.Default.Detach(fr)

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"sharebackup/internal/obs/tsdb"
+)
+
+// timeSeriesReport loads a /timeseriesz dump — a local JSON file or an http
+// URL (a bare debug-server URL gets ?all=1 appended) — and renders every
+// series as a terminal sparkline.
+func timeSeriesReport(src string) (string, error) {
+	var data []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		url := src
+		if !strings.Contains(url, "?") {
+			url += "?all=1"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s: HTTP %s", url, resp.Status)
+		}
+		data, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+	} else {
+		var err error
+		data, err = os.ReadFile(src)
+		if err != nil {
+			return "", err
+		}
+	}
+	var series []tsdb.SeriesData
+	if err := json.Unmarshal(data, &series); err != nil {
+		// Tolerate a single-series dump (?metric=NAME).
+		var one tsdb.SeriesData
+		if err2 := json.Unmarshal(data, &one); err2 != nil || one.Name == "" {
+			return "", fmt.Errorf("%s: not a /timeseriesz dump: %w", src, err)
+		}
+		series = []tsdb.SeriesData{one}
+	}
+	return renderTimeSeries(src, series), nil
+}
+
+// sparkRunes are the eight-level sparkline glyphs, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values scaled into sparkRunes; a flat series renders at
+// the lowest level so activity stands out.
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// renderTimeSeries is the -ts report body: one sparkline row per series with
+// min/max/last, skipping series that never moved (unless everything is
+// flat, in which case everything is shown so the dump isn't mistaken for
+// empty).
+func renderTimeSeries(name string, series []tsdb.SeriesData) string {
+	const width = 60
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d series\n", name, len(series))
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	shown := 0
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		vals := make([]float64, len(s.Points))
+		lo, hi := s.Points[0].V, s.Points[0].V
+		for i, p := range s.Points {
+			vals[i] = p.V
+			if p.V < lo {
+				lo = p.V
+			}
+			if p.V > hi {
+				hi = p.V
+			}
+		}
+		if hi == lo && hi == 0 {
+			continue // never moved off zero: noise in a wide registry
+		}
+		fmt.Fprintf(&b, "  %-*s %-15s %s  min=%g max=%g last=%g (%d pts)\n",
+			nameW, s.Name, "["+s.Kind+"]", sparkline(vals, width), lo, hi, vals[len(vals)-1], len(s.Points))
+		shown++
+	}
+	if shown == 0 {
+		b.WriteString("  (all series empty or zero)\n")
+	}
+	return b.String()
+}

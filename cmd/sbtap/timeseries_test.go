@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharebackup/internal/obs/tsdb"
+)
+
+func TestSparkline(t *testing.T) {
+	// A ramp must hit the lowest glyph first and the highest last.
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 60)
+	if []rune(got)[0] != '▁' || []rune(got)[7] != '█' {
+		t.Fatalf("ramp = %q", got)
+	}
+	// A flat series renders at the lowest level, not mid-scale.
+	if got := sparkline([]float64{5, 5, 5}, 60); got != "▁▁▁" {
+		t.Fatalf("flat = %q", got)
+	}
+	// Width trims from the old end.
+	if got := sparkline([]float64{9, 0, 9}, 2); len([]rune(got)) != 2 || []rune(got)[1] != '█' {
+		t.Fatalf("trimmed = %q", got)
+	}
+}
+
+func TestRenderTimeSeries(t *testing.T) {
+	series := []tsdb.SeriesData{
+		{Name: "recovery.count", Kind: tsdb.KindCounterDelta, Points: []tsdb.Point{
+			{TMS: 0, V: 0}, {TMS: 1000, V: 3}, {TMS: 2000, V: 1},
+		}},
+		{Name: "idle.gauge", Kind: tsdb.KindGauge, Points: []tsdb.Point{
+			{TMS: 0, V: 0}, {TMS: 1000, V: 0},
+		}},
+	}
+	out := renderTimeSeries("dump.json", series)
+	if !strings.Contains(out, "2 series") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "recovery.count") || !strings.Contains(out, "[counter-delta]") {
+		t.Fatalf("series row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "min=0 max=3 last=1 (3 pts)") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+	// A series flat at zero is noise and is hidden.
+	if strings.Contains(out, "idle.gauge") {
+		t.Fatalf("flat-zero series shown:\n%s", out)
+	}
+	// ...unless everything is flat, in which case say so.
+	out = renderTimeSeries("dump.json", series[1:])
+	if !strings.Contains(out, "all series empty or zero") {
+		t.Fatalf("all-flat dump unmarked:\n%s", out)
+	}
+}
+
+func TestTimeSeriesReportFromFile(t *testing.T) {
+	series := []tsdb.SeriesData{{
+		Name: "x", Kind: tsdb.KindGauge,
+		Points: []tsdb.Point{{TMS: 0, V: 1}, {TMS: 1000, V: 2}},
+	}}
+	data, err := json.Marshal(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ts.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := timeSeriesReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 series") || !strings.Contains(out, "x") {
+		t.Fatalf("report:\n%s", out)
+	}
+
+	// A single-series dump (?metric=NAME shape) is tolerated.
+	one, _ := json.Marshal(series[0])
+	if err := os.WriteFile(path, one, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timeSeriesReport(path); err != nil {
+		t.Fatalf("single-series dump: %v", err)
+	}
+
+	// Garbage is a clear error, not a zero-series report.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timeSeriesReport(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package ctlnet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,8 @@ import (
 	"sharebackup/internal/circuit"
 	"sharebackup/internal/controller"
 	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/prof"
+	"sharebackup/internal/obs/tsdb"
 	"sharebackup/internal/routing"
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
@@ -51,6 +54,11 @@ type ServerConfig struct {
 	// CSChanges maps a recovery to the circuit-change batch mirrored to
 	// each circuit switch. Default: one crossbar swap of ports 0 and 1.
 	CSChanges func(rec *controller.Recovery) []circuit.Change
+	// TSDB backs the msgTSReq wire query with windowed metric history.
+	// Nil means the server builds its own store over the controller's
+	// registry (1s interval) and owns its lifecycle (started here, closed
+	// in Close); a caller-provided store is only read.
+	TSDB *tsdb.Store
 }
 
 func (c *ServerConfig) setDefaults() {
@@ -78,6 +86,8 @@ type Server struct {
 	start     time.Time
 	bus       *obs.Bus
 	csClients []*CSClient
+	tsdb      *tsdb.Store
+	ownsTS    bool
 
 	// Runtime metrics, merged into the controller's registry so one varz
 	// snapshot covers both layers.
@@ -122,6 +132,25 @@ func (s *Server) Varz() string {
 		s.ctl.Metrics().Snapshot()
 }
 
+// timeSeriesJSON renders the store's series (last n points each; 0 means
+// 60) as JSON, halving the point budget as needed to respect the wire
+// protocol's frame-size limit.
+func (s *Server) timeSeriesJSON(n int) []byte {
+	if n <= 0 || n > 1<<15 {
+		n = 60
+	}
+	for {
+		data, err := json.Marshal(s.tsdb.All(n))
+		if err != nil {
+			return []byte("[]")
+		}
+		if len(data)+1 <= maxFrame || n == 0 {
+			return data
+		}
+		n /= 2
+	}
+}
+
 // NewServer starts a controller server listening on addr (use
 // "127.0.0.1:0" for tests). The controller's virtual clock is driven from
 // the wall clock relative to server start.
@@ -149,6 +178,12 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 	s.mLogLines = reg.Counter("ctlnet.log_lines")
 	s.gSubscribers = reg.Gauge("ctlnet.subscribers")
 	s.gConns = reg.Gauge("ctlnet.connections")
+	s.tsdb = cfg.TSDB
+	if s.tsdb == nil {
+		s.tsdb = tsdb.New(tsdb.Config{Registry: reg})
+		s.ownsTS = true
+		s.tsdb.Start()
+	}
 	// The controller below this server runs on the server's virtual clock;
 	// give it the same bus so its spans and the server's events interleave
 	// in one stream.
@@ -217,6 +252,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.ownsTS {
+		s.tsdb.Close()
+	}
 	for _, c := range s.csClients {
 		c.Close()
 	}
@@ -323,6 +361,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		case msgVarzReq:
 			if err := writeFrame(conn, msgVarz, []byte(s.Varz())); err != nil {
 				s.logf("ctlnet: varz reply: %v", err)
+				return
+			}
+		case msgTSReq:
+			n := 0
+			if len(payload) >= 2 {
+				n = int(payload[0])<<8 | int(payload[1])
+			}
+			if err := writeFrame(conn, msgTS, s.timeSeriesJSON(n)); err != nil {
+				s.logf("ctlnet: timeseries reply: %v", err)
 				return
 			}
 		case msgSubscribe:
@@ -491,20 +538,22 @@ func (s *Server) detectLoop() {
 		case now := <-ticker.C:
 			var dead []sbnet.SwitchID
 			var silence []time.Duration
-			s.mu.Lock()
-			for id, last := range s.lastSeen {
-				if now.Sub(last) < deadline {
-					if now.Sub(last) >= s.cfg.Interval {
-						s.mProbeMisses.Inc()
+			prof.Do(prof.PhaseDetect, func() {
+				s.mu.Lock()
+				for id, last := range s.lastSeen {
+					if now.Sub(last) < deadline {
+						if now.Sub(last) >= s.cfg.Interval {
+							s.mProbeMisses.Inc()
+						}
+						continue
 					}
-					continue
+					if s.ctl.Network().Switch(id).Role == sbnet.RoleActive {
+						dead = append(dead, id)
+						silence = append(silence, now.Sub(last))
+					}
 				}
-				if s.ctl.Network().Switch(id).Role == sbnet.RoleActive {
-					dead = append(dead, id)
-					silence = append(silence, now.Sub(last))
-				}
-			}
-			s.mu.Unlock()
+				s.mu.Unlock()
+			})
 			for i, id := range dead {
 				s.mu.Lock()
 				rec, err := s.ctl.RecoverNode(id, now.Sub(s.start))
@@ -531,6 +580,10 @@ func (s *Server) detectLoop() {
 
 // publish sends a recovery event to all subscribers, dropping broken ones.
 func (s *Server) publish(ev RecoveryEvent) {
+	prof.Do(prof.PhaseNotify, func() { s.publishAll(ev) })
+}
+
+func (s *Server) publishAll(ev RecoveryEvent) {
 	payload := encodeRecovery(ev)
 	s.mu.Lock()
 	subs := append([]net.Conn(nil), s.subs...)

@@ -1,0 +1,82 @@
+package ctlnet
+
+import (
+	"testing"
+	"time"
+
+	"sharebackup/internal/circuit"
+	"sharebackup/internal/controller"
+	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/tsdb"
+	"sharebackup/internal/sbnet"
+)
+
+// TestFetchTimeSeriesOverTCP round-trips windowed metric history through the
+// msgTSReq/msgTS wire pair: a caller-driven store is sampled, then fetched
+// through a real socket and checked for the sampled series.
+func TestFetchTimeSeriesOverTCP(t *testing.T) {
+	nw, err := sbnet.New(sbnet.Config{K: 4, N: 1, Tech: circuit.Crosspoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := controller.New(nw, controller.Config{ProbeInterval: 5 * time.Millisecond})
+	reg := ctl.Metrics()
+	store := tsdb.New(tsdb.Config{Registry: reg, Window: 32})
+	defer store.Close()
+	srv, err := NewServer("127.0.0.1:0", ctl, ServerConfig{
+		Interval: 5 * time.Millisecond,
+		Obs:      &obs.Bus{},
+		TSDB:     store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := reg.Counter("test.ts_roundtrip")
+	for i := 0; i < 5; i++ {
+		c.Add(3)
+		store.Sample(time.UnixMilli(1_000_000).Add(time.Duration(i) * time.Second))
+	}
+
+	series, err := FetchTimeSeries(srv.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *tsdb.SeriesData
+	for i := range series {
+		if series[i].Name == "test.ts_roundtrip" {
+			got = &series[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("test.ts_roundtrip missing from %d fetched series", len(series))
+	}
+	if got.Kind != tsdb.KindCounterDelta {
+		t.Errorf("kind = %q", got.Kind)
+	}
+	// n=4 trims the 5 samples to the newest 4: deltas of 3 after the
+	// baseline sample.
+	if len(got.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(got.Points))
+	}
+	for _, p := range got.Points {
+		if p.V != 3 {
+			t.Fatalf("points: %+v", got.Points)
+		}
+	}
+
+	// A server with no injected store still answers (it owns one).
+	ctl2 := controller.New(nw, controller.Config{ProbeInterval: 5 * time.Millisecond})
+	srv2, err := NewServer("127.0.0.1:0", ctl2, ServerConfig{
+		Interval: 5 * time.Millisecond,
+		Obs:      &obs.Bus{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if _, err := FetchTimeSeries(srv2.Addr(), 0); err != nil {
+		t.Fatalf("owned-store fetch: %v", err)
+	}
+}

@@ -45,6 +45,13 @@ const (
 	// reporting agent's root span) plus the agent-measured detection
 	// latency, so the controller's recovery joins the agent's causal trace.
 	msgLinkFailTraced byte = 12
+
+	// Time-series range query: the client sends an optional uint16
+	// points-per-series limit (0 = server default); the server replies
+	// with the JSON-encoded []tsdb.SeriesData of its embedded windowed
+	// metric store — /timeseriesz over the wire protocol.
+	msgTSReq byte = 13 // client -> server: uint16 lastN (optional)
+	msgTS    byte = 14 // server -> client: JSON []tsdb.SeriesData
 )
 
 // maxFrame bounds frame sizes; control messages are tiny.

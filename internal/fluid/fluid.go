@@ -22,6 +22,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"sharebackup/internal/obs/prof"
 	"sharebackup/internal/topo"
 )
 
@@ -510,6 +511,19 @@ func (s *Simulator) recompute() {
 	if !s.fullDirty && len(s.dirtySeeds) == 0 {
 		return
 	}
+	// Tag the recomputation for the continuous profiler. Gated on Active
+	// so the steady state stays allocation-free: pprof label sets allocate,
+	// and this is the storm hot path.
+	if prof.Active() {
+		prof.Do(prof.PhaseStormRecompute, s.recomputeDirty)
+		return
+	}
+	s.recomputeDirty()
+}
+
+// recomputeDirty is recompute past its cheap not-dirty guard — split out so
+// the profiler can label it without taxing the unprofiled path.
+func (s *Simulator) recomputeDirty() {
 	s.stats.Recomputes++
 	tel := s.tel.Load()
 	if tel != nil {

@@ -13,6 +13,12 @@
 //	             Accept: text/event-stream header) switches to
 //	             server-sent events; ?replay=1 first replays the buffered
 //	             backlog; ?n=N closes after N events
+//	/timeseriesz windowed metric history from the embedded tsdb store:
+//	             the bare path lists series (name, kind); ?metric=NAME
+//	             returns one series; ?all=1 returns every series; ?n=N
+//	             limits to the last N points
+//	/flightz     JSON listing of flight-recorder dump bundles on disk
+//	             (name, trigger, size, mtime, files)
 //	/debug/pprof the standard net/http/pprof profiling surface
 //
 // The server observes without being load-bearing: it attaches one ring sink
@@ -28,9 +34,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
+	"time"
 
 	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/tsdb"
 )
 
 // Config wires the server's data sources.
@@ -42,6 +53,15 @@ type Config struct {
 	// Backlog is the replay ring capacity for /events?replay=1.
 	// 0 means 1024.
 	Backlog int
+	// TSDB backs /timeseriesz. Nil means the server builds its own store
+	// over Registry (1s interval) and owns its lifecycle: Start begins
+	// sampling, Close stops it. A caller-provided store is only read —
+	// the caller keeps Start/Close.
+	TSDB *tsdb.Store
+	// FlightDir is the directory /flightz lists flight-recorder bundles
+	// from. Empty resolves through obs.DefaultFlightDir (so a process
+	// using the default flight dir needs no extra wiring).
+	FlightDir string
 }
 
 func (c *Config) setDefaults() {
@@ -54,15 +74,19 @@ func (c *Config) setDefaults() {
 	if c.Backlog == 0 {
 		c.Backlog = 1024
 	}
+	if c.FlightDir == "" {
+		c.FlightDir = obs.DefaultFlightDir("")
+	}
 }
 
 // Server is a running introspection server. Close detaches its sinks and
 // stops the listener.
 type Server struct {
-	cfg  Config
-	lis  net.Listener
-	http *http.Server
-	ring *obs.Ring
+	cfg    Config
+	lis    net.Listener
+	http   *http.Server
+	ring   *obs.Ring
+	ownsTS bool // the server built cfg.TSDB and drives its lifecycle
 }
 
 // newServer attaches the backlog ring but does not listen — the seam that
@@ -70,6 +94,10 @@ type Server struct {
 func newServer(cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{cfg: cfg}
+	if s.cfg.TSDB == nil {
+		s.cfg.TSDB = tsdb.New(tsdb.Config{Registry: s.cfg.Registry})
+		s.ownsTS = true
+	}
 	s.ring = obs.NewRing(cfg.Backlog)
 	s.ring.CountDropsIn(cfg.Registry.Counter("obs.ring_dropped_events"))
 	cfg.Bus.Attach(s.ring)
@@ -84,6 +112,9 @@ func Start(addr string, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("debughttp: %w", err)
 	}
 	s := newServer(cfg)
+	if s.ownsTS {
+		s.cfg.TSDB.Start()
+	}
 	s.lis = lis
 	s.http = &http.Server{Handler: s.handler()}
 	go s.http.Serve(lis) //nolint:errcheck // Serve returns on Close
@@ -97,6 +128,9 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // streams end when their clients disconnect.
 func (s *Server) Close() error {
 	s.cfg.Bus.Detach(s.ring)
+	if s.ownsTS {
+		s.cfg.TSDB.Close()
+	}
 	if s.http == nil {
 		return nil
 	}
@@ -114,6 +148,8 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("/varz", s.serveVarz)
 	mux.HandleFunc("/metricsz", s.serveMetricsz)
 	mux.HandleFunc("/events", s.serveEvents)
+	mux.HandleFunc("/timeseriesz", s.serveTimeSeries)
+	mux.HandleFunc("/flightz", s.serveFlightz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -133,6 +169,8 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
   /varz               metrics snapshot (JSON; ?format=text, ?buckets=1)
   /metricsz           Prometheus text exposition of the same registry
   /events             live event stream (JSONL; ?sse=1, ?replay=1, ?n=N)
+  /timeseriesz        windowed metric history (?metric=NAME, ?all=1, ?n=N)
+  /flightz            flight-recorder dump bundles on disk
   /debug/pprof/       profiling
 `)
 }
@@ -152,6 +190,100 @@ func (s *Server) serveVarz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.cfg.Registry.Export(r.URL.Query().Get("buckets") == "1")) //nolint:errcheck
+}
+
+// serveTimeSeries serves the embedded tsdb store. The bare path is an index
+// ([]{name, kind, interval_ms}); ?metric=NAME returns that series,
+// ?all=1 every series, ?n=N limits each to the last N points.
+func (s *Server) serveTimeSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 0
+	if ns := q.Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	switch {
+	case q.Get("metric") != "":
+		sd, ok := s.cfg.TSDB.Series(q.Get("metric"), n)
+		if !ok {
+			http.Error(w, "unknown series", http.StatusNotFound)
+			return
+		}
+		enc.Encode(sd) //nolint:errcheck
+	case q.Get("all") == "1":
+		enc.Encode(s.cfg.TSDB.All(n)) //nolint:errcheck
+	default:
+		enc.Encode(s.cfg.TSDB.Kinds()) //nolint:errcheck
+	}
+}
+
+// flightBundle is one /flightz entry: a flight-recorder dump directory.
+type flightBundle struct {
+	Name    string       `json:"name"`
+	Trigger string       `json:"trigger,omitempty"`
+	Bytes   int64        `json:"bytes"`
+	ModTime time.Time    `json:"mtime"`
+	Files   []flightFile `json:"files,omitempty"`
+}
+
+type flightFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+}
+
+// serveFlightz lists flight-recorder bundles under the configured flight
+// directory so dumps are discoverable without shelling into the box. A
+// missing directory is an empty list, not an error — the recorder creates
+// it lazily on the first dump.
+func (s *Server) serveFlightz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	bundles := []flightBundle{}
+	entries, err := os.ReadDir(s.cfg.FlightDir)
+	if err == nil {
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(s.cfg.FlightDir, e.Name())
+			b := flightBundle{Name: e.Name()}
+			if info, err := e.Info(); err == nil {
+				b.ModTime = info.ModTime().UTC()
+			}
+			files, err := os.ReadDir(dir)
+			if err != nil {
+				continue
+			}
+			for _, f := range files {
+				info, err := f.Info()
+				if err != nil || f.IsDir() {
+					continue
+				}
+				b.Files = append(b.Files, flightFile{Name: f.Name(), Bytes: info.Size()})
+				b.Bytes += info.Size()
+			}
+			// The trigger reason lives in the bundle's meta.json.
+			if mb, err := os.ReadFile(filepath.Join(dir, "meta.json")); err == nil {
+				var meta struct {
+					Reason string `json:"reason"`
+				}
+				if json.Unmarshal(mb, &meta) == nil {
+					b.Trigger = meta.Reason
+				}
+			}
+			bundles = append(bundles, b)
+		}
+	}
+	sort.Slice(bundles, func(i, j int) bool { return bundles[i].Name < bundles[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(bundles) //nolint:errcheck
 }
 
 // chanSink forwards bus events into a buffered channel, dropping (and

@@ -1,0 +1,161 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/tsdb"
+)
+
+// tsTestServer mounts the handler over a caller-driven tsdb store (sampled
+// synchronously, no goroutine) and an isolated flight directory.
+func tsTestServer(t *testing.T) (*httptest.Server, *tsdb.Store, *obs.Registry, string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	store := tsdb.New(tsdb.Config{Registry: reg, Window: 16})
+	t.Cleanup(store.Close)
+	flightDir := filepath.Join(t.TempDir(), "flight")
+	s := newServer(Config{Registry: reg, Bus: &obs.Bus{}, TSDB: store, FlightDir: flightDir})
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	return ts, store, reg, flightDir
+}
+
+func TestTimeSeriesEndpoint(t *testing.T) {
+	ts, store, reg, _ := tsTestServer(t)
+	c := reg.Counter("recovery.count")
+	for i := 0; i < 5; i++ {
+		c.Add(2)
+		store.Sample(time.UnixMilli(1_000_000).Add(time.Duration(i) * time.Second))
+	}
+
+	// Bare path: index of (name, kind) with no points.
+	code, body := get(t, ts.URL+"/timeseriesz")
+	if code != http.StatusOK {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+	var index []tsdb.SeriesData
+	if err := json.Unmarshal([]byte(body), &index); err != nil {
+		t.Fatalf("index not JSON: %v", err)
+	}
+	found := false
+	for _, sd := range index {
+		if sd.Name == "recovery.count" {
+			found = true
+			if sd.Kind != tsdb.KindCounterDelta {
+				t.Errorf("kind = %q", sd.Kind)
+			}
+			if len(sd.Points) != 0 {
+				t.Errorf("index should carry no points, got %d", len(sd.Points))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("recovery.count missing from index: %s", body)
+	}
+
+	// One series, point-limited.
+	code, body = get(t, ts.URL+"/timeseriesz?metric=recovery.count&n=2")
+	if code != http.StatusOK {
+		t.Fatalf("metric: code=%d", code)
+	}
+	var one tsdb.SeriesData
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Points) != 2 || one.Points[1].V != 2 {
+		t.Fatalf("limited series: %+v", one)
+	}
+
+	// Every series with points.
+	code, body = get(t, ts.URL+"/timeseriesz?all=1")
+	var all []tsdb.SeriesData
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &all) != nil || len(all) == 0 {
+		t.Fatalf("all: code=%d body=%q", code, body)
+	}
+
+	// Unknown series is a 404; bad n is a 400.
+	if code, _ := get(t, ts.URL+"/timeseriesz?metric=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown metric: code=%d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/timeseriesz?n=potato"); code != http.StatusBadRequest {
+		t.Errorf("bad n: code=%d, want 400", code)
+	}
+}
+
+func TestFlightzEndpoint(t *testing.T) {
+	ts, _, _, flightDir := tsTestServer(t)
+
+	// No flight dir yet: an empty list, not an error.
+	code, body := get(t, ts.URL+"/flightz")
+	if code != http.StatusOK {
+		t.Fatalf("empty: code=%d", code)
+	}
+	var bundles []flightBundle
+	if err := json.Unmarshal([]byte(body), &bundles); err != nil || len(bundles) != 0 {
+		t.Fatalf("empty listing: %q err=%v", body, err)
+	}
+
+	// Fake two dump bundles, one with a meta.json trigger reason.
+	for _, name := range []string{"flightdump-001", "flightdump-002"} {
+		dir := filepath.Join(flightDir, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), []byte("{}\n{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := []byte(`{"reason": "slo-breach"}`)
+	if err := os.WriteFile(filepath.Join(flightDir, "flightdump-002", "meta.json"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stray file in the flight dir must not become a bundle.
+	if err := os.WriteFile(filepath.Join(flightDir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = get(t, ts.URL+"/flightz")
+	if code != http.StatusOK {
+		t.Fatalf("listing: code=%d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &bundles); err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 2 {
+		t.Fatalf("got %d bundles, want 2: %s", len(bundles), body)
+	}
+	if bundles[0].Name != "flightdump-001" || bundles[1].Name != "flightdump-002" {
+		t.Fatalf("order: %+v", bundles)
+	}
+	if bundles[0].Trigger != "" || bundles[1].Trigger != "slo-breach" {
+		t.Fatalf("triggers: %+v", bundles)
+	}
+	if bundles[0].Bytes != 6 || len(bundles[0].Files) != 1 {
+		t.Fatalf("sizes: %+v", bundles[0])
+	}
+	if bundles[1].Bytes != int64(6+len(meta)) || len(bundles[1].Files) != 2 {
+		t.Fatalf("sizes with meta: %+v", bundles[1])
+	}
+	if bundles[1].ModTime.IsZero() {
+		t.Error("mtime not populated")
+	}
+}
+
+func TestIndexMentionsNewEndpoints(t *testing.T) {
+	ts, _, _, _ := tsTestServer(t)
+	_, body := get(t, ts.URL+"/")
+	for _, want := range []string{"/timeseriesz", "/flightz"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s:\n%s", want, body)
+		}
+	}
+}

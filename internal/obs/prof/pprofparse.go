@@ -1,0 +1,277 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Attribution aggregates a CPU profile's samples by the sb_phase goroutine
+// label — the bundle's answer to "which recovery phase burned the CPU".
+// Values are in the profile's units: sample counts and (for the standard
+// CPU profile sample_type) nanoseconds of CPU.
+type Attribution struct {
+	TotalSamples     int64               `json:"total_samples"`
+	TotalCPUNS       int64               `json:"total_cpu_ns"`
+	Phases           map[string]PhaseCPU `json:"phases,omitempty"`
+	UnlabeledSamples int64               `json:"unlabeled_samples"`
+	UnlabeledCPUNS   int64               `json:"unlabeled_cpu_ns"`
+	Err              string              `json:"error,omitempty"`
+}
+
+// PhaseCPU is one phase's share of the profile.
+type PhaseCPU struct {
+	Samples int64 `json:"samples"`
+	CPUNS   int64 `json:"cpu_ns"`
+}
+
+// PhaseAttribution parses a (gzipped) pprof CPU profile and sums its samples
+// by the LabelKey goroutine label. The parser is a minimal hand-rolled
+// protobuf scanner — it reads only the fields attribution needs (samples,
+// their values and string labels, and the string table), which keeps the
+// repo dependency-free.
+func PhaseAttribution(data []byte) (*Attribution, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+
+	// Pass 1: collect the string table and raw samples. The string table
+	// may appear after the samples in the encoding, so label strings are
+	// resolved in a second pass.
+	var strtab []string
+	type rawSample struct {
+		values []int64
+		labels [][2]int64 // (key string index, str string index)
+	}
+	var samples []rawSample
+
+	p := data
+	for len(p) > 0 {
+		field, wire, rest, err := readTag(p)
+		if err != nil {
+			return nil, err
+		}
+		p = rest
+		switch {
+		case field == 2 && wire == 2: // Profile.sample
+			msg, rest, err := readBytes(p)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, rawSample{values: s.values, labels: s.labels})
+		case field == 6 && wire == 2: // Profile.string_table
+			msg, rest, err := readBytes(p)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+			strtab = append(strtab, string(msg))
+		default:
+			rest, err := skipField(p, wire)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+		}
+	}
+
+	str := func(i int64) string {
+		if i >= 0 && int(i) < len(strtab) {
+			return strtab[i]
+		}
+		return ""
+	}
+
+	// Pass 2: aggregate. values[0] is the sample count; values[1], when
+	// present (the CPU profile's cpu/nanoseconds sample type), is CPU ns.
+	attr := &Attribution{Phases: map[string]PhaseCPU{}}
+	for _, s := range samples {
+		if len(s.values) == 0 {
+			continue
+		}
+		count := s.values[0]
+		ns := count
+		if len(s.values) > 1 {
+			ns = s.values[1]
+		}
+		attr.TotalSamples += count
+		attr.TotalCPUNS += ns
+		phase := ""
+		for _, l := range s.labels {
+			if str(l[0]) == LabelKey {
+				phase = str(l[1])
+				break
+			}
+		}
+		if phase == "" {
+			attr.UnlabeledSamples += count
+			attr.UnlabeledCPUNS += ns
+			continue
+		}
+		pc := attr.Phases[phase]
+		pc.Samples += count
+		pc.CPUNS += ns
+		attr.Phases[phase] = pc
+	}
+	if len(attr.Phases) == 0 {
+		attr.Phases = nil
+	}
+	return attr, nil
+}
+
+type parsedSample struct {
+	values []int64
+	labels [][2]int64
+}
+
+func parseSample(p []byte) (parsedSample, error) {
+	var s parsedSample
+	for len(p) > 0 {
+		field, wire, rest, err := readTag(p)
+		if err != nil {
+			return s, err
+		}
+		p = rest
+		switch {
+		case field == 2 && wire == 0: // Sample.value, unpacked
+			v, rest, err := readVarint(p)
+			if err != nil {
+				return s, err
+			}
+			p = rest
+			s.values = append(s.values, int64(v))
+		case field == 2 && wire == 2: // Sample.value, packed
+			msg, rest, err := readBytes(p)
+			if err != nil {
+				return s, err
+			}
+			p = rest
+			for len(msg) > 0 {
+				v, r2, err := readVarint(msg)
+				if err != nil {
+					return s, err
+				}
+				msg = r2
+				s.values = append(s.values, int64(v))
+			}
+		case field == 3 && wire == 2: // Sample.label
+			msg, rest, err := readBytes(p)
+			if err != nil {
+				return s, err
+			}
+			p = rest
+			key, strIdx, err := parseLabel(msg)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, [2]int64{key, strIdx})
+		default:
+			rest, err := skipField(p, wire)
+			if err != nil {
+				return s, err
+			}
+			p = rest
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(p []byte) (key, str int64, err error) {
+	for len(p) > 0 {
+		field, wire, rest, err := readTag(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		p = rest
+		switch {
+		case field == 1 && wire == 0: // Label.key
+			v, rest, err := readVarint(p)
+			if err != nil {
+				return 0, 0, err
+			}
+			p = rest
+			key = int64(v)
+		case field == 2 && wire == 0: // Label.str
+			v, rest, err := readVarint(p)
+			if err != nil {
+				return 0, 0, err
+			}
+			p = rest
+			str = int64(v)
+		default:
+			rest, err := skipField(p, wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			p = rest
+		}
+	}
+	return key, str, nil
+}
+
+func readTag(p []byte) (field int, wire int, rest []byte, err error) {
+	v, rest, err := readVarint(p)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return int(v >> 3), int(v & 7), rest, nil
+}
+
+func readVarint(p []byte) (uint64, []byte, error) {
+	var v uint64
+	for i := 0; i < len(p) && i < 10; i++ {
+		v |= uint64(p[i]&0x7f) << (7 * i)
+		if p[i]&0x80 == 0 {
+			return v, p[i+1:], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("prof: truncated varint in profile")
+}
+
+func readBytes(p []byte) ([]byte, []byte, error) {
+	n, rest, err := readVarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("prof: truncated field in profile (%d bytes promised, %d left)", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func skipField(p []byte, wire int) ([]byte, error) {
+	switch wire {
+	case 0: // varint
+		_, rest, err := readVarint(p)
+		return rest, err
+	case 1: // fixed64
+		if len(p) < 8 {
+			return nil, fmt.Errorf("prof: truncated fixed64 in profile")
+		}
+		return p[8:], nil
+	case 2: // length-delimited
+		_, rest, err := readBytes(p)
+		return rest, err
+	case 5: // fixed32
+		if len(p) < 4 {
+			return nil, fmt.Errorf("prof: truncated fixed32 in profile")
+		}
+		return p[4:], nil
+	default:
+		return nil, fmt.Errorf("prof: unsupported wire type %d in profile", wire)
+	}
+}

@@ -1,0 +1,324 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// Config tunes a Profiler.
+type Config struct {
+	// Dir is where profile bundles are written (created on demand).
+	Dir string
+	// Window is how long each CPU profile window captures before it is cut
+	// into a bundle. Default 10s.
+	Window time.Duration
+	// MaxBundles bounds the rotating bundle set; older bundles are removed
+	// once the count exceeds it. Default 8.
+	MaxBundles int
+	// Registry receives the profiler's self-overhead counters
+	// (prof.windows, prof.write_ns, prof.bundle_bytes, prof.flight_grabs,
+	// prof.errors). Nil means obs.DefaultRegistry.
+	Registry *obs.Registry
+}
+
+// Profiler continuously captures CPU profile windows. Every Window it cuts
+// the in-flight capture into a bundle directory (cpu.pprof, heap.pprof,
+// goroutines.txt, attribution.json, meta.json) under Dir and restarts the
+// capture, rotating old bundles out. While capturing, prof.Do phase sites
+// tag their samples, and the bundled attribution.json pre-aggregates CPU by
+// phase so "which recovery phase burned the CPU" is answerable without
+// tooling.
+//
+// Only one CPU profile can run per process (a Go runtime restriction), so
+// Start fails if something else — another Profiler, go test -cpuprofile —
+// already holds it.
+type Profiler struct {
+	cfg Config
+
+	mWindows *obs.Counter // prof.windows: CPU windows cut into bundles
+	mWriteNS *obs.Counter // prof.write_ns: CPU spent writing bundles (self-overhead)
+	mBytes   *obs.Counter // prof.bundle_bytes: bytes written into bundles
+	mGrabs   *obs.Counter // prof.flight_grabs: windows grabbed by flight dumps
+	mErrors  *obs.Counter // prof.errors: failed restarts/writes
+
+	mu        sync.Mutex
+	buf       bytes.Buffer // in-flight CPU profile
+	capturing bool
+	winStart  time.Time
+	seq       int
+	bundles   []string // bundle dirs, oldest first
+	closed    bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start builds a profiler, begins the first CPU window, and starts the
+// window-cutting goroutine.
+func Start(cfg Config) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("prof: Config.Dir is required")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Second
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 8
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.DefaultRegistry
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	p := &Profiler{
+		cfg:      cfg,
+		mWindows: cfg.Registry.Counter("prof.windows"),
+		mWriteNS: cfg.Registry.Counter("prof.write_ns"),
+		mBytes:   cfg.Registry.Counter("prof.bundle_bytes"),
+		mGrabs:   cfg.Registry.Counter("prof.flight_grabs"),
+		mErrors:  cfg.Registry.Counter("prof.errors"),
+		quit:     make(chan struct{}),
+	}
+	p.mu.Lock()
+	err := p.startWindowLocked()
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// startWindowLocked begins a fresh CPU capture into p.buf. Caller holds p.mu.
+func (p *Profiler) startWindowLocked() error {
+	p.buf.Reset()
+	if err := pprof.StartCPUProfile(&p.buf); err != nil {
+		return fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	p.capturing = true
+	p.winStart = time.Now()
+	active.Add(1)
+	return nil
+}
+
+// cutWindow stops the in-flight capture, returns its bytes and start time,
+// and restarts the next window. Returns nil data when nothing was capturing.
+func (p *Profiler) cutWindow(restart bool) ([]byte, time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.capturing {
+		// A previous restart failed (someone else grabbed the CPU
+		// profiler); retry so the profiler self-heals when it's released.
+		if restart {
+			if err := p.startWindowLocked(); err != nil {
+				p.mErrors.Inc()
+			}
+		}
+		return nil, time.Time{}
+	}
+	pprof.StopCPUProfile()
+	p.capturing = false
+	active.Add(-1)
+	data := make([]byte, p.buf.Len())
+	copy(data, p.buf.Bytes())
+	start := p.winStart
+	if restart {
+		if err := p.startWindowLocked(); err != nil {
+			p.mErrors.Inc()
+		}
+	}
+	return data, start
+}
+
+func (p *Profiler) loop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-time.After(p.cfg.Window):
+			if data, start := p.cutWindow(true); data != nil {
+				p.writeBundle(data, start)
+			}
+		}
+	}
+}
+
+// bundleMeta is the bundle's meta.json shape.
+type bundleMeta struct {
+	Seq         int       `json:"seq"`
+	WindowStart time.Time `json:"window_start"`
+	WrittenAt   time.Time `json:"written_at"`
+	WindowMS    int64     `json:"window_ms"`
+	CPUBytes    int       `json:"cpu_profile_bytes"`
+}
+
+func (p *Profiler) writeBundle(cpu []byte, start time.Time) {
+	t0 := time.Now()
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+
+	dir := filepath.Join(p.cfg.Dir, fmt.Sprintf("profbundle-%03d", seq))
+	if err := p.writeBundleFiles(dir, cpu, start, seq); err != nil {
+		p.mErrors.Inc()
+		return
+	}
+	p.mWindows.Inc()
+	p.mWriteNS.Add(time.Since(t0).Nanoseconds())
+
+	p.mu.Lock()
+	p.bundles = append(p.bundles, dir)
+	var evict []string
+	for len(p.bundles) > p.cfg.MaxBundles {
+		evict = append(evict, p.bundles[0])
+		p.bundles = p.bundles[1:]
+	}
+	p.mu.Unlock()
+	for _, old := range evict {
+		os.RemoveAll(old)
+	}
+}
+
+func (p *Profiler) writeBundleFiles(dir string, cpu []byte, start time.Time, seq int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := p.writeFile(filepath.Join(dir, "cpu.pprof"), cpu); err != nil {
+		return err
+	}
+
+	var heap bytes.Buffer
+	if err := pprof.WriteHeapProfile(&heap); err == nil {
+		if err := p.writeFile(filepath.Join(dir, "heap.pprof"), heap.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	var gor bytes.Buffer
+	if prof := pprof.Lookup("goroutine"); prof != nil {
+		if err := prof.WriteTo(&gor, 1); err == nil {
+			if err := p.writeFile(filepath.Join(dir, "goroutines.txt"), gor.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pre-aggregate CPU by recovery phase so the bundle answers the
+	// attribution question directly.
+	attr, err := PhaseAttribution(cpu)
+	if err != nil {
+		attr = &Attribution{Err: err.Error()}
+	}
+	ab, err := json.MarshalIndent(attr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := p.writeFile(filepath.Join(dir, "attribution.json"), ab); err != nil {
+		return err
+	}
+
+	meta := bundleMeta{
+		Seq:         seq,
+		WindowStart: start.UTC(),
+		WrittenAt:   time.Now().UTC(),
+		WindowMS:    p.cfg.Window.Milliseconds(),
+		CPUBytes:    len(cpu),
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return p.writeFile(filepath.Join(dir, "meta.json"), mb)
+}
+
+func (p *Profiler) writeFile(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	p.mBytes.Add(int64(len(data)))
+	return nil
+}
+
+// GrabInto cuts the in-flight CPU window into dir as cpu.pprof plus
+// attribution.json and restarts capture — the flight-recorder hook
+// (obs.ProfileGrabber): an anomaly dump carries the profile of the moments
+// leading up to the anomaly in the same bundle.
+func (p *Profiler) GrabInto(dir string) error {
+	data, _ := p.cutWindow(true)
+	if data == nil {
+		return fmt.Errorf("prof: no CPU window in flight")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := p.writeFile(filepath.Join(dir, "cpu.pprof"), data); err != nil {
+		return err
+	}
+	attr, err := PhaseAttribution(data)
+	if err != nil {
+		attr = &Attribution{Err: err.Error()}
+	}
+	ab, err := json.MarshalIndent(attr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := p.writeFile(filepath.Join(dir, "attribution.json"), ab); err != nil {
+		return err
+	}
+	p.mGrabs.Inc()
+	return nil
+}
+
+// Bundles returns the bundle directories currently on disk, oldest first.
+func (p *Profiler) Bundles() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.bundles...)
+}
+
+// WaitBundles blocks until at least n bundles exist or the timeout expires,
+// reporting success — bundle writing rides the window goroutine.
+func (p *Profiler) WaitBundles(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		p.mu.Lock()
+		done := len(p.bundles) >= n
+		p.mu.Unlock()
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close stops the window goroutine and cuts the final in-flight window into
+// a last bundle. Idempotent.
+func (p *Profiler) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+	if data, start := p.cutWindow(false); data != nil {
+		p.writeBundle(data, start)
+	}
+}

@@ -1,0 +1,204 @@
+package prof
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// burnCPU spins for roughly d so the 100Hz CPU sampler has something to see.
+func burnCPU(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := 1
+	for time.Now().Before(deadline) {
+		for i := 0; i < 10000; i++ {
+			x = x*31 + i
+		}
+	}
+	_ = x
+}
+
+// startOrSkip starts a profiler, skipping the test when the process-wide CPU
+// profiler is already held (go test -cpuprofile, a parallel package, ...).
+func startOrSkip(t *testing.T, cfg Config) *Profiler {
+	t.Helper()
+	p, err := Start(cfg)
+	if err != nil {
+		if strings.Contains(err.Error(), "cpu profil") {
+			t.Skipf("CPU profiler unavailable: %v", err)
+		}
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDoInactiveIsDirectCall(t *testing.T) {
+	if Active() {
+		t.Fatal("profiler active at test start")
+	}
+	ran := false
+	Do(PhaseDetect, func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run f while inactive")
+	}
+}
+
+func TestResolveDir(t *testing.T) {
+	t.Setenv("SHAREBACKUP_PROF_DIR", "/env/dir")
+	if got := ResolveDir("/flag/dir"); got != "/flag/dir" {
+		t.Fatalf("flag should win: got %q", got)
+	}
+	if got := ResolveDir(""); got != "/env/dir" {
+		t.Fatalf("env fallback: got %q", got)
+	}
+	t.Setenv("SHAREBACKUP_PROF_DIR", "")
+	if got := ResolveDir(""); got != "" {
+		t.Fatalf("empty means off: got %q", got)
+	}
+}
+
+func TestStartRequiresDir(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("Start without Dir should fail")
+	}
+}
+
+func TestProfilerBundlesAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	p := startOrSkip(t, Config{Dir: dir, Window: 30 * time.Millisecond, MaxBundles: 2, Registry: reg})
+	defer p.Close()
+
+	if !Active() {
+		t.Fatal("Active() false while profiler capturing")
+	}
+	// Rotation caps Bundles() at MaxBundles, so wait on the windows counter
+	// to see that more than MaxBundles windows were actually cut.
+	windows := reg.Counter("prof.windows")
+	for deadline := time.Now().Add(10 * time.Second); windows.Value() < 3; {
+		if time.Now().After(deadline) {
+			t.Fatalf("wanted 3 windows cut, have %d", windows.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	if Active() {
+		t.Fatal("Active() true after Close")
+	}
+
+	bundles := p.Bundles()
+	if len(bundles) > 2 {
+		t.Fatalf("rotation kept %d bundles, MaxBundles=2", len(bundles))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(bundles) {
+		t.Fatalf("on-disk bundles %d != tracked %d (rotation left stragglers)", len(ents), len(bundles))
+	}
+
+	last := bundles[len(bundles)-1]
+	for _, f := range []string{"cpu.pprof", "heap.pprof", "goroutines.txt", "attribution.json", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(last, f)); err != nil {
+			t.Errorf("bundle missing %s: %v", f, err)
+		}
+	}
+	mb, err := os.ReadFile(filepath.Join(last, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta bundleMeta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		t.Fatalf("meta.json: %v", err)
+	}
+	if meta.Seq == 0 || meta.WindowMS != 30 || meta.CPUBytes <= 0 {
+		t.Fatalf("bad meta: %+v", meta)
+	}
+
+	if reg.Counter("prof.windows").Value() < 3 {
+		t.Errorf("prof.windows = %d, want >= 3", reg.Counter("prof.windows").Value())
+	}
+	if reg.Counter("prof.bundle_bytes").Value() <= 0 {
+		t.Error("prof.bundle_bytes not counted")
+	}
+}
+
+func TestGrabIntoFlightHook(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	p := startOrSkip(t, Config{Dir: dir, Window: time.Hour, Registry: reg})
+	defer p.Close()
+
+	burnCPU(20 * time.Millisecond)
+	grab := filepath.Join(t.TempDir(), "dump")
+	if err := p.GrabInto(grab); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"cpu.pprof", "attribution.json"} {
+		if _, err := os.Stat(filepath.Join(grab, f)); err != nil {
+			t.Errorf("grab missing %s: %v", f, err)
+		}
+	}
+	if got := reg.Counter("prof.flight_grabs").Value(); got != 1 {
+		t.Errorf("prof.flight_grabs = %d, want 1", got)
+	}
+	// The grab restarted capture, so a second grab also succeeds.
+	if err := p.GrabInto(filepath.Join(t.TempDir(), "dump2")); err != nil {
+		t.Fatalf("second grab after restart: %v", err)
+	}
+}
+
+func TestPhaseAttributionRejectsGarbage(t *testing.T) {
+	if _, err := PhaseAttribution([]byte("not a profile at all")); err == nil {
+		t.Fatal("garbage input should not parse")
+	}
+}
+
+// TestDoLabelsAppearInProfile is the acceptance test for phase labeling: CPU
+// burned inside Do(PhaseReconfig, ...) while a profiler captures must show up
+// in the bundle's attribution under that phase. Sampling is statistical, so
+// the burn retries with growing durations before giving up.
+func TestDoLabelsAppearInProfile(t *testing.T) {
+	for attempt, burn := range []time.Duration{300 * time.Millisecond, 600 * time.Millisecond, 1200 * time.Millisecond} {
+		dir := t.TempDir()
+		p := startOrSkip(t, Config{Dir: dir, Window: time.Hour, Registry: obs.NewRegistry()})
+		Do(PhaseReconfig, func() { burnCPU(burn) })
+		grab := filepath.Join(dir, "grab")
+		if err := p.GrabInto(grab); err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+		p.Close()
+		data, err := os.ReadFile(filepath.Join(grab, "cpu.pprof"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, err := PhaseAttribution(data)
+		if err != nil {
+			t.Fatalf("attribution parse: %v", err)
+		}
+		if ph, ok := attr.Phases[PhaseReconfig]; ok && ph.Samples > 0 && ph.CPUNS > 0 {
+			// attribution.json must agree with the raw parse.
+			ab, err := os.ReadFile(filepath.Join(grab, "attribution.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var onDisk Attribution
+			if err := json.Unmarshal(ab, &onDisk); err != nil {
+				t.Fatal(err)
+			}
+			if onDisk.Phases[PhaseReconfig].Samples != ph.Samples {
+				t.Fatalf("attribution.json %+v disagrees with parse %+v", onDisk.Phases[PhaseReconfig], ph)
+			}
+			return
+		}
+		t.Logf("attempt %d: %d total samples, phases %v; retrying with longer burn", attempt, attr.TotalSamples, attr.Phases)
+	}
+	t.Fatal("no reconfig-labeled samples after 3 attempts")
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromTextGolden pins the Prometheus text exposition (format 0.0.4)
+// byte-for-byte: sorted families, # TYPE lines, summary quantiles, and the
+// histogram _sum/_count samples scrapers aggregate on. Histogram values stay
+// below the first log-linear split so the quantiles are exact and the golden
+// text is stable across bucket-layout changes.
+func TestPromTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("recovery.count").Add(3)
+	reg.Counter("obs.emit_events").Add(12)
+	reg.Gauge("slo.budget_ns").Set(50000)
+	h := reg.Histogram("recovery.total_ns")
+	for _, v := range []int64{1, 2, 2, 3, 7} {
+		h.Record(v)
+	}
+
+	want := strings.Join([]string{
+		"# TYPE obs_emit_events counter",
+		"obs_emit_events 12",
+		"# TYPE recovery_count counter",
+		"recovery_count 3",
+		"# TYPE slo_budget_ns gauge",
+		"slo_budget_ns 50000",
+		"# TYPE recovery_total_ns summary",
+		`recovery_total_ns{quantile="0.5"} 2`,
+		`recovery_total_ns{quantile="0.9"} 7`,
+		`recovery_total_ns{quantile="0.99"} 7`,
+		"recovery_total_ns_sum 15",
+		"recovery_total_ns_count 5",
+		"",
+	}, "\n")
+	if got := reg.PromText(); got != want {
+		t.Fatalf("PromText drifted from exposition format 0.0.4 golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromTextNameSanitization pins the metric-name mapping into the
+// exposition charset: dots to underscores, leading digits escaped.
+func TestPromTextNameSanitization(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b-c/d").Inc()
+	reg.Counter("0weird").Inc()
+	got := reg.PromText()
+	for _, line := range []string{"a_b_c_d 1", "_0weird 1"} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+}

@@ -26,16 +26,51 @@ type Sink interface {
 // format sbtap summarizes. Encoding errors are remembered (first one wins)
 // and subsequent events dropped.
 type JSONLSink struct {
-	w   io.Writer
+	cw  countWriter
 	enc *json.Encoder
 
 	mu  sync.Mutex
 	err error
 }
 
+// countWriter forwards to w, tallying bytes (and mirroring them into an
+// optional counter) so the sink's serialization cost — bytes per event — is
+// measurable. Writes are serialized by the owning sink's mutex.
+type countWriter struct {
+	w     io.Writer
+	bytes int64
+	ctr   *Counter
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.bytes += int64(n)
+	c.ctr.Add(int64(n))
+	return n, err
+}
+
 // NewJSONLSink builds a sink over w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+	s := &JSONLSink{}
+	s.cw.w = w
+	s.enc = json.NewEncoder(&s.cw)
+	return s
+}
+
+// CountBytesIn mirrors every byte this sink writes into c (typically
+// Registry.Counter("obs.sink_jsonl_bytes")), putting the trace stream's
+// serialization volume on the /varz surface. A nil counter detaches.
+func (s *JSONLSink) CountBytesIn(c *Counter) {
+	s.mu.Lock()
+	s.cw.ctr = c
+	s.mu.Unlock()
+}
+
+// Bytes returns the total bytes written so far.
+func (s *JSONLSink) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cw.bytes
 }
 
 // Event implements Sink.

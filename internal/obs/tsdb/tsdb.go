@@ -1,0 +1,285 @@
+// Package tsdb is a bounded in-memory windowed time-series store: it samples
+// an obs.Registry export on an interval into fixed-size per-series rings —
+// counter deltas, gauge levels, histogram quantiles — so the recent history
+// of every metric is queryable (debughttp /timeseriesz, sbtap -ts, the SLO
+// watchdog's windowed burn rate) without any external collector. Memory is
+// strictly bounded: series × window points, regardless of uptime.
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// Series kinds.
+const (
+	KindCounterDelta = "counter-delta" // per-interval increase of a counter
+	KindGauge        = "gauge"         // sampled level
+	KindQuantile     = "quantile"      // sampled histogram order statistic
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Registry is the metrics source sampled each interval. Nil means
+	// obs.DefaultRegistry.
+	Registry *obs.Registry
+	// Interval is the sampling period of Start's goroutine. Default 1s.
+	Interval time.Duration
+	// Window is how many points each series ring retains. Default 600
+	// (10 minutes at the default interval).
+	Window int
+}
+
+// Point is one sample: wall-clock milliseconds and a value.
+type Point struct {
+	TMS int64   `json:"t_ms"`
+	V   float64 `json:"v"`
+}
+
+// SeriesData is the JSON shape of one series range query — what
+// /timeseriesz serves and sbtap -ts renders.
+type SeriesData struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"`
+	IntervalMS int64   `json:"interval_ms"`
+	Points     []Point `json:"points"`
+}
+
+// ring is a fixed-capacity point buffer.
+type ring struct {
+	kind string
+	pts  []Point
+	next int
+	full bool
+}
+
+func (r *ring) add(p Point) {
+	r.pts[r.next] = p
+	r.next++
+	if r.next == len(r.pts) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// points returns the buffered points oldest first, optionally only the last n.
+func (r *ring) points(lastN int) []Point {
+	var out []Point
+	if r.full {
+		out = make([]Point, 0, len(r.pts))
+		out = append(out, r.pts[r.next:]...)
+		out = append(out, r.pts[:r.next]...)
+	} else {
+		out = append([]Point(nil), r.pts[:r.next]...)
+	}
+	if lastN > 0 && len(out) > lastN {
+		out = out[len(out)-lastN:]
+	}
+	return out
+}
+
+// Store samples a registry into bounded per-series rings. Counters become
+// per-interval deltas (the first observation of a counter sets its baseline
+// and records 0, so a long-lived counter joining mid-flight doesn't spike
+// the series). Gauges record levels. Histograms contribute quantile series
+// (name.p50/.p90/.p99) plus a name.count delta series. The store meters its
+// own sampling CPU (tsdb.samples, tsdb.sample_cpu_ns) — observability that
+// doesn't measure its own tax can't be budgeted.
+//
+// Store implements obs.CounterDeltaSource, which is how the SLO watchdog's
+// burn rate becomes a windowed rate over wall time instead of a count over
+// the last N recoveries.
+type Store struct {
+	cfg Config
+
+	mSamples  *obs.Counter // tsdb.samples
+	mSampleNS *obs.Counter // tsdb.sample_cpu_ns
+
+	mu     sync.Mutex
+	series map[string]*ring
+	base   map[string]int64 // cumulative counter baselines
+
+	startOnce sync.Once
+	quit      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a store (sampling does not start until Start).
+func New(cfg Config) *Store {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.DefaultRegistry
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 600
+	}
+	return &Store{
+		cfg:       cfg,
+		mSamples:  cfg.Registry.Counter("tsdb.samples"),
+		mSampleNS: cfg.Registry.Counter("tsdb.sample_cpu_ns"),
+		series:    make(map[string]*ring),
+		base:      make(map[string]int64),
+		quit:      make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine. Idempotent.
+func (s *Store) Start() {
+	s.startOnce.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			tick := time.NewTicker(s.cfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.quit:
+					return
+				case now := <-tick.C:
+					s.Sample(now)
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the sampling goroutine (safe if Start was never called).
+func (s *Store) Close() {
+	select {
+	case <-s.quit:
+		return
+	default:
+	}
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Sample takes one sample of the registry at the given wall time. Exposed so
+// tests and synchronous callers can drive the store without the goroutine.
+func (s *Store) Sample(now time.Time) {
+	t0 := time.Now()
+	ex := s.cfg.Registry.Export(false)
+	tms := now.UnixMilli()
+
+	s.mu.Lock()
+	for name, v := range ex.Counters {
+		s.recordCounterLocked(name, tms, v)
+	}
+	for name, v := range ex.Gauges {
+		s.recordLocked(name, KindGauge, tms, float64(v))
+	}
+	for name, h := range ex.Histograms {
+		s.recordLocked(name+".p50", KindQuantile, tms, float64(h.P50))
+		s.recordLocked(name+".p90", KindQuantile, tms, float64(h.P90))
+		s.recordLocked(name+".p99", KindQuantile, tms, float64(h.P99))
+		s.recordCounterLocked(name+".count", tms, h.Count)
+	}
+	s.mu.Unlock()
+
+	s.mSampleNS.Add(time.Since(t0).Nanoseconds())
+	s.mSamples.Inc()
+}
+
+func (s *Store) recordCounterLocked(name string, tms int64, v int64) {
+	last, seen := s.base[name]
+	s.base[name] = v
+	delta := v - last
+	if !seen || delta < 0 {
+		// First observation (baseline) or a reset: record no increase.
+		delta = 0
+	}
+	s.recordLocked(name, KindCounterDelta, tms, float64(delta))
+}
+
+func (s *Store) recordLocked(name, kind string, tms int64, v float64) {
+	r := s.series[name]
+	if r == nil {
+		r = &ring{kind: kind, pts: make([]Point, s.cfg.Window)}
+		s.series[name] = r
+	}
+	r.add(Point{TMS: tms, V: v})
+}
+
+// Names returns all series names, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.series))
+	for name := range s.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kinds returns (name, kind) for every series, sorted by name — the
+// /timeseriesz index body.
+func (s *Store) Kinds() []SeriesData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesData, 0, len(s.series))
+	for name, r := range s.series {
+		out = append(out, SeriesData{Name: name, Kind: r.kind, IntervalMS: s.cfg.Interval.Milliseconds()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Series returns the last n points of one series (all buffered points when
+// n <= 0). ok is false for unknown series.
+func (s *Store) Series(name string, n int) (SeriesData, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.series[name]
+	if r == nil {
+		return SeriesData{}, false
+	}
+	return SeriesData{
+		Name:       name,
+		Kind:       r.kind,
+		IntervalMS: s.cfg.Interval.Milliseconds(),
+		Points:     r.points(n),
+	}, true
+}
+
+// All returns every series (last n points each), sorted by name.
+func (s *Store) All(n int) []SeriesData {
+	names := s.Names()
+	out := make([]SeriesData, 0, len(names))
+	for _, name := range names {
+		if sd, ok := s.Series(name, n); ok {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// CounterDelta implements obs.CounterDeltaSource: the summed increase of a
+// counter-delta series over the trailing window, measured back from the
+// newest sample. ok is false when the series is unknown, not a counter, or
+// empty.
+func (s *Store) CounterDelta(name string, window time.Duration) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.series[name]
+	if r == nil || r.kind != KindCounterDelta {
+		return 0, false
+	}
+	pts := r.points(0)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	cut := pts[len(pts)-1].TMS - window.Milliseconds()
+	var sum float64
+	for _, p := range pts {
+		if p.TMS > cut {
+			sum += p.V
+		}
+	}
+	return sum, true
+}

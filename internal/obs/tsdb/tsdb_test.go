@@ -1,0 +1,260 @@
+package tsdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+)
+
+// sampleAt drives one synchronous sample at a fixed offset from a fixed epoch
+// so tests are deterministic regardless of wall clock.
+func sampleAt(s *Store, off time.Duration) {
+	s.Sample(time.UnixMilli(1_000_000).Add(off))
+}
+
+func TestGaugeSeriesAndRingWindowing(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("test.level")
+	s := New(Config{Registry: reg, Window: 4})
+	defer s.Close()
+
+	for i := 0; i < 6; i++ {
+		g.Set(int64(10 * i))
+		sampleAt(s, time.Duration(i)*time.Second)
+	}
+	sd, ok := s.Series("test.level", 0)
+	if !ok {
+		t.Fatal("series missing")
+	}
+	if sd.Kind != KindGauge {
+		t.Fatalf("kind = %q, want %q", sd.Kind, KindGauge)
+	}
+	// Ring of 4 keeps the newest 4 of 6 samples, oldest first.
+	if len(sd.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(sd.Points))
+	}
+	for i, want := range []float64{20, 30, 40, 50} {
+		if sd.Points[i].V != want {
+			t.Errorf("point %d = %g, want %g", i, sd.Points[i].V, want)
+		}
+		if i > 0 && sd.Points[i].TMS <= sd.Points[i-1].TMS {
+			t.Errorf("points not oldest-first: %v", sd.Points)
+		}
+	}
+	// lastN trims from the old end.
+	sd, _ = s.Series("test.level", 2)
+	if len(sd.Points) != 2 || sd.Points[1].V != 50 {
+		t.Fatalf("lastN: %v", sd.Points)
+	}
+}
+
+func TestCounterBaselineDeltaAndReset(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("test.events")
+	c.Add(100) // pre-existing count before the store ever samples
+	s := New(Config{Registry: reg, Window: 16})
+	defer s.Close()
+
+	sampleAt(s, 0) // first observation: baseline, not a spike
+	c.Add(7)
+	sampleAt(s, time.Second)
+	sampleAt(s, 2*time.Second) // no movement
+	c.Add(-50)                 // a restart-style reset must not go negative
+	sampleAt(s, 3*time.Second)
+	c.Add(3)
+	sampleAt(s, 4*time.Second)
+
+	sd, ok := s.Series("test.events", 0)
+	if !ok || sd.Kind != KindCounterDelta {
+		t.Fatalf("series %+v ok=%v", sd, ok)
+	}
+	want := []float64{0, 7, 0, 0, 3}
+	if len(sd.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(sd.Points), len(want))
+	}
+	for i, w := range want {
+		if sd.Points[i].V != w {
+			t.Errorf("delta[%d] = %g, want %g", i, sd.Points[i].V, w)
+		}
+	}
+}
+
+func TestHistogramQuantileAndCountSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("test.lat")
+	s := New(Config{Registry: reg, Window: 16})
+	defer s.Close()
+
+	for i := 1; i <= 10; i++ {
+		h.Record(int64(i))
+	}
+	sampleAt(s, 0)
+	h.Record(11)
+	sampleAt(s, time.Second)
+
+	for _, name := range []string{"test.lat.p50", "test.lat.p90", "test.lat.p99"} {
+		sd, ok := s.Series(name, 0)
+		if !ok {
+			t.Fatalf("missing quantile series %s (have %v)", name, s.Names())
+		}
+		if sd.Kind != KindQuantile || len(sd.Points) != 2 {
+			t.Fatalf("%s: %+v", name, sd)
+		}
+	}
+	cnt, ok := s.Series("test.lat.count", 0)
+	if !ok || cnt.Kind != KindCounterDelta {
+		t.Fatalf("count series %+v ok=%v", cnt, ok)
+	}
+	if cnt.Points[0].V != 0 || cnt.Points[1].V != 1 {
+		t.Fatalf("count deltas = %v, want [0 1]", cnt.Points)
+	}
+}
+
+func TestCounterDeltaWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("test.hits")
+	g := reg.Gauge("test.level")
+	s := New(Config{Registry: reg, Window: 64})
+	defer s.Close()
+
+	g.Set(1)
+	for i := 0; i < 10; i++ {
+		c.Add(2)
+		sampleAt(s, time.Duration(i)*time.Second)
+	}
+	// First sample is the baseline (delta 0); 9 deltas of 2 follow. A 4s
+	// window back from the newest sample covers the last 4 deltas.
+	if d, ok := s.CounterDelta("test.hits", 4*time.Second); !ok || d != 8 {
+		t.Fatalf("windowed delta = %g ok=%v, want 8", d, ok)
+	}
+	// A window wider than the buffer sums everything but the baseline.
+	if d, ok := s.CounterDelta("test.hits", time.Hour); !ok || d != 18 {
+		t.Fatalf("full-window delta = %g ok=%v, want 18", d, ok)
+	}
+	if _, ok := s.CounterDelta("no.such.series", time.Minute); ok {
+		t.Fatal("unknown series should report !ok")
+	}
+	if _, ok := s.CounterDelta("test.level", time.Minute); ok {
+		t.Fatal("gauge series must not satisfy CounterDelta")
+	}
+}
+
+func TestSLOWatchdogBurnSource(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg, Window: 64})
+	defer s.Close()
+	w := obs.NewSLOWatchdog(obs.SLOConfig{
+		Budget:     time.Millisecond,
+		Registry:   reg,
+		BurnSource: s,
+		BurnWindow: time.Minute,
+	})
+
+	// Two breaching and two healthy recoveries, sampled as they happen so
+	// the store's slo.* series have wall-clock history.
+	ev := func(total time.Duration, span uint64) obs.Event {
+		return obs.Event{Kind: obs.KindRecoveryComplete, Total: total, Trace: 1, Span: span}
+	}
+	sampleAt(s, 0)
+	w.Event(ev(2*time.Millisecond, 1))
+	sampleAt(s, time.Second)
+	w.Event(ev(2*time.Millisecond, 2))
+	sampleAt(s, 2*time.Second)
+	w.Event(ev(time.Microsecond, 3))
+	sampleAt(s, 3*time.Second)
+	w.Event(ev(time.Microsecond, 4))
+	sampleAt(s, 4*time.Second)
+	// One more event makes the watchdog consult the source now that the
+	// sampler has seen all four recoveries (2 breaches / 4 recoveries).
+	w.Event(ev(time.Microsecond, 5))
+
+	if got := w.BurnRate(); got != 0.5 {
+		t.Fatalf("windowed burn rate = %g, want 0.5", got)
+	}
+}
+
+func TestCloseIdempotentAndStartOnce(t *testing.T) {
+	s := New(Config{Registry: obs.NewRegistry(), Interval: time.Millisecond})
+	s.Start()
+	s.Start()
+	s.Close()
+	s.Close()
+}
+
+func TestSelfOverheadCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg})
+	defer s.Close()
+	sampleAt(s, 0)
+	sampleAt(s, time.Second)
+	if got := reg.Counter("tsdb.samples").Value(); got != 2 {
+		t.Fatalf("tsdb.samples = %d, want 2", got)
+	}
+	if reg.Counter("tsdb.sample_cpu_ns").Value() <= 0 {
+		t.Fatal("tsdb.sample_cpu_ns not metered")
+	}
+	// The meter counters themselves become series on the next sample.
+	sampleAt(s, 2*time.Second)
+	if _, ok := s.Series("tsdb.samples", 0); !ok {
+		t.Fatal("store does not sample its own overhead counters")
+	}
+}
+
+// TestConcurrentExportAndSampling is the race hammer: metric writers,
+// Export/PromText readers, and the store's sampling goroutine all run
+// concurrently. Run with -race (the Makefile race target covers this
+// package) to prove the export path and the sampler are data-race free.
+func TestConcurrentExportAndSampling(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg, Interval: time.Millisecond, Window: 32})
+	s.Start()
+	defer s.Close()
+
+	const goroutines = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := reg.Counter("hammer.count")
+			g := reg.Gauge("hammer.level")
+			h := reg.Histogram("hammer.lat")
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(n))
+				h.Record(int64(n % 1000))
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = reg.Export(false)
+				_ = reg.PromText()
+				_, _ = s.Series("hammer.count", 8)
+				_ = s.All(4)
+				_, _ = s.CounterDelta("hammer.count", time.Second)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if _, ok := s.Series("hammer.count", 0); !ok {
+		t.Fatal("sampler never saw the hammer counter")
+	}
+}

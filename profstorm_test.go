@@ -1,0 +1,83 @@
+package sharebackup
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharebackup/internal/obs"
+	"sharebackup/internal/obs/prof"
+)
+
+// TestProfiledStormCarriesPhaseLabels is the acceptance test for the
+// continuous profiler: drive a failure/repair storm while a profiler
+// captures, then parse the cut CPU window and require samples tagged with
+// the Table 2 recovery phases (prof.Do sites in the controller). CPU
+// sampling is statistical at 100Hz, so the storm retries with growing
+// durations before declaring the labels broken.
+func TestProfiledStormCarriesPhaseLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU-burning storm")
+	}
+	for attempt, storm := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second} {
+		dir := t.TempDir()
+		p, err := prof.Start(prof.Config{Dir: dir, Window: time.Hour, Registry: obs.NewRegistry()})
+		if err != nil {
+			if strings.Contains(err.Error(), "cpu profil") {
+				t.Skipf("CPU profiler unavailable: %v", err)
+			}
+			t.Fatal(err)
+		}
+
+		sys, err := New(Config{K: 8, N: 1})
+		if err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(storm)
+		cycles := 0
+		for time.Now().Before(deadline) {
+			// Failover swaps the slot's physical occupant, so re-resolve
+			// the active switch each cycle.
+			victim := sys.Network.EdgeGroup(0).Slots()[0]
+			if _, err := sys.FailNode(victim, time.Millisecond); err != nil {
+				p.Close()
+				t.Fatalf("cycle %d: fail: %v", cycles, err)
+			}
+			if err := sys.Controller.RepairSwitch(victim); err != nil {
+				p.Close()
+				t.Fatalf("cycle %d: repair: %v", cycles, err)
+			}
+			cycles++
+		}
+
+		grab := filepath.Join(dir, "storm")
+		err = p.GrabInto(grab)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(grab, "cpu.pprof"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, err := prof.PhaseAttribution(data)
+		if err != nil {
+			t.Fatalf("attribution parse: %v", err)
+		}
+		labeled := int64(0)
+		for _, phase := range []string{prof.PhaseDetect, prof.PhaseNotify, prof.PhaseReconfig, prof.PhaseRevert} {
+			labeled += attr.Phases[phase].Samples
+		}
+		if labeled > 0 {
+			t.Logf("%d cycles, %d/%d samples phase-labeled: %v",
+				cycles, labeled, attr.TotalSamples, attr.Phases)
+			return
+		}
+		t.Logf("attempt %d: %d cycles, %d samples, none labeled (%v); retrying with a longer storm",
+			attempt, cycles, attr.TotalSamples, attr.Phases)
+	}
+	t.Fatal("no recovery-phase-labeled CPU samples after 3 storms")
+}
