@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-race vet build test race bench bench-smoke tools
+.PHONY: check check-race vet build test race soak-failover bench bench-smoke tools
 
 check: vet build test race
 
@@ -22,7 +22,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ctlnet/... ./internal/obs/... ./internal/sweep/... ./internal/fluid/... ./internal/topo/... ./internal/routing/...
+	$(GO) test -race ./internal/ctlnet/... ./internal/ctlplane/... ./internal/obs/... ./internal/sweep/... ./internal/fluid/... ./internal/topo/... ./internal/routing/...
+
+# Leader-failover soak: the cluster emulation's kill-the-leader-mid-storm
+# and quorum-loss drills, repeated under the race detector. Election timing
+# is randomized, so repetition is the point — one pass only samples one
+# timeout draw.
+soak-failover:
+	$(GO) test -race -count 8 -run 'TestCluster|TestElectionSafety' ./internal/ctlnet/... ./internal/ctlplane/...
 
 # Recovery-path microbenchmarks; instrumentation must stay free when no
 # event sink is attached, so watch these against the seed numbers.

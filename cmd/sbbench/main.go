@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sweepPath     = fs.String("sweep", "BENCH_sweep.json", "sweep-engine benchmark trajectory file (empty skips)")
 		routingPath   = fs.String("routing", "BENCH_routing.json", "routing-core benchmark trajectory file (empty skips)")
 		obsPath       = fs.String("obs", "BENCH_obs.json", "observability-overhead benchmark trajectory file (empty skips)")
+		ctlplanePath  = fs.String("ctlplane", "BENCH_ctlplane.json", "replicated-controller consensus benchmark trajectory file (empty skips)")
 		k             = fs.Int("k", 8, "fat-tree parameter")
 		n             = fs.Int("n", 1, "backup switches per failure group")
 		trials        = fs.Int("trials", 32, "failovers per kind for the recovery benchmark")
@@ -168,6 +169,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return f, fmt.Sprintf("emit no-sink %.1fns %.2f allocs/ev, ring %.0fns %.2f allocs/ev, jsonl %.0fns %.0fB/ev, tsdb sample %.0fns/%d series, promtext %.0fns",
 			res.EmitNoSinkNSOp, res.EmitNoSinkAllocsOp, res.EmitRingNSEvent, res.EmitRingAllocsOp,
 			res.EmitJSONLNSEvent, res.JSONLBytesEvent, res.TSDBSampleNSOp, res.TSDBSeries, res.PromTextNSOp), nil
+	})
+
+	gate(*ctlplanePath, "ctlplane", func() (*bench.File, string, error) {
+		res, err := sharebackup.CtlplaneBench(sharebackup.CtlplaneBenchConfig{Smoke: *smoke})
+		if err != nil {
+			return nil, "", err
+		}
+		f := &bench.File{Metrics: res.GateMetrics()}
+		if err := f.SetDetail(res); err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("%d replicas, first election %.1fms, failover %.1fms, commit %.0fµs seq %.0f/s, pipelined x%d %.0f/s, snapshot %.0fµs/%dB",
+			res.Replicas, res.FirstElectionMS, res.FailoverMS, res.CommitNSOp/1e3, res.CommitsPerSec,
+			res.PipelineDepth, res.PipelinedPerSec, res.SnapshotNSOp/1e3, res.SnapshotBytes), nil
 	})
 
 	switch status {

@@ -18,6 +18,16 @@
 //
 //	sbemu -ctlnet -trace-dir /tmp/traces -slo-budget 50us -flight-recorder
 //	sbtap -stitch /tmp/traces/*.jsonl
+//
+// -cluster N replicates the controller: N complete replicas (network model,
+// controller, server, consensus node) elect a leader over loopback TCP, the
+// agents keep-alive against it, and sbemu kills the leader in the middle of
+// the failure injections — the survivors elect a replacement and the
+// remaining recoveries complete against it. The stitched traces show the
+// agents' failover hops:
+//
+//	sbemu -ctlnet -cluster 3 -agents 4 -trace-dir /tmp/traces
+//	sbtap -stitch /tmp/traces/*.jsonl
 package main
 
 import (
@@ -55,6 +65,7 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "ctlnet mode: directory for per-process trace files (stitch with sbtap -stitch)")
 		numAgents  = flag.Int("agents", 2, "ctlnet mode: number of switch agents")
 		numCS      = flag.Int("cs", 1, "ctlnet mode: number of circuit-switch services")
+		cluster    = flag.Int("cluster", 0, "ctlnet mode: run this many controller replicas with leader election and kill the leader mid-storm (0 = single controller)")
 		sloBudget  = flag.Duration("slo-budget", 0, "recovery-time SLO budget; breaches trip the watchdog (0 disables)")
 		flightRec  = flag.Bool("flight-recorder", false, "keep an always-on event ring and dump a diagnostic bundle on anomalies")
 		profileDir = flag.String("profile-dir", "", "continuous profiler: rotating phase-labeled CPU/heap bundles in this directory (default $SHAREBACKUP_PROF_DIR; empty disables)")
@@ -79,8 +90,15 @@ func main() {
 	}
 
 	if *ctlnetMode {
+		if *cluster > 0 {
+			runCtlnetCluster(*k, *n, *numAgents, *numCS, *cluster, *traceDir)
+			return
+		}
 		runCtlnet(*k, *n, *numAgents, *numCS, *traceDir, *sloBudget, *flightRec)
 		return
+	}
+	if *cluster > 0 {
+		fatal(fmt.Errorf("-cluster requires -ctlnet"))
 	}
 
 	if *debugAddr != "" {
@@ -255,6 +273,115 @@ func runCtlnet(k, n, agents, cs int, traceDir string, budget time.Duration, flig
 		fmt.Printf("  %s\n", f)
 	}
 	fmt.Printf("stitch them: sbtap -stitch %s\n", filepath.Join(traceDir, "*.jsonl"))
+}
+
+// runCtlnetCluster drives the replicated-controller emulation: replicas
+// controller replicas elect a leader, the agents report against it, and the
+// leader is killed after the first recovery — the rest complete against the
+// replacement the survivors elect, with the agents' failover hops traced.
+func runCtlnetCluster(k, n, agents, cs, replicas int, traceDir string) {
+	if traceDir == "" {
+		dir, err := os.MkdirTemp("", "sbemu-ctlnet-")
+		if err != nil {
+			fatal(err)
+		}
+		traceDir = dir
+	}
+	em, err := ctlnet.NewClusterEmulation(ctlnet.ClusterConfig{
+		EmulationConfig: ctlnet.EmulationConfig{
+			K:         k,
+			N:         n,
+			NumAgents: agents,
+			NumCS:     cs,
+			TraceDir:  traceDir,
+			// Agents legitimately pause heartbeats while chasing the new
+			// leader; don't let the survivors misread that as node death.
+			MissThreshold: 25,
+			Registry:      obs.DefaultRegistry,
+		},
+		Replicas:  replicas,
+		TickEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ld, err := em.Leader(10 * time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ctlnet cluster up: %d replicas, leader controller-%d (%s), %d agents, %d circuit switches\n",
+		len(em.Replicas), ld.ID, ld.Server.Addr(), len(em.Agents), len(em.CS))
+
+	// Watch recoveries from a survivor: the leader is about to die.
+	var surv *ctlnet.Replica
+	for _, r := range em.Replicas {
+		if r != ld {
+			surv = r
+			break
+		}
+	}
+	if surv == nil {
+		fatal(fmt.Errorf("need at least 2 replicas to kill the leader, have %d", replicas))
+	}
+	mon, err := ctlnet.Subscribe(surv.Server.Addr())
+	if err != nil {
+		fatal(err)
+	}
+	defer mon.Close()
+
+	if !em.WaitClockSync(5 * time.Second) {
+		fatal(fmt.Errorf("agents did not complete clock sync"))
+	}
+
+	waitEvent := func(i int) {
+		select {
+		case _, ok := <-mon.Events:
+			if !ok {
+				fatal(fmt.Errorf("event monitor closed: %v", mon.Err()))
+			}
+		case <-time.After(10 * time.Second):
+			fatal(fmt.Errorf("no recovery event for agent %d within 10s", i))
+		}
+	}
+	if err := em.FailLink(0, time.Millisecond); err != nil {
+		fatal(err)
+	}
+	waitEvent(0)
+	fmt.Printf("agent %d recovered on leader controller-%d; killing the leader\n", em.Agents[0].ID, ld.ID)
+
+	killed, err := em.KillLeader(5 * time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	// Inject the remaining failures NOW, while the survivors are still
+	// electing: the agents' reports straddle the leader change, so their
+	// redirect-and-redial lands inside the report span and the stitched
+	// trees show the failover hop. (FailLink blocks until the report is
+	// acked by whoever wins.)
+	for i := 1; i < len(em.Agents); i++ {
+		if err := em.FailLink(i, time.Millisecond); err != nil {
+			fatal(err)
+		}
+		waitEvent(i)
+	}
+	newLd, err := em.Leader(30 * time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("controller-%d killed; controller-%d elected (term %d)\n",
+		killed.ID, newLd.ID, newLd.Node.Term())
+	fmt.Printf("injected %d link failures; all recovered (%d through the failover)\n",
+		len(em.Agents), len(em.Agents)-1)
+
+	files := em.TraceFiles()
+	if err := em.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("per-process traces:")
+	for _, f := range files {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Printf("stitch them (failover hops included): sbtap -stitch %s\n", filepath.Join(traceDir, "*.jsonl"))
 }
 
 func printWalk(sys *sharebackup.System, walk []emu.Hop) {

@@ -127,6 +127,7 @@ func main() {
 	}
 	exitCode := 0
 	fmt.Print(obs.KindCounts(evs).String())
+	fmt.Print(controlPlaneSummary(evs))
 	if shards := shardCount(evs); shards > 1 {
 		fmt.Printf("trace interleaves %d sweep shards (see the shard field; sequence numbers are per shard)\n", shards)
 	}
@@ -319,6 +320,42 @@ func asHistogram(m map[string]interface{}) (obs.HistogramSnapshot, bool) {
 		return obs.HistogramSnapshot{}, false
 	}
 	return s, true
+}
+
+// controlPlaneSummary renders the replicated-controller life events in a
+// trace — replica elections, stepdowns, and agent failovers — as a timeline,
+// so a leader change mid-storm is visible in the default summary without
+// reaching for -stitch. Empty when the trace has no such events (the common
+// single-controller case).
+func controlPlaneSummary(evs []obs.Event) string {
+	var b bytes.Buffer
+	var elections, stepdowns, failovers int
+	maxTerm := int32(0)
+	for _, ev := range evs {
+		switch ev.Kind {
+		case obs.KindLeaderElected:
+			elections++
+			fmt.Fprintf(&b, "  %12v  leader-elected  replica=%d term=%d\n", ev.T, ev.Switch, ev.Count)
+		case obs.KindLeaderLost:
+			stepdowns++
+			fmt.Fprintf(&b, "  %12v  leader-lost     replica=%d term=%d\n", ev.T, ev.Switch, ev.Count)
+		case obs.KindFailover:
+			failovers++
+			fmt.Fprintf(&b, "  %12v  agent-failover  switch=%d -> %s (connection %d)\n", ev.T, ev.Switch, ev.Detail, ev.Count)
+			continue
+		default:
+			continue
+		}
+		if ev.Count > maxTerm {
+			maxTerm = ev.Count
+		}
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	head := fmt.Sprintf("control plane: %d elections, %d stepdowns, %d agent failovers (max term %d)\n",
+		elections, stepdowns, failovers, maxTerm)
+	return head + b.String()
 }
 
 // shardSpan ties a recovery span back to the sweep shard it ran on.

@@ -162,6 +162,82 @@ func TestRenderRoutingBenchFile(t *testing.T) {
 	}
 }
 
+// TestControlPlaneSummaryGolden pins the control-plane timeline rendering:
+// elections, stepdowns, and agent failovers each get a line, the header
+// counts them and reports the highest term seen, and a trace without any
+// such events renders nothing at all.
+func TestControlPlaneSummaryGolden(t *testing.T) {
+	role := func(kind obs.Kind, t time.Duration, replica, term int32) obs.Event {
+		ev := obs.NewEvent(kind, t)
+		ev.Switch, ev.Count = replica, term
+		return ev
+	}
+	fo := obs.NewEvent(obs.KindFailover, 9*time.Millisecond)
+	fo.Switch = 12
+	fo.Detail = "127.0.0.1:41000"
+	fo.Count = 2
+	evs := []obs.Event{
+		role(obs.KindLeaderElected, 1*time.Millisecond, 0, 1),
+		role(obs.KindLeaderLost, 8*time.Millisecond, 0, 1),
+		fo,
+		role(obs.KindLeaderElected, 10*time.Millisecond, 2, 3),
+	}
+	want := "control plane: 2 elections, 1 stepdowns, 1 agent failovers (max term 3)\n" +
+		"           1ms  leader-elected  replica=0 term=1\n" +
+		"           8ms  leader-lost     replica=0 term=1\n" +
+		"           9ms  agent-failover  switch=12 -> 127.0.0.1:41000 (connection 2)\n" +
+		"          10ms  leader-elected  replica=2 term=3\n"
+	if got := controlPlaneSummary(evs); got != want {
+		t.Errorf("controlPlaneSummary:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Single-controller traces stay clean: no header, no empty section.
+	plain := []obs.Event{mkEvent(0, 1), mkEvent(0, 2)}
+	if got := controlPlaneSummary(plain); got != "" {
+		t.Errorf("summary on plain trace: %q", got)
+	}
+}
+
+// The stitched span tree names leadership changes and failover hops so a
+// leader kill mid-recovery is legible in sbtap -stitch output.
+func TestStitchRendersLeadershipEvents(t *testing.T) {
+	const trace = uint64(0x77)
+	fail := obs.NewEvent(obs.KindFailureDeclared, time.Millisecond)
+	fail.Span, fail.Trace = 1, trace
+	fail.Detail = "link"
+	fo := obs.NewEvent(obs.KindFailover, 2*time.Millisecond)
+	fo.Span, fo.Trace = 1, trace
+	fo.Switch, fo.Detail, fo.Count = 12, "127.0.0.1:41000", 2
+	elected := obs.NewEvent(obs.KindLeaderElected, 3*time.Millisecond)
+	elected.Span, elected.Trace = 1, trace
+	elected.Switch, elected.Count = 1, 4
+	lost := obs.NewEvent(obs.KindLeaderLost, 4*time.Millisecond)
+	lost.Span, lost.Trace = 1, trace
+	lost.Switch, lost.Count = 0, 3
+
+	procs := []obs.ProcTrace{{Name: "agent-12", Events: []obs.Event{fail, fo, elected, lost}}}
+	for i := range procs[0].Events {
+		procs[0].Events[i].Proc = procs[0].Name
+	}
+	res, err := obs.Stitch(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(res.Traces))
+	}
+	out := res.Traces[0].Render()
+	for _, want := range []string{
+		"failover -> 127.0.0.1:41000 (connection 2)",
+		"leader-elected replica=1 term=4",
+		"leader-lost replica=0 term=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // Untagged events (shard 0, the process bus) form their own stream alongside
 // tagged ones.
 func TestSeqLossUntaggedStream(t *testing.T) {

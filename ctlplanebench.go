@@ -1,0 +1,301 @@
+package sharebackup
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sharebackup/internal/bench"
+	"sharebackup/internal/ctlplane"
+)
+
+// This file is the replicated-controller benchmark behind `sbbench
+// -ctlplane`: it prices the consensus layer the ctlnet server runs on —
+// time to elect a first leader from a cold 3-replica cluster, time to elect
+// a REPLACEMENT after the leader dies (the paper's availability story now
+// depends on this, not just on switch failover), committed-proposal
+// latency and throughput over loopback TCP, and the snapshot cost that
+// bounds rebootstrap time after quorum loss.
+
+// CtlplaneBenchConfig parameterizes CtlplaneBench.
+type CtlplaneBenchConfig struct {
+	// Smoke shrinks trial counts and the proposal batch to CI scale.
+	// Metrics stay per-operation, so smoke runs gate against full-size
+	// baselines.
+	Smoke bool
+}
+
+// CtlplaneBenchResult is the machine-readable consensus benchmark output.
+// Election numbers are dominated by the randomized election timeout (ticks
+// of TickEvery), so they are reproducible across hosts to within scheduler
+// noise; proposal numbers are loopback-TCP round trips and host-dependent.
+type CtlplaneBenchResult struct {
+	Experiment string `json:"experiment"`
+	Smoke      bool   `json:"smoke,omitempty"`
+
+	Replicas    int     `json:"replicas"`
+	TickEveryMS float64 `json:"tick_every_ms"`
+
+	ElectionTrials  int     `json:"election_trials"`
+	FirstElectionMS float64 `json:"first_election_ms"` // cold start → first leader, mean
+	FailoverMS      float64 `json:"failover_ms"`       // leader killed → replacement elected, mean
+
+	Proposals        int64   `json:"proposals"`
+	CommitNSOp       float64 `json:"commit_ns_op"` // sequential propose→commit round trip
+	CommitsPerSec    float64 `json:"commits_per_sec"`
+	PipelineDepth    int     `json:"pipeline_depth"`
+	PipelinedPerSec  float64 `json:"pipelined_per_sec"` // concurrent proposers
+	SnapshotNSOp     float64 `json:"snapshot_ns_op"`
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+	SnapshotLogIndex uint64  `json:"snapshot_log_index"`
+}
+
+// benchCluster is a minimal 3-replica cluster over loopback TCP whose state
+// machine just counts applied commands (the bench measures consensus, not
+// the controller's recovery logic — RecoveryBench prices that).
+type benchCluster struct {
+	nodes      []*ctlplane.Node
+	transports []*ctlplane.TCPTransport
+
+	mu      sync.Mutex
+	applied [][][]byte
+}
+
+func newBenchCluster(n int, tick time.Duration) (*benchCluster, error) {
+	bc := &benchCluster{applied: make([][][]byte, n)}
+	peers := make([]int, n)
+	addrs := make(map[int]string, n)
+	transports := make([]*ctlplane.TCPTransport, n)
+	var inboxMu sync.Mutex
+	inboxes := make([]func(ctlplane.Message), n)
+	deliver := func(m ctlplane.Message) {
+		inboxMu.Lock()
+		f := inboxes[m.To]
+		inboxMu.Unlock()
+		if f != nil {
+			f(m)
+		}
+	}
+	for i := 0; i < n; i++ {
+		peers[i] = i
+		tr, err := ctlplane.NewTCPTransport(i, map[int]string{i: "127.0.0.1:0"}, deliver)
+		if err != nil {
+			for _, t := range transports[:i] {
+				t.Close()
+			}
+			return nil, err
+		}
+		transports[i] = tr
+		addrs[i] = tr.Addr()
+	}
+	for i := 0; i < n; i++ {
+		transports[i].SetPeers(addrs)
+	}
+	bc.transports = transports
+	for i := 0; i < n; i++ {
+		i := i
+		node := ctlplane.NewNode(ctlplane.NodeConfig{
+			Raft:      ctlplane.RaftConfig{ID: i, Peers: peers, Seed: uint64(i)*7 + 13},
+			TickEvery: tick,
+			Transport: transports[i],
+			Apply: func(data []byte) (any, error) {
+				bc.mu.Lock()
+				bc.applied[i] = append(bc.applied[i], data)
+				k := len(bc.applied[i])
+				bc.mu.Unlock()
+				return k, nil
+			},
+			Snapshot: func() []byte {
+				bc.mu.Lock()
+				defer bc.mu.Unlock()
+				return ctlplane.EncodeReplayLog(bc.applied[i])
+			},
+			Restore: func(data []byte) error {
+				rl, err := ctlplane.DecodeReplayLog(data)
+				if err != nil {
+					return err
+				}
+				bc.mu.Lock()
+				bc.applied[i] = rl.Commands
+				bc.mu.Unlock()
+				return nil
+			},
+		})
+		inboxMu.Lock()
+		inboxes[i] = node.Deliver
+		inboxMu.Unlock()
+		bc.nodes = append(bc.nodes, node)
+	}
+	return bc, nil
+}
+
+// waitLeader polls for an elected leader among replicas not in exclude.
+func (bc *benchCluster) waitLeader(exclude int, timeout time.Duration) (*ctlplane.Node, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for i, n := range bc.nodes {
+			if i != exclude && n.IsLeader() {
+				return n, nil
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil, fmt.Errorf("ctlplane bench: no leader within %v", timeout)
+}
+
+func (bc *benchCluster) close() {
+	for _, n := range bc.nodes {
+		n.Stop()
+	}
+	for _, t := range bc.transports {
+		t.Close()
+	}
+}
+
+// CtlplaneBench measures the replicated controller core. It returns an
+// error — a benchmark failure, exit 2 in sbbench — when the cluster fails
+// to elect (cold or after a leader kill) or loses a committed proposal.
+func CtlplaneBench(cfg CtlplaneBenchConfig) (*CtlplaneBenchResult, error) {
+	const (
+		replicas = 3
+		tick     = 2 * time.Millisecond
+		depth    = 8
+	)
+	trials := 5
+	proposals := int64(2000)
+	if cfg.Smoke {
+		trials = 2
+		proposals = 300
+	}
+	res := &CtlplaneBenchResult{
+		Experiment:     "ctlplane-consensus",
+		Smoke:          cfg.Smoke,
+		Replicas:       replicas,
+		TickEveryMS:    float64(tick) / float64(time.Millisecond),
+		ElectionTrials: trials,
+		Proposals:      proposals,
+		PipelineDepth:  depth,
+	}
+
+	// --- Election latency, cold and after a leader kill. Each trial is a
+	// fresh cluster: failover timing only means anything measured from the
+	// instant the old leader stops, and reusing a cluster would leave too
+	// few survivors for a quorum by the second kill.
+	var coldTotal, failTotal time.Duration
+	for tr := 0; tr < trials; tr++ {
+		bc, err := newBenchCluster(replicas, tick)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ld, err := bc.waitLeader(-1, 10*time.Second)
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		coldTotal += time.Since(start)
+
+		killed := ld.ID()
+		start = time.Now()
+		ld.Stop()
+		if _, err := bc.waitLeader(killed, 10*time.Second); err != nil {
+			bc.close()
+			return nil, err
+		}
+		failTotal += time.Since(start)
+		bc.close()
+	}
+	res.FirstElectionMS = float64(coldTotal) / float64(trials) / float64(time.Millisecond)
+	res.FailoverMS = float64(failTotal) / float64(trials) / float64(time.Millisecond)
+
+	// --- Proposal latency and throughput on a steady cluster.
+	bc, err := newBenchCluster(replicas, tick)
+	if err != nil {
+		return nil, err
+	}
+	defer bc.close()
+	ld, err := bc.waitLeader(-1, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	payload := []byte("bench-command-of-plausible-size-0123456789abcdef")
+
+	start := time.Now()
+	for i := int64(0); i < proposals; i++ {
+		if _, err := ld.Propose(payload, 5*time.Second); err != nil {
+			return nil, fmt.Errorf("ctlplane bench: sequential propose %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	res.CommitNSOp = float64(elapsed.Nanoseconds()) / float64(proposals)
+	res.CommitsPerSec = float64(proposals) / elapsed.Seconds()
+
+	// Pipelined: depth concurrent proposers share the leader, modelling a
+	// failure storm where every shard scan and link report proposes at
+	// once.
+	var wg sync.WaitGroup
+	errCh := make(chan error, depth)
+	per := proposals / depth
+	start = time.Now()
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				if _, err := ld.Propose(payload, 5*time.Second); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, fmt.Errorf("ctlplane bench: pipelined propose: %w", err)
+	default:
+	}
+	res.PipelinedPerSec = float64(per*depth) / elapsed.Seconds()
+
+	// --- Snapshot cost after the full proposal load.
+	start = time.Now()
+	snap, err := ld.TakeSnapshot(10 * time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("ctlplane bench: snapshot: %w", err)
+	}
+	res.SnapshotNSOp = float64(time.Since(start).Nanoseconds())
+	res.SnapshotBytes = int64(len(snap.Data))
+	res.SnapshotLogIndex = snap.LastIndex
+	if snap.LastIndex == 0 {
+		return nil, fmt.Errorf("ctlplane bench: snapshot covers no log")
+	}
+	return res, nil
+}
+
+// GateMetrics flattens the result into the trajectory gate's metric map.
+// Election metrics are timeout-dominated and reproducible, but still get
+// generous slack for scheduler noise; loopback round-trip metrics are
+// host-dependent and get wall-clock tolerances.
+func (r *CtlplaneBenchResult) GateMetrics() map[string]bench.Metric {
+	return map[string]bench.Metric{
+		"ctlplane.first_election_ms": {
+			Value: r.FirstElectionMS, Unit: "ms", Better: "lower", Tolerance: 1.5,
+		},
+		"ctlplane.failover_ms": {
+			Value: r.FailoverMS, Unit: "ms", Better: "lower", Tolerance: 1.5,
+		},
+		"ctlplane.commit_ns_op": {
+			Value: r.CommitNSOp, Unit: "ns", Better: "lower", Tolerance: 1.5,
+		},
+		"ctlplane.commits_per_sec": {
+			Value: r.CommitsPerSec, Unit: "commits/s", Better: "higher", Tolerance: 0.6,
+		},
+		"ctlplane.pipelined_per_sec": {
+			Value: r.PipelinedPerSec, Unit: "commits/s", Better: "higher", Tolerance: 0.6,
+		},
+		"ctlplane.snapshot_ns_op": {
+			Value: r.SnapshotNSOp, Unit: "ns", Better: "lower", Tolerance: 2.0,
+		},
+	}
+}

@@ -19,6 +19,12 @@ import (
 // so a trace captured right after startup is already alignable).
 const clockSyncEvery = 8
 
+// ackRedirected is an agent-local sentinel pushed into the ack channel when a
+// redirect arrives: the pending report will never be acked on this session,
+// so the report loop should retry immediately instead of waiting out the ack
+// timeout. Never sent on the wire (servers only send reportAckOK/Failed).
+const ackRedirected byte = 0xFF
+
 // Agent is a switch-side keep-alive client: it registers with the controller
 // server and sends periodic keep-alives until stopped. Stopping the agent
 // without closing the connection models a crashed forwarding engine whose
@@ -36,9 +42,21 @@ type Agent struct {
 	// (t_agent ~= t_server + offset), stored +1 so zero means "unmeasured".
 	offsetNS atomic.Int64
 
+	// addrs holds every replica's serving address in cluster mode (empty
+	// for a solo Dial). gen counts connection generations: each write
+	// snapshots (conn, gen) and a failed write triggers reconnect(gen, ...),
+	// which is a no-op if another path already replaced that generation.
+	addrs []string
+	gen   uint64
+
+	// ackCh receives msgReportAck statuses from the read loop so a
+	// link-failure report can be resent across a leader failover.
+	ackCh chan byte
+
 	mu      sync.Mutex
 	bus     *obs.Bus
 	stopped bool
+	closed  bool
 	table   *routing.VLANTable
 	quit    chan struct{}
 	done    chan struct{}
@@ -67,13 +85,144 @@ func Dial(addr string, id sbnet.SwitchID, interval time.Duration) (*Agent, error
 		conn:        conn,
 		interval:    interval,
 		start:       time.Now(),
+		ackCh:       make(chan byte, 4),
 		quit:        make(chan struct{}),
 		done:        make(chan struct{}),
 		tableLoaded: make(chan struct{}),
 	}
 	go a.keepAliveLoop()
-	go a.readLoop()
+	go a.readLoop(conn, 0)
 	return a, nil
+}
+
+// DialCluster connects an agent to a replicated controller cluster: it
+// discovers the current leader among addrs (each replica's serving address)
+// and keeps following it — a write failure or a msgNotLeader redirect makes
+// the agent re-dial, hint-first, and resume. Dialing tolerates an election
+// in progress (no replica leads yet) for a few seconds.
+func DialCluster(addrs []string, id sbnet.SwitchID, interval time.Duration) (*Agent, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("ctlnet: agent interval %v must be positive", interval)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("ctlnet: agent needs at least one cluster address")
+	}
+	a := &Agent{
+		ID:          id,
+		interval:    interval,
+		start:       time.Now(),
+		addrs:       append([]string(nil), addrs...),
+		ackCh:       make(chan byte, 4),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+		tableLoaded: make(chan struct{}),
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, _, err := a.dialLeader("")
+		if err == nil {
+			a.conn = conn
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("ctlnet: agent dial cluster: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	go a.keepAliveLoop()
+	go a.readLoop(a.conn, 0)
+	return a, nil
+}
+
+// dialLeader finds the replica that currently leads: it asks each candidate
+// (redirect hint first) who leads via msgLeaderReq, follows the answer, and
+// registers with msgHello once a self-professed leader is found.
+func (a *Agent) dialLeader(hint string) (net.Conn, string, error) {
+	cands := make([]string, 0, len(a.addrs)+1)
+	if hint != "" {
+		cands = append(cands, hint)
+	}
+	cands = append(cands, a.addrs...)
+	tried := make(map[string]bool, len(cands))
+	for len(cands) > 0 {
+		addr := cands[0]
+		cands = cands[1:]
+		if addr == "" || tried[addr] {
+			continue
+		}
+		tried[addr] = true
+		c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+		if err != nil {
+			continue
+		}
+		if err := writeFrame(c, msgLeaderReq, nil); err != nil {
+			c.Close()
+			continue
+		}
+		c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		typ, payload, err := readFrame(c)
+		c.SetReadDeadline(time.Time{})
+		if err != nil || typ != msgLeaderInfo {
+			c.Close()
+			continue
+		}
+		isLeader, leader, err := decodeLeaderInfo(payload)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		if !isLeader {
+			c.Close()
+			// Chase the candidate's hint before the remaining replicas.
+			if leader != "" && !tried[leader] {
+				cands = append([]string{leader}, cands...)
+			}
+			continue
+		}
+		if err := writeFrame(c, msgHello, encodeHello(a.ID)); err != nil {
+			c.Close()
+			continue
+		}
+		return c, addr, nil
+	}
+	return nil, "", fmt.Errorf("ctlnet: no leader reachable among %v", a.addrs)
+}
+
+// reconnect replaces connection generation fromGen with a fresh session to
+// the current leader (hint-first). A no-op when the agent is closed, solo,
+// or when another path already reconnected; when every candidate fails the
+// dead connection stays in place so writes keep failing fast and the next
+// keep-alive tick (or report retry) tries again.
+func (a *Agent) reconnect(fromGen uint64, hint string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed || len(a.addrs) == 0 || a.gen != fromGen {
+		return
+	}
+	a.conn.Close()
+	conn, addr, err := a.dialLeader(hint)
+	if err != nil {
+		return
+	}
+	a.gen++
+	a.conn = conn
+	go a.readLoop(conn, a.gen)
+	if a.bus != nil {
+		// Immediate clock-sync probe so traces spanning the failover are
+		// alignable against the new leader's epoch right away.
+		writeFrame(conn, msgClockSync, encodeClockSync(time.Since(a.start).Nanoseconds()))
+	}
+	if a.bus.Enabled() {
+		// Emitted inside the active span (if any): a stitched recovery
+		// trace shows the failover hop between report attempts.
+		ev := obs.NewEvent(obs.KindFailover, time.Since(a.start))
+		ev.Wall = true
+		ev.Switch = int32(a.ID)
+		ev.Detail = addr
+		ev.Count = int32(a.gen)
+		ev.Span = a.bus.ActiveSpan()
+		a.bus.Emit(ev)
+	}
 }
 
 // SetObserver attaches an event bus: the agent emits failure-declared and
@@ -102,31 +251,55 @@ func (a *Agent) ClockOffset() (time.Duration, bool) {
 	return time.Duration(v - 1), true
 }
 
-// readLoop handles server-to-agent messages (currently: the preloaded
-// failure-group table). It exits when the connection closes.
-func (a *Agent) readLoop() {
+// readLoop handles server-to-agent messages on one connection generation:
+// preloaded tables, clock-sync acks, report acks, and leader redirects.
+// Unknown message types are skipped (forward compatibility). It exits when
+// the connection closes — in cluster mode after kicking off a reconnect.
+func (a *Agent) readLoop(conn net.Conn, gen uint64) {
 	for {
-		typ, payload, err := readFrame(a.conn)
+		typ, payload, err := readFrame(conn)
 		if err != nil {
+			a.reconnect(gen, "")
 			return
 		}
-		if typ == msgClockSyncAck {
+		switch typ {
+		case msgClockSyncAck:
 			a.handleClockSyncAck(payload)
-			continue
-		}
-		if typ != msgTableLoad {
-			continue
-		}
-		vt, err := routing.UnmarshalVLANTable(payload)
-		if err != nil {
-			continue
-		}
-		a.mu.Lock()
-		first := a.table == nil
-		a.table = vt
-		a.mu.Unlock()
-		if first {
-			close(a.tableLoaded)
+		case msgNotLeader:
+			// This replica lost (or never had) leadership; chase its hint
+			// on a fresh session. Abort any report wait first — a redirect
+			// means the pending report will never be acked on this session,
+			// and waiting out the full ack timeout would leave the failed
+			// link unrecovered (and its agent's switch exposed to spurious
+			// node-death detection) for seconds. The brief pause keeps
+			// redirect chasing from spinning while an election converges.
+			select {
+			case a.ackCh <- ackRedirected:
+			default:
+			}
+			hint := string(payload)
+			time.Sleep(20 * time.Millisecond)
+			a.reconnect(gen, hint)
+			return
+		case msgReportAck:
+			if status, err := decodeReportAck(payload); err == nil {
+				select {
+				case a.ackCh <- status:
+				default:
+				}
+			}
+		case msgTableLoad:
+			vt, err := routing.UnmarshalVLANTable(payload)
+			if err != nil {
+				continue
+			}
+			a.mu.Lock()
+			first := a.table == nil
+			a.table = vt
+			a.mu.Unlock()
+			if first {
+				close(a.tableLoaded)
+			}
 		}
 	}
 }
@@ -184,6 +357,8 @@ func (a *Agent) keepAliveLoop() {
 		case <-ticker.C:
 			seq++
 			a.mu.Lock()
+			gen := a.gen
+			cluster := len(a.addrs) > 0
 			err := writeFrame(a.conn, msgKeepAlive, encodeKeepAlive(a.ID, seq))
 			if err == nil && a.bus != nil && seq%clockSyncEvery == 1 {
 				// Piggyback a clock-sync probe so stitched traces can align
@@ -192,7 +367,12 @@ func (a *Agent) keepAliveLoop() {
 			}
 			a.mu.Unlock()
 			if err != nil {
-				return
+				if !cluster {
+					return
+				}
+				// Cluster mode: a dead leader connection is survivable —
+				// re-dial and keep the heartbeat stream going.
+				a.reconnect(gen, "")
 			}
 		}
 	}
@@ -218,28 +398,96 @@ func (a *Agent) ReportLinkFailure(ownPort int, peer sbnet.SwitchID, peerPort int
 // cross-process trace.
 func (a *Agent) ReportLinkFailureDetected(ownPort int, peer sbnet.SwitchID, peerPort int, detection time.Duration) error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.stopped {
+		a.mu.Unlock()
 		return fmt.Errorf("ctlnet: agent %d stopped", a.ID)
 	}
 	bus := a.bus
-	if !bus.Enabled() {
-		return writeFrame(a.conn, msgLinkFail, encodeLinkFail(a.ID, ownPort, peer, peerPort))
+	cluster := len(a.addrs) > 0
+	a.mu.Unlock()
+
+	typ, payload := msgLinkFail, encodeLinkFail(a.ID, ownPort, peer, peerPort)
+	if bus.Enabled() {
+		span := bus.BeginSpan()
+		defer bus.EndSpan()
+		ev := obs.NewEvent(obs.KindFailureDeclared, time.Since(a.start))
+		ev.Wall = true
+		ev.Span = span
+		ev.Switch = int32(a.ID)
+		ev.Port = int32(ownPort)
+		ev.Peer = int32(peer)
+		ev.PeerPort = int32(peerPort)
+		ev.Detection = detection
+		ev.Detail = "link"
+		bus.Emit(ev)
+		ctx := bus.ActiveContext()
+		typ, payload = msgLinkFailTraced, encodeLinkFailTraced(ctx, detection, a.ID, ownPort, peer, peerPort)
 	}
-	span := bus.BeginSpan()
-	defer bus.EndSpan()
-	ev := obs.NewEvent(obs.KindFailureDeclared, time.Since(a.start))
-	ev.Wall = true
-	ev.Span = span
-	ev.Switch = int32(a.ID)
-	ev.Port = int32(ownPort)
-	ev.Peer = int32(peer)
-	ev.PeerPort = int32(peerPort)
-	ev.Detection = detection
-	ev.Detail = "link"
-	bus.Emit(ev)
-	ctx := bus.ActiveContext()
-	return writeFrame(a.conn, msgLinkFailTraced, encodeLinkFailTraced(ctx, detection, a.ID, ownPort, peer, peerPort))
+	if !cluster {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return writeFrame(a.conn, typ, payload)
+	}
+	// Cluster mode: the report is delivered reliably. Each attempt writes
+	// to the current leader session and waits for msgReportAck; a write
+	// failure, ack timeout, or refused report triggers a failover (re-dial
+	// the leader, emitting KindFailover inside the recovery's span) and a
+	// resend — which the server deduplicates if the previous leader already
+	// committed the recovery.
+	const attempts = 8
+	backoff := 25 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			return fmt.Errorf("ctlnet: agent %d closed", a.ID)
+		}
+		gen := a.gen
+		// Drop stale acks so the wait below matches this attempt.
+		for drained := false; !drained; {
+			select {
+			case <-a.ackCh:
+			default:
+				drained = true
+			}
+		}
+		err := writeFrame(a.conn, typ, payload)
+		a.mu.Unlock()
+		if err == nil {
+			status, ok := a.waitAck(proposeTimeout)
+			switch {
+			case ok && status == reportAckOK:
+				return nil
+			case ok && status == ackRedirected:
+				lastErr = fmt.Errorf("ctlnet: leader changed mid-report")
+			case ok:
+				lastErr = fmt.Errorf("ctlnet: link report refused (status %d)", status)
+			default:
+				lastErr = fmt.Errorf("ctlnet: link report ack timed out")
+			}
+		} else {
+			lastErr = err
+		}
+		a.reconnect(gen, "")
+		time.Sleep(backoff)
+		if backoff < 400*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return lastErr
+}
+
+// waitAck blocks for the next report acknowledgement.
+func (a *Agent) waitAck(timeout time.Duration) (byte, bool) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case status := <-a.ackCh:
+		return status, true
+	case <-t.C:
+		return 0, false
+	}
 }
 
 // StopHeartbeats silences the agent without closing the connection —
@@ -255,9 +503,13 @@ func (a *Agent) StopHeartbeats() {
 
 // Close stops the agent and closes its connection.
 func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true // stop any further reconnect attempts
+	conn := a.conn
+	a.mu.Unlock()
 	a.StopHeartbeats()
 	<-a.done
-	return a.conn.Close()
+	return conn.Close()
 }
 
 // Monitor subscribes to the server's recovery events.
@@ -304,8 +556,9 @@ func (m *Monitor) readLoop() {
 			return
 		}
 		if typ != msgRecovery {
-			m.setErr(fmt.Errorf("ctlnet: monitor got message type %d", typ))
-			return
+			// Forward compatibility: skip message types this monitor
+			// doesn't understand instead of dropping the subscription.
+			continue
 		}
 		ev, err := decodeRecovery(payload)
 		if err != nil {

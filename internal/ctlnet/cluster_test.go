@@ -1,0 +1,347 @@
+package ctlnet
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sharebackup/internal/circuit"
+	"sharebackup/internal/controller"
+	"sharebackup/internal/ctlplane"
+	"sharebackup/internal/obs"
+	"sharebackup/internal/sbnet"
+)
+
+func startCluster(t *testing.T, cfg ClusterConfig) *ClusterEmulation {
+	t.Helper()
+	e, err := NewClusterEmulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// follower returns a replica that is not ld.
+func follower(t *testing.T, e *ClusterEmulation, ld *Replica) *Replica {
+	t.Helper()
+	for _, r := range e.Replicas {
+		if r.ID != ld.ID {
+			return r
+		}
+	}
+	t.Fatal("no follower")
+	return nil
+}
+
+// TestClusterFailoverMidStorm is the headline emulation: a 3-replica
+// controller cluster serving four switch agents loses its leader in the
+// middle of a failure storm. Every report must still complete — the agents
+// chase the new leader through redirects and re-dials, the replicated log
+// keeps the replicas' network models identical, and the stitched
+// cross-process trace shows the failover hop inside a recovery's span.
+func TestClusterFailoverMidStorm(t *testing.T) {
+	dir := t.TempDir()
+	e := startCluster(t, ClusterConfig{
+		EmulationConfig: EmulationConfig{
+			NumAgents: 4,
+			NumCS:     1,
+			TraceDir:  dir,
+			// The storm pauses agents' heartbeats while they chase the new
+			// leader; node-death detection (tested elsewhere) must not
+			// misread that as four switch failures.
+			MissThreshold: 25,
+		},
+		Replicas:  3,
+		TickEvery: 5 * time.Millisecond,
+	})
+	if !e.WaitClockSync(5 * time.Second) {
+		t.Fatal("agents never clock-synced")
+	}
+	ld, err := e.Leader(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monitor a follower: it must survive the leader's death, and the
+	// replicated log delivers every recovery to it regardless of which
+	// replica leads when the recovery commits.
+	mon, err := Subscribe(follower(t, e, ld).Server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// The leader's consensus replica dies first: commits over loopback take
+	// microseconds, so stopping the node before the storm is the only way
+	// to guarantee the reports are un-committed when leadership is lost
+	// (rather than racing a sleep against the replication round trip).
+	// Every report now reaches a server that can no longer commit and must
+	// fail over to the next elected leader.
+	ld.Node.Stop()
+
+	// The storm: every agent reports its up-link dead, concurrently.
+	errs := make([]error, len(e.Agents))
+	var wg sync.WaitGroup
+	for i := range e.Agents {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.FailLink(i, 500*time.Microsecond)
+		}(i)
+	}
+	// Mid-storm, the rest of the replica dies: its serving socket drops
+	// every agent session and its consensus transport goes dark.
+	time.Sleep(5 * time.Millisecond)
+	ld.Server.Close()
+	ld.Transport.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("agent %d report failed across the failover: %v", i, err)
+		}
+	}
+	newLd, err := e.Leader(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLd.ID == ld.ID {
+		t.Fatalf("killed replica %d still leads", ld.ID)
+	}
+
+	// The monitored follower observes every recovery through its applied
+	// log, whichever leader committed it.
+	want := len(e.Agents)
+	got := 0
+	deadline := time.After(15 * time.Second)
+	for got < want {
+		select {
+		case ev, ok := <-mon.Events:
+			if !ok {
+				t.Fatalf("follower monitor closed after %d/%d events: %v", got, want, mon.Err())
+			}
+			if ev.Kind != "link" {
+				t.Errorf("event kind = %q, want link (failed=%v backup=%v latency=%v)", ev.Kind, ev.Failed, ev.Backup, ev.Latency)
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("follower observed %d/%d recoveries within 15s", got, want)
+		}
+	}
+
+	// The new leader's network model shows all four links recovered:
+	// every reporting agent's switch was failed over (non-active role).
+	for _, a := range e.Agents {
+		if role := newLd.Net.Switch(a.ID).Role; role == sbnet.RoleActive {
+			t.Errorf("switch %d still active on the new leader after its link failed", a.ID)
+		}
+	}
+
+	files := e.TraceFiles()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var procs []obs.ProcTrace
+	for _, path := range files {
+		evs, err := obs.ReadJSONL(mustOpen(t, path))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".jsonl")
+		procs = append(procs, obs.ProcTrace{Name: name, Events: evs})
+	}
+	res, err := obs.Stitch(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) < want {
+		t.Fatalf("stitched %d traces, want at least %d", len(res.Traces), want)
+	}
+	// At least one recovery's stitched trace shows the failover hop: the
+	// agent re-dialed a replica while its report span was open.
+	hops := 0
+	for _, tr := range res.Traces {
+		if strings.Contains(tr.Render(), "failover ->") {
+			hops++
+		}
+	}
+	if hops == 0 {
+		var all strings.Builder
+		for _, tr := range res.Traces {
+			all.WriteString(tr.Render())
+		}
+		t.Errorf("no stitched trace shows a failover hop:\n%s", all.String())
+	}
+}
+
+// TestClusterQuorumLossDrill loses 2 of 3 replicas. The survivor must halt
+// safely — never elect itself, refuse proposals — rather than split-brain,
+// and an operator rebootstrap from its snapshot restores the full recovery
+// state on a fresh single-replica cluster that resumes service.
+func TestClusterQuorumLossDrill(t *testing.T) {
+	e := startCluster(t, ClusterConfig{
+		EmulationConfig: EmulationConfig{
+			NumAgents: 2,
+			NumCS:     1,
+		},
+		Replicas:  3,
+		TickEvery: 5 * time.Millisecond,
+	})
+	ld, err := e.Leader(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv := follower(t, e, ld)
+	mon, err := Subscribe(surv.Server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// One recovery while the cluster is healthy, observed on the survivor
+	// (so we know its applied state contains it before the others die).
+	if err := e.FailLink(0, 500*time.Microsecond); err != nil {
+		t.Fatalf("report with healthy cluster: %v", err)
+	}
+	select {
+	case ev, ok := <-mon.Events:
+		if !ok {
+			t.Fatalf("survivor monitor closed: %v", mon.Err())
+		}
+		if ev.Kind != "link" {
+			t.Errorf("event kind = %q", ev.Kind)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor never observed the healthy-cluster recovery")
+	}
+
+	// Snapshot the survivor BEFORE the quorum dies: TakeSnapshot runs a
+	// barrier through the consensus loop, which needs a live quorum to
+	// guarantee the applied state is current.
+	snap, err := surv.Node.TakeSnapshot(5 * time.Second)
+	if err != nil {
+		t.Fatalf("survivor snapshot: %v", err)
+	}
+	if snap.LastIndex == 0 {
+		t.Fatal("survivor snapshot has no applied state")
+	}
+
+	// Quorum loss: the leader and the other follower die.
+	for _, r := range e.Replicas {
+		if r.ID != surv.ID {
+			r.Kill()
+		}
+	}
+
+	// Safe halt: across many election timeouts the survivor never wins an
+	// election (no quorum to grant it), and proposals fail instead of
+	// being accepted by a minority.
+	haltDeadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(haltDeadline) {
+		if surv.Node.IsLeader() {
+			t.Fatal("split-brain: survivor led without a quorum")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := surv.Node.Propose([]byte("x"), 300*time.Millisecond); err == nil {
+		t.Fatal("survivor accepted a proposal without a quorum")
+	}
+
+	// Operator rebootstrap: a fresh single-replica cluster seeded from the
+	// survivor's snapshot replays the recovery log into a fresh network
+	// model and resumes serving recoveries.
+	nw2, err := sbnet.New(sbnet.Config{K: e.cfg.K, N: e.cfg.N, Tech: circuit.Crosspoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl2 := controller.New(nw2, controller.Config{ProbeInterval: e.cfg.Interval})
+	dir2 := newClusterDirectory()
+	srv2, err := NewServer("127.0.0.1:0", ctl2, ServerConfig{
+		Interval:   e.cfg.Interval,
+		CheckEvery: e.cfg.Interval,
+		Cluster:    &clusterHooks{dir: dir2, self: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	node9 := ctlplane.NewNode(ctlplane.NodeConfig{
+		Raft:      ctlplane.RaftConfig{ID: 9, Peers: []int{9}, Seed: 55, Restore: &snap},
+		TickEvery: 5 * time.Millisecond,
+		Apply:     func(data []byte) (any, error) { return srv2.ApplyCommand(data) },
+		Snapshot:  srv2.SnapshotState,
+		Restore:   srv2.RestoreState,
+	})
+	defer node9.Stop()
+	dir2.register(9, node9, srv2.Addr())
+
+	// The restore replayed the survivor's applied log: the rebooted network
+	// model agrees with the survivor's, switch by switch.
+	for id := 0; id < nw2.NumSwitches(); id++ {
+		sid := sbnet.SwitchID(id)
+		if got, want := nw2.Switch(sid).Role, surv.Net.Switch(sid).Role; got != want {
+			t.Errorf("switch %d role after rebootstrap = %v, survivor has %v", id, got, want)
+		}
+	}
+
+	// The single-replica cluster leads itself and serves a new recovery
+	// end to end: agent dial, leader discovery, report, ack, publish.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !node9.IsLeader() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !node9.IsLeader() {
+		t.Fatal("rebootstrapped replica never led its single-node cluster")
+	}
+	mon2, err := Subscribe(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon2.Close()
+	ids := agentSwitchIDs(nw2, e.cfg.K, 2)
+	a, err := DialCluster([]string{srv2.Addr()}, ids[1], e.cfg.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ownPort, agg, aggPort := firstUpLink(nw2, ids[1], e.cfg.K)
+	if err := a.ReportLinkFailureDetected(ownPort, agg, aggPort, 500*time.Microsecond); err != nil {
+		t.Fatalf("report after rebootstrap: %v", err)
+	}
+	select {
+	case ev, ok := <-mon2.Events:
+		if !ok {
+			t.Fatalf("rebooted monitor closed: %v", mon2.Err())
+		}
+		if ev.Kind != "link" {
+			t.Errorf("post-rebootstrap event kind = %q", ev.Kind)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("rebootstrapped cluster served no recovery within 10s")
+	}
+}
+
+// TestClusterRedirectsToLeader checks the discovery protocol directly: a
+// follower answers msgLeaderReq with the leader's serving address and
+// redirects keep-alive traffic instead of consuming it.
+func TestClusterLeaderInfoRoundTrip(t *testing.T) {
+	isLeader, addr, err := decodeLeaderInfo(encodeLeaderInfo(true, "127.0.0.1:4242"))
+	if err != nil || !isLeader || addr != "127.0.0.1:4242" {
+		t.Fatalf("leaderInfo round trip = %v %q %v", isLeader, addr, err)
+	}
+	isLeader, addr, err = decodeLeaderInfo(encodeLeaderInfo(false, ""))
+	if err != nil || isLeader || addr != "" {
+		t.Fatalf("empty leaderInfo round trip = %v %q %v", isLeader, addr, err)
+	}
+	if _, _, err := decodeLeaderInfo(nil); err == nil {
+		t.Error("empty leaderInfo payload accepted")
+	}
+	status, err := decodeReportAck(encodeReportAck(reportAckOK))
+	if err != nil || status != reportAckOK {
+		t.Fatalf("reportAck round trip = %v %v", status, err)
+	}
+	if _, err := decodeReportAck([]byte{1, 2}); err == nil {
+		t.Error("oversized reportAck accepted")
+	}
+}

@@ -3,6 +3,7 @@ package ctlnet
 import (
 	"bytes"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -259,23 +260,40 @@ func TestAgentValidation(t *testing.T) {
 	a.Close() // double close must be safe
 }
 
-func TestServerDropsProtocolViolations(t *testing.T) {
+func TestServerSkipsUnknownMessageTypes(t *testing.T) {
+	// Forward compatibility: a newer agent speaking additional message
+	// types must not lose its session — the length-prefixed frame lets the
+	// server skip what it doesn't understand and keep serving.
 	srv, _ := newServer(t)
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Unknown message type: the server terminates the session.
 	if err := writeFrame(conn, 0xEE, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	if _, _, err := readFrame(conn); err == nil {
-		t.Error("server kept a session alive after a protocol violation")
+	// The session is still alive: a varz request on the same connection
+	// gets its reply.
+	if err := writeFrame(conn, msgVarzReq, nil); err != nil {
+		t.Fatal(err)
 	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("session died after an unknown message type: %v", err)
+	}
+	if typ != msgVarz {
+		t.Fatalf("got message type %d after unknown-type skip, want msgVarz", typ)
+	}
+	if !strings.Contains(string(payload), "ctlnet.unknown_msgs 1") {
+		t.Errorf("unknown_msgs counter not incremented; varz:\n%s", payload)
+	}
+}
 
-	// Malformed hello: also terminated.
+func TestServerDropsProtocolViolations(t *testing.T) {
+	srv, _ := newServer(t)
+	// Malformed hello: terminated.
 	conn2, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)

@@ -2,8 +2,6 @@ package ctlnet
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"time"
 
 	"sharebackup/internal/circuit"
@@ -25,6 +23,11 @@ type EmulationConfig struct {
 	NumCS int
 	// Interval is the agents' keep-alive interval. Default 2 ms.
 	Interval time.Duration
+	// MissThreshold is how many missed keep-alive intervals declare a
+	// switch dead (the server default when zero). Widen it for scenarios
+	// where agents legitimately pause heartbeats — e.g. while chasing a
+	// new leader across a controller failover.
+	MissThreshold int
 	// TraceDir, when set, receives one JSONL trace file per process
 	// (controller.jsonl, agent-<id>.jsonl, cs-<i>.jsonl) — the input set
 	// for sbtap -stitch.
@@ -86,17 +89,13 @@ type Emulation struct {
 	CSBus     []*obs.Bus
 
 	cfg   EmulationConfig
-	files []*os.File
-	sinks []struct {
-		bus  *obs.Bus
-		sink obs.Sink
-	}
+	sinks procSinks
 }
 
 // NewEmulation builds and starts the emulation.
 func NewEmulation(cfg EmulationConfig) (*Emulation, error) {
 	cfg.setDefaults()
-	e := &Emulation{cfg: cfg}
+	e := &Emulation{cfg: cfg, sinks: procSinks{dir: cfg.TraceDir}}
 	ok := false
 	defer func() {
 		if !ok {
@@ -161,10 +160,11 @@ func NewEmulation(cfg EmulationConfig) (*Emulation, error) {
 	})
 	e.Ctl.SetObserver(serverBus)
 	e.Server, err = NewServer("127.0.0.1:0", e.Ctl, ServerConfig{
-		Interval:   cfg.Interval,
-		CheckEvery: cfg.Interval,
-		Obs:        serverBus,
-		CSAddrs:    csAddrs,
+		Interval:      cfg.Interval,
+		MissThreshold: cfg.MissThreshold,
+		CheckEvery:    cfg.Interval,
+		Obs:           serverBus,
+		CSAddrs:       csAddrs,
 	})
 	if err != nil {
 		return nil, err
@@ -196,47 +196,15 @@ func NewEmulation(cfg EmulationConfig) (*Emulation, error) {
 // newProcBus builds one emulated process' named bus, attaching a JSONL file
 // sink under TraceDir when configured.
 func (e *Emulation) newProcBus(proc string) (*obs.Bus, error) {
-	bus := &obs.Bus{}
-	bus.SetProc(proc)
-	if e.cfg.TraceDir != "" {
-		if err := os.MkdirAll(e.cfg.TraceDir, 0o755); err != nil {
-			return nil, err
-		}
-		f, err := os.Create(filepath.Join(e.cfg.TraceDir, proc+".jsonl"))
-		if err != nil {
-			return nil, err
-		}
-		e.files = append(e.files, f)
-		sink := obs.NewJSONLSink(f)
-		bus.Attach(sink)
-		e.sinks = append(e.sinks, struct {
-			bus  *obs.Bus
-			sink obs.Sink
-		}{bus, sink})
-	}
-	return bus, nil
+	return e.sinks.newProcBus(proc)
 }
 
-// agentSwitches picks n active edge switches striped across pods (pod 0
-// slot 0, pod 1 slot 0, ... then slot 1), so that concurrently injected
-// failures land in distinct failure groups: with N=1 each group has a single
-// backup, and two failures in one group would leave the second unrecoverable.
+// agentSwitches picks n active edge switches striped across pods, so that
+// concurrently injected failures land in distinct failure groups: with N=1
+// each group has a single backup, and two failures in one group would leave
+// the second unrecoverable.
 func (e *Emulation) agentSwitches(n int) []sbnet.SwitchID {
-	var ids []sbnet.SwitchID
-	for slot := 0; len(ids) < n; slot++ {
-		added := false
-		for pod := 0; pod < e.cfg.K && len(ids) < n; pod++ {
-			slots := e.Net.EdgeGroup(pod).Slots()
-			if slot < len(slots) {
-				ids = append(ids, slots[slot])
-				added = true
-			}
-		}
-		if !added {
-			break
-		}
-	}
-	return ids
+	return agentSwitchIDs(e.Net, e.cfg.K, n)
 }
 
 // WaitClockSync blocks until every agent has at least one clock-offset
@@ -269,30 +237,13 @@ func (e *Emulation) FailLink(i int, detection time.Duration) error {
 		return fmt.Errorf("ctlnet: emulation has no agent %d", i)
 	}
 	a := e.Agents[i]
-	sw := e.Net.Switch(a.ID)
-	pod := e.Net.Group(sw.Group).Pod
-	// Edge slot s's up-port 0 (physical port K/2) reaches agg slot 0 by the
-	// fat-tree rotation; the agg end's port is the edge's slot index.
-	slot := 0
-	for j, id := range e.Net.EdgeGroup(pod).Slots() {
-		if id == a.ID {
-			slot = j
-			break
-		}
-	}
-	agg := e.Net.AggGroup(pod).Slots()[0]
-	return a.ReportLinkFailureDetected(e.cfg.K/2, agg, slot, detection)
+	ownPort, agg, aggPort := firstUpLink(e.Net, a.ID, e.cfg.K)
+	return a.ReportLinkFailureDetected(ownPort, agg, aggPort, detection)
 }
 
 // TraceFiles lists the per-process JSONL trace files (empty without
 // TraceDir).
-func (e *Emulation) TraceFiles() []string {
-	var out []string
-	for _, f := range e.files {
-		out = append(out, f.Name())
-	}
-	return out
-}
+func (e *Emulation) TraceFiles() []string { return e.sinks.names() }
 
 // Close stops every emulated process and flushes the trace files.
 func (e *Emulation) Close() error {
@@ -310,13 +261,8 @@ func (e *Emulation) Close() error {
 		e.ServerBus.Detach(e.Flight)
 		e.Flight.Close() // drains pending dumps before trace files close
 	}
-	for _, s := range e.sinks {
-		s.bus.Detach(s.sink)
-	}
-	for _, f := range e.files {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+	if cerr := e.sinks.close(); err == nil {
+		err = cerr
 	}
 	return err
 }

@@ -11,6 +11,7 @@ import (
 
 	"sharebackup/internal/circuit"
 	"sharebackup/internal/controller"
+	"sharebackup/internal/ctlplane"
 	"sharebackup/internal/obs"
 	"sharebackup/internal/obs/prof"
 	"sharebackup/internal/obs/tsdb"
@@ -18,6 +19,27 @@ import (
 	"sharebackup/internal/sbnet"
 	"sharebackup/internal/topo"
 )
+
+// ClusterHooks is the server's view of its consensus replica when it runs
+// as one member of a replicated controller cluster. ctlnet owns the
+// interface (and ctlplane knows nothing of ctlnet) so the dependency points
+// one way: server → consensus.
+type ClusterHooks interface {
+	// IsLeader reports whether this replica currently leads.
+	IsLeader() bool
+	// LeaderAddr returns the serving (agent-facing) address of the replica
+	// believed to lead, or "" when unknown — sent to agents as the redirect
+	// hint in msgNotLeader.
+	LeaderAddr() string
+	// Propose replicates the command through the log; once committed it is
+	// applied on every replica via Server.ApplyCommand, and the local
+	// apply's recovery record is returned.
+	Propose(cmd ctlplane.Command, timeout time.Duration) (*controller.Recovery, error)
+}
+
+// proposeTimeout bounds one replicated-log commit, covering a leader
+// election in the worst case (default election timeout ≈ 250–500 ms).
+const proposeTimeout = 2 * time.Second
 
 // ServerConfig tunes the TCP control plane.
 type ServerConfig struct {
@@ -59,6 +81,17 @@ type ServerConfig struct {
 	// registry (1s interval) and owns its lifecycle (started here, closed
 	// in Close); a caller-provided store is only read.
 	TSDB *tsdb.Store
+	// Shards is the number of keep-alive fan-in shards (see shard.go): a
+	// connection reader only appends to its shard's pending list, and one
+	// goroutine per shard folds and scans — the keep-alive hot path never
+	// takes the server or controller lock. Default 8.
+	Shards int
+	// Cluster, when set, makes this server one replica of a replicated
+	// controller cluster: recovery mutations are proposed into the
+	// replicated log instead of applied directly, non-leaders redirect
+	// agents with msgNotLeader, and link reports are acknowledged so agents
+	// can resend across a leader failover. Nil means standalone.
+	Cluster ClusterHooks
 }
 
 func (c *ServerConfig) setDefaults() {
@@ -73,6 +106,9 @@ func (c *ServerConfig) setDefaults() {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.Default
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
 	}
 }
 
@@ -97,16 +133,26 @@ type Server struct {
 	mTablePushes *obs.Counter
 	mProbeMisses *obs.Counter
 	mLogLines    *obs.Counter
+	mUnknownMsgs *obs.Counter
 	gSubscribers *obs.Gauge
 	gConns       *obs.Gauge
 
 	logMu sync.Mutex // serializes cfg.Logf (see ServerConfig.Logf)
 
-	mu       sync.Mutex
-	lastSeen map[sbnet.SwitchID]time.Time
-	subs     []net.Conn
-	tables   map[int][]byte // per-pod serialized combined tables
-	closed   bool
+	// Keep-alive fan-in (shard.go): per-failure-group shards scanned by
+	// their own goroutines, funneling dead candidates into recoverLoop.
+	shards []*kaShard
+	deadCh chan deadCandidate
+
+	mu     sync.Mutex
+	subs   []net.Conn
+	conns  map[net.Conn]bool // live agent sessions, closed on shutdown
+	tables map[int][]byte    // per-pod serialized combined tables
+	// appliedCmds is the ordered replicated-command history — the replay
+	// snapshot (SnapshotState) and the restore cursor (RestoreState applies
+	// only the tail past this prefix).
+	appliedCmds [][]byte
+	closed      bool
 
 	wg   sync.WaitGroup
 	quit chan struct{}
@@ -161,13 +207,17 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 		return nil, fmt.Errorf("ctlnet: listen: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		ctl:      ctl,
-		ln:       ln,
-		start:    time.Now(),
-		bus:      cfg.Obs,
-		lastSeen: make(map[sbnet.SwitchID]time.Time),
-		quit:     make(chan struct{}),
+		cfg:    cfg,
+		ctl:    ctl,
+		ln:     ln,
+		start:  time.Now(),
+		bus:    cfg.Obs,
+		conns:  make(map[net.Conn]bool),
+		deadCh: make(chan deadCandidate, 64),
+		quit:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &kaShard{lastSeen: make(map[sbnet.SwitchID]time.Time)})
 	}
 	reg := ctl.Metrics()
 	s.mKeepalives = reg.Counter("ctlnet.keepalives")
@@ -176,6 +226,7 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 	s.mTablePushes = reg.Counter("ctlnet.table_pushes")
 	s.mProbeMisses = reg.Counter("ctlnet.probe_misses")
 	s.mLogLines = reg.Counter("ctlnet.log_lines")
+	s.mUnknownMsgs = reg.Counter("ctlnet.unknown_msgs")
 	s.gSubscribers = reg.Gauge("ctlnet.subscribers")
 	s.gConns = reg.Gauge("ctlnet.connections")
 	s.tsdb = cfg.TSDB
@@ -208,11 +259,20 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 			s.syncCSClock(cl)
 		}
 	}
-	s.wg.Add(2)
+	s.wg.Add(2 + len(s.shards))
 	go s.acceptLoop()
-	go s.detectLoop()
+	go s.recoverLoop()
+	for _, sh := range s.shards {
+		go s.shardLoop(sh)
+	}
 	return s, nil
 }
+
+// Now returns the server's epoch offset (time since start) — the timestamp
+// base for every event the server emits, exported so a co-located consensus
+// replica (ctlplane.NodeConfig.Now) stamps its election events on the same
+// epoch.
+func (s *Server) Now() time.Duration { return time.Since(s.start) }
 
 // syncCSClock runs one clock-sync exchange against a circuit-switch service
 // and emits the resulting offset edge for the trace stitcher.
@@ -246,9 +306,18 @@ func (s *Server) Close() error {
 	close(s.quit)
 	subs := s.subs
 	s.subs = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, c := range subs {
+		c.Close()
+	}
+	// Sever live agent sessions too: a killed cluster replica must not wait
+	// for its agents to hang up first (they are busy failing over).
+	for _, c := range conns {
 		c.Close()
 	}
 	s.wg.Wait()
@@ -274,6 +343,14 @@ func (s *Server) acceptLoop() {
 			s.logf("ctlnet: accept: %v", err)
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
@@ -285,10 +362,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.gConns.Add(-1)
 	subscribed := false
 	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
 		if !subscribed {
 			conn.Close()
 		}
 	}()
+	// Redirect pacing: a follower answers every hello and link report with
+	// msgNotLeader, but rate-limits redirects on the keep-alive firehose.
+	var lastRedirect time.Time
 	for {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
@@ -305,6 +388,12 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			s.mHellos.Inc()
+			if !s.isLeader() {
+				if err := s.redirect(conn); err != nil {
+					return
+				}
+				continue
+			}
 			s.seen(id)
 			// Hot-standby provisioning (Section 4.3): edge-group
 			// switches — regular and backup alike — receive their
@@ -330,6 +419,15 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			s.mKeepalives.Inc()
+			if !s.isLeader() {
+				if time.Since(lastRedirect) >= 250*time.Millisecond {
+					lastRedirect = time.Now()
+					if err := s.redirect(conn); err != nil {
+						return
+					}
+				}
+				continue
+			}
 			s.seen(id)
 		case msgLinkFail:
 			aSw, aPort, bSw, bPort, err := decodeLinkFail(payload)
@@ -338,7 +436,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			s.mLinkReports.Inc()
-			s.handleLinkFail(obs.TraceContext{}, 0, aSw, aPort, bSw, bPort)
+			s.handleLinkFail(conn, obs.TraceContext{}, 0, aSw, aPort, bSw, bPort)
 		case msgLinkFailTraced:
 			ctx, detection, aSw, aPort, bSw, bPort, err := decodeLinkFailTraced(payload)
 			if err != nil {
@@ -346,7 +444,17 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			s.mLinkReports.Inc()
-			s.handleLinkFail(ctx, detection, aSw, aPort, bSw, bPort)
+			s.handleLinkFail(conn, ctx, detection, aSw, aPort, bSw, bPort)
+		case msgLeaderReq:
+			isLeader := s.isLeader()
+			addr := s.Addr()
+			if !isLeader {
+				addr = s.leaderAddr()
+			}
+			if err := writeFrame(conn, msgLeaderInfo, encodeLeaderInfo(isLeader, addr)); err != nil {
+				s.logf("ctlnet: leader info reply: %v", err)
+				return
+			}
 		case msgClockSync:
 			t1, err := decodeClockSync(payload)
 			if err != nil {
@@ -388,10 +496,33 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 		default:
-			s.logf("ctlnet: unknown message type %d", typ)
-			return
+			// Forward compatibility: frames are length-prefixed, so the
+			// payload of an unrecognized type is already consumed — skip it
+			// and keep the session alive rather than killing a newer agent
+			// that speaks additional message types.
+			s.mUnknownMsgs.Inc()
+			s.logf("ctlnet: skipping unknown message type %d", typ)
 		}
 	}
+}
+
+// isLeader reports whether this server may mutate controller state:
+// standalone servers always lead; cluster replicas ask their consensus node.
+func (s *Server) isLeader() bool {
+	return s.cfg.Cluster == nil || s.cfg.Cluster.IsLeader()
+}
+
+// leaderAddr is the redirect hint for agents ("" when unknown).
+func (s *Server) leaderAddr() string {
+	if s.cfg.Cluster == nil {
+		return s.Addr()
+	}
+	return s.cfg.Cluster.LeaderAddr()
+}
+
+// redirect tells an agent where the leader is.
+func (s *Server) redirect(conn net.Conn) error {
+	return writeFrame(conn, msgNotLeader, []byte(s.leaderAddr()))
 }
 
 // tableFor builds (and caches) the serialized combined table for an
@@ -426,47 +557,191 @@ func (s *Server) tableFor(id sbnet.SwitchID) []byte {
 	return b
 }
 
-func (s *Server) seen(id sbnet.SwitchID) {
-	now := time.Now()
-	s.mu.Lock()
-	s.lastSeen[id] = now
-	s.ctl.Heartbeat(id, now.Sub(s.start))
-	s.mu.Unlock()
+// handleLinkFail turns a link-failure report into a replicated command (or
+// a direct apply when standalone) and acknowledges the outcome so agents
+// can resend reliably across a leader failover.
+func (s *Server) handleLinkFail(conn net.Conn, ctx obs.TraceContext, detection time.Duration, aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) {
+	if !s.isLeader() {
+		if err := s.redirect(conn); err != nil {
+			s.logf("ctlnet: link report redirect: %v", err)
+		}
+		return
+	}
+	// Idempotent resend: an agent that reported to a leader which committed
+	// the recovery but died before acking will resend here. If neither
+	// endpoint is active anymore, the recovery this report describes has
+	// already been applied — ack success without proposing a duplicate.
+	if s.linkAlreadyRecovered(aSw, bSw) {
+		if err := writeFrame(conn, msgReportAck, encodeReportAck(reportAckOK)); err != nil {
+			s.logf("ctlnet: report ack: %v", err)
+		}
+		return
+	}
+	cmd := ctlplane.Command{
+		Kind:        ctlplane.CmdRecoverLink,
+		ASwitch:     int32(aSw),
+		APort:       int32(aPort),
+		BSwitch:     int32(bSw),
+		BPort:       int32(bPort),
+		AtNS:        time.Since(s.start).Nanoseconds(),
+		DetectionNS: detection.Nanoseconds(),
+		Trace:       ctx.Trace,
+		Span:        ctx.Span,
+		Proc:        ctx.Proc,
+	}
+	var err error
+	if s.cfg.Cluster != nil {
+		_, err = s.cfg.Cluster.Propose(cmd, proposeTimeout)
+	} else {
+		_, err = s.ApplyCommand(cmd.Encode())
+	}
+	status := reportAckOK
+	if err != nil {
+		status = reportAckFailed
+		s.logf("ctlnet: link recovery: %v", err)
+	}
+	if err := writeFrame(conn, msgReportAck, encodeReportAck(status)); err != nil {
+		s.logf("ctlnet: report ack: %v", err)
+	}
 }
 
-func (s *Server) handleLinkFail(ctx obs.TraceContext, detection time.Duration, aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) {
-	t0 := time.Now()
+// linkAlreadyRecovered reports whether both reported endpoints have already
+// left active duty — the signature of a recovery that committed on a
+// previous leader.
+func (s *Server) linkAlreadyRecovered(aSw, bSw sbnet.SwitchID) bool {
+	net := s.ctl.Network()
+	n := net.NumSwitches()
+	if int(aSw) < 0 || int(aSw) >= n || int(bSw) < 0 || int(bSw) >= n {
+		return false
+	}
 	s.mu.Lock()
-	if ctx.Trace != 0 {
-		// The reporting agent opened the recovery's root span; the
-		// controller's BeginSpan below joins it as a child.
-		s.bus.SetRemoteParent(ctx)
+	defer s.mu.Unlock()
+	return net.Switch(aSw).Role != sbnet.RoleActive && net.Switch(bSw).Role != sbnet.RoleActive
+}
+
+// recoverDead proposes (or, standalone, applies) the node failover for one
+// silent switch found by a shard scan.
+func (s *Server) recoverDead(c deadCandidate) {
+	cmd := ctlplane.Command{
+		Kind:       ctlplane.CmdRecoverNode,
+		Switch:     int32(c.id),
+		LastSeenNS: c.lastSeen.Sub(s.start).Nanoseconds(),
+		AtNS:       time.Since(s.start).Nanoseconds(),
 	}
-	rec, err := s.ctl.ReportLinkFailure(
-		controller.EndPoint{Switch: aSw, Port: aPort},
-		controller.EndPoint{Switch: bSw, Port: bPort},
-		t0.Sub(s.start),
-	)
-	if err != nil && rec == nil && ctx.Trace != 0 {
-		// Recovery never opened a span; drop the staged remote parent so it
-		// cannot leak into an unrelated recovery.
-		s.bus.EndSpan()
-	}
-	s.mu.Unlock()
-	if err != nil {
-		s.logf("ctlnet: link recovery: %v", err)
-		if rec == nil {
+	var err error
+	if s.cfg.Cluster != nil {
+		if !s.cfg.Cluster.IsLeader() {
 			return
 		}
+		_, err = s.cfg.Cluster.Propose(cmd, proposeTimeout)
+	} else {
+		_, err = s.ApplyCommand(cmd.Encode())
 	}
-	s.emitRecovered(rec, t0.Sub(s.start), time.Since(t0), detection)
-	s.mirrorCS(rec)
-	s.publish(RecoveryEvent{
-		Kind:    "link",
-		Failed:  rec.Failed,
-		Backup:  rec.Backup,
-		Latency: time.Since(t0),
-	})
+	if err != nil {
+		s.logf("ctlnet: node recovery of %d: %v", c.id, err)
+	}
+}
+
+// ApplyCommand applies one committed (or, standalone, direct) controller
+// mutation. In cluster mode this is the consensus node's Apply hook: every
+// replica — leader and follower alike — runs the identical command against
+// its own controller and network copy, with all timestamps taken from the
+// command, so the applied state is deterministic across the cluster.
+func (s *Server) ApplyCommand(data []byte) (*controller.Recovery, error) {
+	return s.applyCommand(data, true)
+}
+
+func (s *Server) applyCommand(data []byte, live bool) (*controller.Recovery, error) {
+	cmd, err := ctlplane.DecodeCommand(data)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	var rec *controller.Recovery
+	s.mu.Lock()
+	// Record the command before knowing its outcome: failed recoveries are
+	// part of the deterministic history too (replicas replaying the log
+	// must fail them identically).
+	s.appliedCmds = append(s.appliedCmds, append([]byte(nil), data...))
+	switch cmd.Kind {
+	case ctlplane.CmdRecoverNode:
+		if cmd.LastSeenNS > 0 {
+			s.ctl.Heartbeat(sbnet.SwitchID(cmd.Switch), time.Duration(cmd.LastSeenNS))
+		}
+		rec, err = s.ctl.RecoverNode(sbnet.SwitchID(cmd.Switch), time.Duration(cmd.AtNS))
+	case ctlplane.CmdRecoverLink:
+		traced := live && cmd.Trace != 0
+		if traced {
+			// The reporting agent opened the recovery's root span; the
+			// controller's BeginSpan below joins it as a child.
+			s.bus.SetRemoteParent(obs.TraceContext{Trace: cmd.Trace, Span: cmd.Span, Proc: cmd.Proc})
+		}
+		rec, err = s.ctl.ReportLinkFailure(
+			controller.EndPoint{Switch: sbnet.SwitchID(cmd.ASwitch), Port: int(cmd.APort)},
+			controller.EndPoint{Switch: sbnet.SwitchID(cmd.BSwitch), Port: int(cmd.BPort)},
+			time.Duration(cmd.AtNS),
+		)
+		if err != nil && rec == nil && traced {
+			// Recovery never opened a span; drop the staged remote parent so
+			// it cannot leak into an unrelated recovery.
+			s.bus.EndSpan()
+		}
+	}
+	s.mu.Unlock()
+	if err != nil && rec == nil {
+		return nil, err
+	}
+	if !live {
+		// Snapshot replay rebuilds state only; the leader already emitted,
+		// mirrored, and published this recovery when it happened.
+		return rec, err
+	}
+	processing := time.Since(t0)
+	detection := time.Duration(cmd.DetectionNS)
+	s.emitRecovered(rec, time.Since(s.start)-processing, processing, detection)
+	if s.isLeader() {
+		// Followers apply the same command but must not re-reconfigure the
+		// shared circuit switches the leader already drove.
+		s.mirrorCS(rec)
+	}
+	ev := RecoveryEvent{Kind: "link", Failed: rec.Failed, Backup: rec.Backup, Latency: processing}
+	if cmd.Kind == ctlplane.CmdRecoverNode {
+		ev.Kind = "node"
+		ev.Latency = time.Duration(cmd.AtNS-cmd.LastSeenNS) + processing
+	}
+	s.publish(ev)
+	return rec, err
+}
+
+// SnapshotState serializes the applied command history — the replay-based
+// snapshot a lagging replica (or a quorum-loss rebootstrap) restores from.
+func (s *Server) SnapshotState() []byte {
+	s.mu.Lock()
+	cmds := append([][]byte(nil), s.appliedCmds...)
+	s.mu.Unlock()
+	return ctlplane.EncodeReplayLog(cmds)
+}
+
+// RestoreState replays a snapshot's command tail past this replica's own
+// applied prefix (the log-prefix property guarantees the prefixes agree).
+func (s *Server) RestoreState(data []byte) error {
+	rl, err := ctlplane.DecodeReplayLog(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n := len(s.appliedCmds)
+	s.mu.Unlock()
+	for i := n; i < len(rl.Commands); i++ {
+		// Per-command errors are part of the history being replayed (the
+		// leader logged them when they happened); only decode failures abort.
+		if _, err := s.applyCommand(rl.Commands[i], false); err != nil {
+			if _, decodeErr := ctlplane.DecodeCommand(rl.Commands[i]); decodeErr != nil {
+				return decodeErr
+			}
+		}
+	}
+	return nil
 }
 
 // mirrorCS sends the recovery's reconfiguration batch to every attached
@@ -523,59 +798,6 @@ func (s *Server) emitRecovered(rec *controller.Recovery, at, processing, detecti
 	ev.Reconfig = rec.Reconfig
 	ev.Total = detection + processing + rec.Reconfig
 	s.bus.Emit(ev)
-}
-
-// detectLoop scans for silent switches and fails them over.
-func (s *Server) detectLoop() {
-	defer s.wg.Done()
-	deadline := time.Duration(s.cfg.MissThreshold) * s.cfg.Interval
-	ticker := time.NewTicker(s.cfg.CheckEvery)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.quit:
-			return
-		case now := <-ticker.C:
-			var dead []sbnet.SwitchID
-			var silence []time.Duration
-			prof.Do(prof.PhaseDetect, func() {
-				s.mu.Lock()
-				for id, last := range s.lastSeen {
-					if now.Sub(last) < deadline {
-						if now.Sub(last) >= s.cfg.Interval {
-							s.mProbeMisses.Inc()
-						}
-						continue
-					}
-					if s.ctl.Network().Switch(id).Role == sbnet.RoleActive {
-						dead = append(dead, id)
-						silence = append(silence, now.Sub(last))
-					}
-				}
-				s.mu.Unlock()
-			})
-			for i, id := range dead {
-				s.mu.Lock()
-				rec, err := s.ctl.RecoverNode(id, now.Sub(s.start))
-				if err == nil {
-					delete(s.lastSeen, id)
-				}
-				s.mu.Unlock()
-				if err != nil {
-					s.logf("ctlnet: node recovery of %d: %v", id, err)
-					continue
-				}
-				s.emitRecovered(rec, now.Sub(s.start), time.Since(now), 0)
-				s.mirrorCS(rec)
-				s.publish(RecoveryEvent{
-					Kind:    "node",
-					Failed:  rec.Failed,
-					Backup:  rec.Backup,
-					Latency: silence[i] + time.Since(now),
-				})
-			}
-		}
-	}
 }
 
 // publish sends a recovery event to all subscribers, dropping broken ones.

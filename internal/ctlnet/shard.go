@@ -1,0 +1,141 @@
+package ctlnet
+
+import (
+	"sync"
+	"time"
+
+	"sharebackup/internal/obs/prof"
+	"sharebackup/internal/sbnet"
+)
+
+// The keep-alive fan-in is sharded by failure group so the hot path scales
+// to tens of thousands of agents: a connection reader appends one record to
+// its shard's pending list (one short lock, no controller call, no shared
+// server lock) and moves on. One goroutine per shard folds the pending
+// records into the shard-local lastSeen map and scans it for silent
+// switches every CheckEvery; candidates funnel into a single recover loop
+// that proposes the failover. The detection math is unchanged from the
+// unsharded server — the controller's Heartbeat is injected at recover time
+// from the candidate's recorded lastSeen, so detection latency is still
+// "time of action minus last heartbeat".
+
+// kaRecord is one observed keep-alive (or hello).
+type kaRecord struct {
+	id sbnet.SwitchID
+	at time.Time
+}
+
+// kaShard owns keep-alive state for a subset of failure groups. Only
+// pending is shared (readers append, the shard loop swaps it out); lastSeen
+// is touched exclusively by the shard's own goroutine.
+type kaShard struct {
+	mu       sync.Mutex
+	pending  []kaRecord
+	lastSeen map[sbnet.SwitchID]time.Time
+}
+
+// deadCandidate is a switch a shard scan declared silent.
+type deadCandidate struct {
+	id       sbnet.SwitchID
+	lastSeen time.Time
+}
+
+// shardFor maps a switch to its shard by failure group, so one group's
+// agents land on one shard and a recovery storm in a group cannot convoy
+// every other group's scans.
+func (s *Server) shardFor(id sbnet.SwitchID) *kaShard {
+	g := s.ctl.Network().Switch(id).Group
+	return s.shards[int(g)%len(s.shards)]
+}
+
+// seen records a heartbeat from id on the wall clock. Hot path: one
+// shard-local lock, one append.
+func (s *Server) seen(id sbnet.SwitchID) {
+	if int(id) < 0 || int(id) >= s.ctl.Network().NumSwitches() {
+		return
+	}
+	sh := s.shardFor(id)
+	rec := kaRecord{id: id, at: time.Now()}
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, rec)
+	sh.mu.Unlock()
+}
+
+// shardLoop drains and scans one shard every CheckEvery.
+func (s *Server) shardLoop(sh *kaShard) {
+	defer s.wg.Done()
+	deadline := time.Duration(s.cfg.MissThreshold) * s.cfg.Interval
+	ticker := time.NewTicker(s.cfg.CheckEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case now := <-ticker.C:
+			var dead []deadCandidate
+			prof.Do(prof.PhaseDetect, func() {
+				sh.mu.Lock()
+				pending := sh.pending
+				sh.pending = nil
+				sh.mu.Unlock()
+				// Fold the batch: coalesce duplicate heartbeats, keep the
+				// latest timestamp per switch.
+				for _, r := range pending {
+					if r.at.After(sh.lastSeen[r.id]) {
+						sh.lastSeen[r.id] = r.at
+					}
+				}
+				var silent []deadCandidate
+				for id, last := range sh.lastSeen {
+					silence := now.Sub(last)
+					if silence < deadline {
+						if silence >= s.cfg.Interval {
+							s.mProbeMisses.Inc()
+						}
+						continue
+					}
+					silent = append(silent, deadCandidate{id: id, lastSeen: last})
+				}
+				if len(silent) == 0 {
+					return
+				}
+				// Role reads must not race command applies mutating the
+				// network; s.mu is taken only on this rare silent path, never
+				// on the per-keep-alive hot path.
+				s.mu.Lock()
+				nw := s.ctl.Network()
+				for _, c := range silent {
+					if nw.Switch(c.id).Role != sbnet.RoleActive {
+						continue
+					}
+					dead = append(dead, c)
+					// Drop the entry now: the recovery is handed off, and
+					// rescanning a dead switch every tick would re-propose
+					// it forever.
+					delete(sh.lastSeen, c.id)
+				}
+				s.mu.Unlock()
+			})
+			for _, c := range dead {
+				select {
+				case s.deadCh <- c:
+				case <-s.quit:
+					return
+				}
+			}
+		}
+	}
+}
+
+// recoverLoop serializes node failovers from every shard.
+func (s *Server) recoverLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case c := <-s.deadCh:
+			s.recoverDead(c)
+		}
+	}
+}

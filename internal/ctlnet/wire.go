@@ -52,6 +52,19 @@ const (
 	// metric store — /timeseriesz over the wire protocol.
 	msgTSReq byte = 13 // client -> server: uint16 lastN (optional)
 	msgTS    byte = 14 // server -> client: JSON []tsdb.SeriesData
+
+	// Replicated-controller cluster messages (§5.1). A replica that is not
+	// the current leader answers state-mutating requests (hello, link-fail
+	// reports) — and, rate-limited, keep-alives — with msgNotLeader carrying
+	// its best guess at the leader's serving address so agents can redirect.
+	msgNotLeader  byte = 15 // server -> client: leader serving address (may be empty)
+	msgLeaderReq  byte = 16 // client -> server: empty — ask who leads
+	msgLeaderInfo byte = 17 // server -> client: byte isLeader, leader serving address
+	// msgReportAck closes the loop on a link-failure report so agents can
+	// reliably resend across a leader failover: status 0 = recovery
+	// committed (or duplicate of an already-completed recovery), 1 = the
+	// recovery failed (no backup left, controller halted, ...).
+	msgReportAck byte = 18 // server -> agent: byte status
 )
 
 // maxFrame bounds frame sizes; control messages are tiny.
@@ -215,6 +228,36 @@ func decodeLinkFailTraced(p []byte) (ctx obs.TraceContext, detection time.Durati
 	detection = time.Duration(binary.BigEndian.Uint64(rest[:8]))
 	aSw, aPort, bSw, bPort, err = decodeLinkFail(rest[8:])
 	return ctx, detection, aSw, aPort, bSw, bPort, err
+}
+
+func encodeLeaderInfo(isLeader bool, addr string) []byte {
+	b := make([]byte, 1, 1+len(addr))
+	if isLeader {
+		b[0] = 1
+	}
+	return append(b, addr...)
+}
+
+func decodeLeaderInfo(p []byte) (isLeader bool, addr string, err error) {
+	if len(p) < 1 {
+		return false, "", fmt.Errorf("ctlnet: leader info payload empty")
+	}
+	return p[0] == 1, string(p[1:]), nil
+}
+
+// Report-ack statuses.
+const (
+	reportAckOK     byte = 0
+	reportAckFailed byte = 1
+)
+
+func encodeReportAck(status byte) []byte { return []byte{status} }
+
+func decodeReportAck(p []byte) (byte, error) {
+	if len(p) != 1 {
+		return 0, fmt.Errorf("ctlnet: report ack payload %d bytes, want 1", len(p))
+	}
+	return p[0], nil
 }
 
 // RecoveryEvent is the server's notification of a completed failover.

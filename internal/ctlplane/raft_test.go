@@ -1,0 +1,335 @@
+package ctlplane
+
+import (
+	"fmt"
+	"testing"
+)
+
+// cluster is a deterministic in-memory harness: N Raft cores, a message
+// pool, and explicit tick/deliver control. No goroutines, no clocks — every
+// test run with the same seed takes the same path.
+type cluster struct {
+	nodes map[int]*Raft
+	// inflight holds undelivered messages in send order.
+	inflight []Message
+	// cut[a][b] drops messages a→b (asymmetric cuts are allowed).
+	cut map[int]map[int]bool
+	// applied collects each node's applied entries, in order.
+	applied map[int][]Entry
+	// restored records the last snapshot each node installed.
+	restored map[int]*Snapshot
+}
+
+func newCluster(ids []int, seed uint64) *cluster {
+	c := &cluster{
+		nodes:    make(map[int]*Raft),
+		cut:      make(map[int]map[int]bool),
+		applied:  make(map[int][]Entry),
+		restored: make(map[int]*Snapshot),
+	}
+	for _, id := range ids {
+		c.nodes[id] = NewRaft(RaftConfig{
+			ID: id, Peers: ids,
+			ElectionTicks: 10, HeartbeatTicks: 2,
+			Seed: seed + uint64(id)*977,
+		})
+	}
+	return c
+}
+
+// pump drains Ready output into the in-flight pool and applies commits.
+func (c *cluster) pump() {
+	for id, r := range c.nodes {
+		for r.HasReady() {
+			rd := r.Ready()
+			c.inflight = append(c.inflight, rd.Messages...)
+			if rd.Snapshot != nil {
+				c.restored[id] = rd.Snapshot
+				// Replay semantics: snapshot replaces the applied list.
+				c.applied[id] = nil
+			}
+			c.applied[id] = append(c.applied[id], rd.Committed...)
+		}
+	}
+}
+
+// deliverAll repeatedly delivers every in-flight message (respecting cuts)
+// until the network is quiet.
+func (c *cluster) deliverAll() {
+	c.pump()
+	for len(c.inflight) > 0 {
+		msgs := c.inflight
+		c.inflight = nil
+		for _, m := range msgs {
+			if c.cut[m.From][m.To] {
+				continue
+			}
+			if n, ok := c.nodes[m.To]; ok {
+				n.Step(m)
+			}
+		}
+		c.pump()
+	}
+}
+
+// tickAll advances every node one tick and settles the network.
+func (c *cluster) tickAll() {
+	for _, r := range c.nodes {
+		r.Tick()
+	}
+	c.deliverAll()
+}
+
+// tickUntilLeader ticks until some node is leader, failing after limit.
+func (c *cluster) tickUntilLeader(t *testing.T, limit int) *Raft {
+	t.Helper()
+	for i := 0; i < limit; i++ {
+		c.tickAll()
+		if l := c.leader(); l != nil {
+			return l
+		}
+	}
+	t.Fatalf("no leader elected in %d ticks", limit)
+	return nil
+}
+
+func (c *cluster) leader() *Raft {
+	for _, r := range c.nodes {
+		if r.State() == Leader {
+			return r
+		}
+	}
+	return nil
+}
+
+// isolate cuts all traffic to and from id.
+func (c *cluster) isolate(id int) {
+	for other := range c.nodes {
+		if other == id {
+			continue
+		}
+		c.cutLink(id, other)
+		c.cutLink(other, id)
+	}
+}
+
+func (c *cluster) cutLink(a, b int) {
+	if c.cut[a] == nil {
+		c.cut[a] = make(map[int]bool)
+	}
+	c.cut[a][b] = true
+}
+
+func (c *cluster) heal() { c.cut = make(map[int]map[int]bool) }
+
+func TestElectionElectsSingleLeader(t *testing.T) {
+	c := newCluster([]int{0, 1, 2}, 1)
+	ld := c.tickUntilLeader(t, 100)
+	n := 0
+	for _, r := range c.nodes {
+		if r.State() == Leader {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("want exactly 1 leader, got %d", n)
+	}
+	// Followers learn the leader's identity from its heartbeats.
+	c.tickAll()
+	for id, r := range c.nodes {
+		if r.Leader() != ld.ID() {
+			t.Errorf("node %d thinks leader is %d, want %d", id, r.Leader(), ld.ID())
+		}
+	}
+}
+
+func TestReplicationCommitsOnAllReplicas(t *testing.T) {
+	c := newCluster([]int{0, 1, 2}, 2)
+	ld := c.tickUntilLeader(t, 100)
+	for i := 0; i < 5; i++ {
+		if _, _, ok := ld.Propose([]byte(fmt.Sprintf("cmd-%d", i))); !ok {
+			t.Fatalf("propose %d rejected", i)
+		}
+	}
+	c.deliverAll()
+	// The commit-index broadcast rides the next heartbeat (every 2 ticks).
+	c.tickAll()
+	c.tickAll()
+	for id := range c.nodes {
+		got := c.applied[id]
+		if len(got) != 5 {
+			t.Fatalf("node %d applied %d entries, want 5", id, len(got))
+		}
+		for i, e := range got {
+			if want := fmt.Sprintf("cmd-%d", i); string(e.Data) != want {
+				t.Errorf("node %d entry %d = %q, want %q", id, i, e.Data, want)
+			}
+		}
+	}
+}
+
+func TestCommitRequiresQuorum(t *testing.T) {
+	c := newCluster([]int{0, 1, 2}, 3)
+	ld := c.tickUntilLeader(t, 100)
+	// Cut the leader off from both followers, then propose.
+	c.isolate(ld.ID())
+	idx, _, ok := ld.Propose([]byte("orphan"))
+	if !ok {
+		t.Fatal("propose rejected")
+	}
+	for i := 0; i < 5; i++ {
+		c.tickAll()
+	}
+	if ld.Commit() >= idx {
+		t.Fatalf("entry committed without quorum (commit=%d, entry=%d)", ld.Commit(), idx)
+	}
+}
+
+func TestLeaderStepsDownOnQuorumLoss(t *testing.T) {
+	c := newCluster([]int{0, 1, 2}, 4)
+	ld := c.tickUntilLeader(t, 100)
+	c.isolate(ld.ID())
+	// The isolated leader must step down within ~2 election timeouts — the
+	// split-brain guard: it stops accepting proposals it could never commit.
+	for i := 0; i < 60 && ld.State() == Leader; i++ {
+		c.tickAll()
+	}
+	if ld.State() == Leader {
+		t.Fatal("isolated leader never stepped down")
+	}
+	if _, _, ok := ld.Propose([]byte("x")); ok {
+		t.Fatal("stepped-down leader accepted a proposal")
+	}
+	// The healthy majority elects a replacement.
+	var other *Raft
+	for _, r := range c.nodes {
+		if r.ID() != ld.ID() {
+			other = r
+			break
+		}
+	}
+	for i := 0; i < 200 && c.leader() == nil; i++ {
+		c.tickAll()
+	}
+	if l := c.leader(); l == nil || l.ID() == ld.ID() {
+		t.Fatalf("majority did not elect a new leader (got %v)", l)
+	}
+	_ = other
+}
+
+func TestNewLeaderPreservesCommittedEntries(t *testing.T) {
+	c := newCluster([]int{0, 1, 2}, 5)
+	ld := c.tickUntilLeader(t, 100)
+	for i := 0; i < 3; i++ {
+		ld.Propose([]byte(fmt.Sprintf("keep-%d", i)))
+	}
+	c.deliverAll()
+	c.tickAll()
+	// Kill the leader; the new leader must carry the committed entries.
+	c.isolate(ld.ID())
+	var newLd *Raft
+	for i := 0; i < 300; i++ {
+		c.tickAll()
+		for _, r := range c.nodes {
+			if r.ID() != ld.ID() && r.State() == Leader {
+				newLd = r
+			}
+		}
+		if newLd != nil {
+			break
+		}
+	}
+	if newLd == nil {
+		t.Fatal("no new leader after old leader isolated")
+	}
+	newLd.Propose([]byte("after"))
+	c.deliverAll()
+	c.tickAll()
+	got := c.applied[newLd.ID()]
+	if len(got) != 4 {
+		t.Fatalf("new leader applied %d entries, want 4: %v", len(got), got)
+	}
+	for i := 0; i < 3; i++ {
+		if want := fmt.Sprintf("keep-%d", i); string(got[i].Data) != want {
+			t.Errorf("entry %d = %q, want %q", i, got[i].Data, want)
+		}
+	}
+	if string(got[3].Data) != "after" {
+		t.Errorf("entry 3 = %q, want %q", got[3].Data, "after")
+	}
+}
+
+func TestSnapshotInstallOnLaggingReplica(t *testing.T) {
+	c := newCluster([]int{0, 1, 2}, 6)
+	ld := c.tickUntilLeader(t, 100)
+	// Isolate one follower, then commit and compact past its position.
+	var lag int
+	for id := range c.nodes {
+		if id != ld.ID() {
+			lag = id
+			break
+		}
+	}
+	c.isolate(lag)
+	for i := 0; i < 8; i++ {
+		ld.Propose([]byte(fmt.Sprintf("e-%d", i)))
+		c.tickAll()
+	}
+	c.deliverAll()
+	// Leader compacts everything applied; followers behind the snapshot
+	// index must be caught up by snapshot install.
+	if err := ld.Compact(ld.Commit(), []byte("snap-state")); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	c.heal()
+	for i := 0; i < 100; i++ {
+		c.tickAll()
+		if c.nodes[lag].LastIndex() >= ld.Commit() {
+			break
+		}
+	}
+	snap := c.restored[lag]
+	if snap == nil {
+		t.Fatal("lagging replica never installed a snapshot")
+	}
+	if string(snap.Data) != "snap-state" {
+		t.Fatalf("installed snapshot data = %q, want %q", snap.Data, "snap-state")
+	}
+	// And it keeps up with post-snapshot entries.
+	ld.Propose([]byte("tail"))
+	c.deliverAll()
+	c.tickAll()
+	c.tickAll()
+	got := c.applied[lag]
+	if len(got) == 0 || string(got[len(got)-1].Data) != "tail" {
+		t.Fatalf("lagging replica did not apply post-snapshot entry: %v", got)
+	}
+}
+
+func TestRestoreFromSnapshotBootstrapsLog(t *testing.T) {
+	// Operator rebootstrap: start a fresh single-replica cluster from a
+	// survivor's snapshot; it must lead and extend the log past the
+	// snapshot index.
+	r := NewRaft(RaftConfig{
+		ID: 7, Peers: []int{7}, Seed: 9,
+		Restore: &Snapshot{LastIndex: 42, LastTerm: 3, Data: []byte("survivor")},
+	})
+	for i := 0; i < 40 && r.State() != Leader; i++ {
+		r.Tick()
+	}
+	if r.State() != Leader {
+		t.Fatal("single restored replica did not elect itself")
+	}
+	idx, _, ok := r.Propose([]byte("resumed"))
+	if !ok || idx != 43 {
+		t.Fatalf("propose after restore: idx=%d ok=%v, want idx=43", idx, ok)
+	}
+	rd := r.Ready()
+	if len(rd.Committed) != 1 || string(rd.Committed[0].Data) != "resumed" {
+		t.Fatalf("restored replica commit = %+v", rd.Committed)
+	}
+	snap, ok := r.CurrentSnapshot()
+	if !ok || string(snap.Data) != "survivor" {
+		t.Fatalf("CurrentSnapshot = %+v ok=%v", snap, ok)
+	}
+}

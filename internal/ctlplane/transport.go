@@ -1,0 +1,165 @@
+package ctlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxConsensusFrame bounds one consensus wire frame. Snapshots ride inside
+// frames, so this is generous; the replicated commands themselves are tiny.
+const maxConsensusFrame = 16 << 20
+
+// TCPTransport is a loopback/LAN mesh transport for a replica: it listens
+// for consensus frames from peers and lazily dials outbound connections.
+// Sends are best-effort — a peer that is down costs one failed dial and the
+// message is dropped (Raft retries by tick).
+type TCPTransport struct {
+	self  int
+	addrs map[int]string // peer ID → address
+	node  func(m Message)
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conn     map[int]net.Conn
+	accepted map[net.Conn]struct{}
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewTCPTransport starts a transport for replica self, listening on
+// addrs[self] and delivering inbound messages to deliver. addrs maps every
+// replica ID to its consensus address.
+func NewTCPTransport(self int, addrs map[int]string, deliver func(m Message)) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("ctlplane: transport listen: %w", err)
+	}
+	t := &TCPTransport{
+		self:     self,
+		addrs:    addrs,
+		node:     deliver,
+		ln:       ln,
+		conn:     make(map[int]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		quit:     make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers replaces the peer address map. Used when replicas bind ":0"
+// listeners first and exchange bound addresses afterwards.
+func (t *TCPTransport) SetPeers(addrs map[int]string) {
+	t.mu.Lock()
+	t.addrs = addrs
+	t.mu.Unlock()
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(m Message) {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	frame := make([]byte, 4+len(buf))
+	binary.BigEndian.PutUint32(frame, uint32(len(buf)))
+	copy(frame[4:], buf)
+
+	t.mu.Lock()
+	c := t.conn[m.To]
+	if c == nil {
+		addr, ok := t.addrs[m.To]
+		if !ok {
+			t.mu.Unlock()
+			return
+		}
+		c, err = net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return
+		}
+		t.conn[m.To] = c
+	}
+	_, err = c.Write(frame)
+	if err != nil {
+		c.Close()
+		delete(t.conn, m.To)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		t.accepted[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.accepted, c)
+		t.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxConsensusFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		var m Message
+		if err := json.Unmarshal(buf, &m); err != nil {
+			return
+		}
+		select {
+		case <-t.quit:
+			return
+		default:
+		}
+		t.node(m)
+	}
+}
+
+// Close shuts the transport down: the listener, every connection, and the
+// read loops. Safe to call more than once.
+func (t *TCPTransport) Close() {
+	t.closeOnce.Do(func() { close(t.quit) })
+	t.ln.Close()
+	t.mu.Lock()
+	for id, c := range t.conn {
+		c.Close()
+		delete(t.conn, id)
+	}
+	for c := range t.accepted {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}

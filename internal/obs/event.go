@@ -65,6 +65,17 @@ const (
 	// KindFlightDump is a flight-recorder snapshot written to disk; Detail
 	// is the trigger reason and the bundle directory.
 	KindFlightDump
+	// KindLeaderElected marks a ctlplane replica winning an election; Switch
+	// carries the replica ID and Count the term.
+	KindLeaderElected
+	// KindLeaderLost marks a ctlplane replica stepping down from leadership
+	// (higher term observed, or quorum unreachable); Switch carries the
+	// replica ID and Count the term it stepped down in.
+	KindLeaderLost
+	// KindFailover marks a ctlnet agent redirecting an in-flight request to
+	// a different replica after its leader died or answered not-leader;
+	// Detail names the new target, Count the retry attempt.
+	KindFailover
 	numKinds
 )
 
@@ -82,6 +93,9 @@ var kindNames = [numKinds]string{
 	"sweep-shard-done",
 	"clock-sync",
 	"flight-dump",
+	"leader-elected",
+	"leader-lost",
+	"failover",
 }
 
 // String names the kind ("probe-missed", "recovery-complete", ...).

@@ -361,6 +361,12 @@ func (tr *StitchedTrace) Render() string {
 					indent, ev.Detection, ev.Report, ev.Reconfig, ev.Total)
 			case KindCircuitReconfigured:
 				fmt.Fprintf(&b, "%s  circuit-reconfigured reconfig=%v\n", indent, ev.Reconfig)
+			case KindFailover:
+				fmt.Fprintf(&b, "%s  failover -> %s (connection %d)\n", indent, ev.Detail, ev.Count)
+			case KindLeaderElected:
+				fmt.Fprintf(&b, "%s  leader-elected replica=%d term=%d\n", indent, ev.Switch, ev.Count)
+			case KindLeaderLost:
+				fmt.Fprintf(&b, "%s  leader-lost replica=%d term=%d\n", indent, ev.Switch, ev.Count)
 			}
 		}
 	}
