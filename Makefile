@@ -23,6 +23,10 @@ test:
 
 race:
 	$(GO) test -race ./internal/ctlnet/... ./internal/ctlplane/... ./internal/obs/... ./internal/sweep/... ./internal/fluid/... ./internal/topo/... ./internal/routing/...
+	# The parallel fill path's determinism proof, explicitly under the race
+	# detector: worker pools exchanging component fills must be bit-identical
+	# AND data-race-free.
+	$(GO) test -race -run 'TestDifferentialParallelWorkers' ./internal/fluid/
 
 # Leader-failover soak: the cluster emulation's kill-the-leader-mid-storm
 # and quorum-loss drills, repeated under the race detector. Election timing

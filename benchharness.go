@@ -220,6 +220,9 @@ type DataplaneBenchConfig struct {
 	// Actual sizes fan out over 0.5×..2.25× so the FCT distribution is
 	// non-degenerate.
 	BytesPerFlow float64
+	// Workers bounds the simulator worker pool for parallel component
+	// fills (0 = GOMAXPROCS). Results are bit-identical for any value.
+	Workers int
 	// Smoke shrinks the storm comparison to CI scale. Smoke storm numbers
 	// are reported but excluded from GateMetrics, so they never gate
 	// against a full-size baseline.
@@ -236,6 +239,7 @@ type DataplaneBenchResult struct {
 	Experiment        string                `json:"experiment"`
 	K                 int                   `json:"k"`
 	Flows             int                   `json:"flows"`
+	Workers           int                   `json:"workers"`
 	Events            int64                 `json:"events"`
 	WallMS            float64               `json:"wall_ms"`
 	EventsPerSec      float64               `json:"events_per_sec"`
@@ -243,10 +247,15 @@ type DataplaneBenchResult struct {
 	RateRecomputes    int64                 `json:"rate_recomputes"`
 	RateRecomputeWork int64                 `json:"rate_recompute_work"`
 	FCTUS             obs.HistogramSnapshot `json:"fct_us"`
-	FlowRateBps       obs.HistogramSnapshot `json:"flow_rate_Bps"`
+	// FlowRateMilliBps is the completion-rate histogram in milli-bytes/s:
+	// experiment capacities are O(1..100) bytes/s, so whole-byte buckets
+	// rounded most rates to zero and the old flow_rate_Bps gate guarded a
+	// degenerate distribution.
+	FlowRateMilliBps  obs.HistogramSnapshot `json:"flow_rate_mBps"`
 	LinkUtilPm        obs.HistogramSnapshot `json:"link_util_permille"`
 	RecomputeWorkHist obs.HistogramSnapshot `json:"recompute_work_per_pass"`
 	Storm             *StormBenchResult     `json:"storm,omitempty"`
+	StormK48          *StormScaleResult     `json:"storm_k48,omitempty"`
 }
 
 // DataplaneBench runs a staggered all-to-all workload over the first ECMP
@@ -267,6 +276,9 @@ func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
 	tel := fluid.NewTelemetry(obs.NewRegistry())
 	sim := fluid.New(ft.Topology)
 	sim.SetTelemetry(tel)
+	if cfg.Workers > 0 {
+		sim.SetWorkers(cfg.Workers)
+	}
 	n := ft.NumHosts()
 	id := 0
 	for s := 0; s < n; s++ {
@@ -293,18 +305,32 @@ func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
+	// Sample link utilization over 64 unit-time steps while flows are
+	// actually in flight — arrivals span ~6 simulated seconds, so this
+	// window sees the ramp-up and the fully loaded fabric. (The old
+	// post-drain sample recorded an idle fabric: link_util_permille was
+	// all-zero and its gate guarded nothing. And sampling *every* unit of
+	// the ~4e4-second drain would dominate wall time.)
+	for step := 1; step <= 64 && (sim.PendingCount() > 0 || sim.ActiveCount() > 0); step++ {
+		if err := sim.Run(float64(step)); err != nil {
+			return nil, err
+		}
+		if sim.ActiveCount() > 0 {
+			sim.SampleUtilization()
+		}
+	}
 	if err := sim.RunToCompletion(); err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
-	sim.SampleUtilization()
 	events := tel.FlowsStarted.Value() + tel.FlowsCompleted.Value() +
 		tel.Reroutes.Value() + tel.Stalls.Value()
 	res := &DataplaneBenchResult{
 		Experiment:        "dataplane-fluid",
 		K:                 cfg.K,
 		Flows:             id,
+		Workers:           sim.Workers(),
 		Events:            events,
 		WallMS:            float64(wall.Nanoseconds()) / 1e6,
 		EventsPerSec:      float64(events) / wall.Seconds(),
@@ -312,16 +338,22 @@ func DataplaneBench(cfg DataplaneBenchConfig) (*DataplaneBenchResult, error) {
 		RateRecomputes:    tel.RateRecomputes.Value(),
 		RateRecomputeWork: tel.RateRecomputeWork.Value(),
 		FCTUS:             tel.FCT.Snapshot(),
-		FlowRateBps:       tel.FlowRate.Snapshot(),
+		FlowRateMilliBps:  tel.FlowRate.Snapshot(),
 		LinkUtilPm:        tel.LinkUtil.Snapshot(),
 		RecomputeWorkHist: tel.RecomputeWork.Snapshot(),
 	}
 	if !cfg.SkipStorm {
-		storm := StormBenchConfig{}
+		storm := StormBenchConfig{Workers: cfg.Workers}
+		scale := StormScaleConfig{Workers: cfg.Workers}
 		if cfg.Smoke {
-			storm = StormBenchConfig{K: 8, HostsPerEdge: 2, FlowsPerHost: 6, WaveBatch: 64, Smoke: true}
+			storm = StormBenchConfig{K: 8, HostsPerEdge: 2, FlowsPerHost: 6, WaveBatch: 64, Workers: cfg.Workers, Smoke: true}
+			scale = StormScaleConfig{K: 8, HostsPerEdge: 2, FlowsPerHost: 4, WaveBatch: 64, Workers: cfg.Workers, Smoke: true}
 		}
 		res.Storm, err = StormBench(storm)
+		if err != nil {
+			return nil, err
+		}
+		res.StormK48, err = StormScaleBench(scale)
 		if err != nil {
 			return nil, err
 		}
@@ -370,6 +402,17 @@ func (r *DataplaneBenchResult) GateMetrics() map[string]bench.Metric {
 			Value: r.Storm.EventsPerSec, Unit: "events/s", Better: "higher", Tolerance: 0.67,
 		}
 	}
+	if r.StormK48 != nil && !r.StormK48.Smoke {
+		m["dataplane.storm_k48_events_per_sec"] = bench.Metric{
+			Value: r.StormK48.EventsPerSec, Unit: "events/s", Better: "higher", Tolerance: 0.67,
+		}
+		// Parallel speedup is bounded by the host's core count; the wide
+		// tolerance absorbs scheduler noise while still catching a pool
+		// that stopped engaging at all on multi-core hosts.
+		m["dataplane.par_speedup"] = bench.Metric{
+			Value: r.StormK48.ParSpeedup, Unit: "x", Better: "higher", Tolerance: 0.9,
+		}
+	}
 	return m
 }
 
@@ -382,6 +425,8 @@ type StormBenchConfig struct {
 	// Waves is the number of reroute storms (default 3), WaveBatch the
 	// reroutes per storm (default 256).
 	Waves, WaveBatch int
+	// Workers bounds the incremental engine's worker pool (0 = GOMAXPROCS).
+	Workers int
 	// Smoke marks a reduced-scale run (set by DataplaneBench's smoke mode);
 	// carried into the result so GateMetrics can exclude it.
 	Smoke bool
@@ -420,37 +465,29 @@ type stormReroute struct {
 	path topo.Path
 }
 
-// StormBench generates the deterministic storm schedule once, replays it
-// through the incremental engine and the forced-full reference, and reports
-// the work and wall-clock ratios. This is the workload behind the
-// `dataplane.storm_*` gate metrics and the EXPERIMENTS.md scale table.
-func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
-	if cfg.K == 0 {
-		cfg.K = 16
-	}
-	if cfg.HostsPerEdge == 0 {
-		cfg.HostsPerEdge = 4
-	}
-	if cfg.FlowsPerHost == 0 {
-		cfg.FlowsPerHost = 20
-	}
-	if cfg.Waves == 0 {
-		cfg.Waves = 3
-	}
-	if cfg.WaveBatch == 0 {
-		cfg.WaveBatch = 256
-	}
-	ft, err := topo.NewFatTree(topo.Config{K: cfg.K, HostsPerEdge: cfg.HostsPerEdge, HostCapacity: 40})
+// stormWave is one reroute storm: a batch of path changes applied at one
+// simulated time.
+type stormWave struct {
+	at       float64
+	reroutes []stormReroute
+}
+
+// buildStormSchedule generates the deterministic storm workload (seeded
+// PRNG): ~85% rack-local / 15% pod-local flows with staggered arrivals, plus
+// waves of ECMP reroutes mid-run. Shared by StormBench (k=16 incremental vs
+// full comparison) and StormScaleBench (k=48 scale run).
+func buildStormSchedule(k, hostsPerEdge, flowsPerHost, nWaves, waveBatch int) (*topo.FatTree, []stormFlow, []stormWave, error) {
+	ft, err := topo.NewFatTree(topo.Config{K: k, HostsPerEdge: hostsPerEdge, HostCapacity: 40})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	r := rand.New(rand.NewSource(7))
 	n := ft.NumHosts()
-	per := cfg.HostsPerEdge
-	perPod := (cfg.K / 2) * per
-	flows := make([]stormFlow, 0, n*cfg.FlowsPerHost)
+	per := hostsPerEdge
+	perPod := (k / 2) * per
+	flows := make([]stormFlow, 0, n*flowsPerHost)
 	var multipath []fluid.FlowID
-	for i := 0; i < n*cfg.FlowsPerHost; i++ {
+	for i := 0; i < n*flowsPerHost; i++ {
 		src := i % n
 		var dst int
 		if per > 1 && r.Float64() < 0.85 {
@@ -475,7 +512,7 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 		}
 		paths, err := ft.PathStore().Paths(src, dst)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		flows = append(flows, stormFlow{
 			bytes:   500 + r.Float64()*1500,
@@ -486,13 +523,10 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 			multipath = append(multipath, fluid.FlowID(i))
 		}
 	}
-	waves := make([]struct {
-		at       float64
-		reroutes []stormReroute
-	}, cfg.Waves)
+	waves := make([]stormWave, nWaves)
 	for w := range waves {
 		waves[w].at = 4 + 2*float64(w)
-		batch := cfg.WaveBatch
+		batch := waveBatch
 		if batch > len(multipath) {
 			batch = len(multipath)
 		}
@@ -503,7 +537,7 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 			dstNode := p.Nodes[len(p.Nodes)-1]
 			paths, err := ft.PathStore().Paths(src, ft.Node(dstNode).Index)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 			waves[w].reroutes = append(waves[w].reroutes, stormReroute{
 				id:   id,
@@ -511,48 +545,102 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 			})
 		}
 	}
+	return ft, flows, waves, nil
+}
 
-	replay := func(full bool) (time.Duration, int64, int64, []float64, error) {
-		sim := fluid.New(ft.Topology)
-		sim.ForceFullRecompute(full)
-		start := time.Now()
-		for i, f := range flows {
-			if err := sim.AddFlow(fluid.FlowID(i), f.bytes, f.arrival, f.path); err != nil {
-				return 0, 0, 0, nil, err
+// replayStorm runs one engine over the storm schedule, measuring wall time
+// over the whole replay (adds, waves, drain). Workers 0 keeps the
+// simulator's GOMAXPROCS default. With release set, completed flows are
+// released from OnComplete (exercising slot recycling the way long-running
+// storm replays would). Returns wall time, recompute work, event count, and
+// the per-flow FCTs.
+func replayStorm(ft *topo.FatTree, flows []stormFlow, waves []stormWave, full bool, workers int, release bool) (time.Duration, int64, int64, []float64, error) {
+	sim := fluid.New(ft.Topology)
+	sim.ForceFullRecompute(full)
+	if workers > 0 {
+		sim.SetWorkers(workers)
+	}
+	fcts := make([]float64, len(flows))
+	var relErr error
+	if release {
+		sim.OnComplete = func(f *fluid.Flow) {
+			fcts[int(f.ID())] = f.Finish()
+			if err := sim.ReleaseFlow(f.ID()); err != nil && relErr == nil {
+				relErr = err
 			}
 		}
-		events := int64(len(flows))
-		for _, wv := range waves {
-			if err := sim.Run(wv.at); err != nil {
-				return 0, 0, 0, nil, err
-			}
-			for _, rr := range wv.reroutes {
-				if sim.Flow(rr.id).Done() {
-					continue
-				}
-				if err := sim.SetPath(rr.id, rr.path); err != nil {
-					return 0, 0, 0, nil, err
-				}
-				events++
-			}
-		}
-		if err := sim.RunToCompletion(); err != nil {
+	}
+	start := time.Now()
+	for i, f := range flows {
+		if err := sim.AddFlow(fluid.FlowID(i), f.bytes, f.arrival, f.path); err != nil {
 			return 0, 0, 0, nil, err
 		}
-		wall := time.Since(start)
-		st := sim.Stats()
-		fcts := make([]float64, len(flows))
+	}
+	events := int64(len(flows))
+	for _, wv := range waves {
+		if err := sim.Run(wv.at); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		for _, rr := range wv.reroutes {
+			if release {
+				if fl := sim.Flow(rr.id); fl == nil || fl.Done() {
+					continue
+				}
+			} else if sim.Flow(rr.id).Done() {
+				continue
+			}
+			if err := sim.SetPath(rr.id, rr.path); err != nil {
+				return 0, 0, 0, nil, err
+			}
+			events++
+		}
+	}
+	if err := sim.RunToCompletion(); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	wall := time.Since(start)
+	if relErr != nil {
+		return 0, 0, 0, nil, relErr
+	}
+	if !release {
 		for i := range flows {
 			fcts[i] = sim.Flow(fluid.FlowID(i)).Finish()
 		}
-		return wall, st.RecomputeWork, events + st.HeapPops, fcts, nil
 	}
+	st := sim.Stats()
+	return wall, st.RecomputeWork, events + st.HeapPops, fcts, nil
+}
 
-	incWall, incWork, events, incFCT, err := replay(false)
+// StormBench generates the deterministic storm schedule once, replays it
+// through the incremental engine and the forced-full reference, and reports
+// the work and wall-clock ratios. This is the workload behind the
+// `dataplane.storm_*` gate metrics and the EXPERIMENTS.md scale table.
+func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 16
+	}
+	if cfg.HostsPerEdge == 0 {
+		cfg.HostsPerEdge = 4
+	}
+	if cfg.FlowsPerHost == 0 {
+		cfg.FlowsPerHost = 20
+	}
+	if cfg.Waves == 0 {
+		cfg.Waves = 3
+	}
+	if cfg.WaveBatch == 0 {
+		cfg.WaveBatch = 256
+	}
+	ft, flows, waves, err := buildStormSchedule(cfg.K, cfg.HostsPerEdge, cfg.FlowsPerHost, cfg.Waves, cfg.WaveBatch)
 	if err != nil {
 		return nil, err
 	}
-	fullWall, fullWork, _, fullFCT, err := replay(true)
+
+	incWall, incWork, events, incFCT, err := replayStorm(ft, flows, waves, false, cfg.Workers, false)
+	if err != nil {
+		return nil, err
+	}
+	fullWall, fullWork, _, fullFCT, err := replayStorm(ft, flows, waves, true, cfg.Workers, false)
 	if err != nil {
 		return nil, err
 	}
@@ -580,5 +668,102 @@ func StormBench(cfg StormBenchConfig) (*StormBenchResult, error) {
 		WorkRatio:     float64(fullWork) / float64(incWork),
 		EventsPerSec:  float64(events) / incWall.Seconds(),
 		MaxRelDiffFCT: maxRel,
+	}, nil
+}
+
+// StormScaleConfig parameterizes the k=48 storm scale run.
+type StormScaleConfig struct {
+	// K and HostsPerEdge size the fabric (default k=48 with 2 hosts per
+	// edge: 2304 hosts across 48 pods). FlowsPerHost sizes the offered load
+	// (default 4 → 9216 flows spread over a far larger fabric than the k=16
+	// storm, so components stay small and scoping dominates).
+	K, HostsPerEdge, FlowsPerHost int
+	// Waves is the number of reroute storms (default 2), WaveBatch the
+	// reroutes per storm (default 512).
+	Waves, WaveBatch int
+	// Workers bounds the parallel replay's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Smoke marks a reduced-scale run; carried into the result so
+	// GateMetrics can exclude it.
+	Smoke bool
+}
+
+// StormScaleResult is the k=48 scale run: the same deterministic storm
+// schedule replayed incrementally twice, once with a single worker and once
+// with the configured pool, pinning the engine's determinism contract (FCTs
+// must be bit-identical across worker counts — a hard error, not a gate) and
+// measuring the parallel speedup. No forced-full reference replay: at this
+// scale the reference engine's quadratic pass cost is the thing the
+// incremental engine exists to avoid.
+type StormScaleResult struct {
+	Experiment   string  `json:"experiment"`
+	K            int     `json:"k"`
+	Flows        int     `json:"flows"`
+	Events       int64   `json:"events"`
+	Smoke        bool    `json:"smoke,omitempty"`
+	Workers      int     `json:"workers"`
+	Wall1MS      float64 `json:"wall_1worker_ms"`
+	WallNMS      float64 `json:"wall_nworker_ms"`
+	ParSpeedup   float64 `json:"par_speedup"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Deterministic records that the two replays' FCT vectors compared
+	// bit-identical (always true in a returned result; divergence errors).
+	Deterministic bool `json:"deterministic"`
+}
+
+// StormScaleBench builds the k=48 storm schedule and replays it with one
+// worker and with the configured pool. Completed flows are released from
+// OnComplete, so the run also exercises slot recycling under churn.
+func StormScaleBench(cfg StormScaleConfig) (*StormScaleResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 48
+	}
+	if cfg.HostsPerEdge == 0 {
+		cfg.HostsPerEdge = 2
+	}
+	if cfg.FlowsPerHost == 0 {
+		cfg.FlowsPerHost = 4
+	}
+	if cfg.Waves == 0 {
+		cfg.Waves = 2
+	}
+	if cfg.WaveBatch == 0 {
+		cfg.WaveBatch = 512
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ft, flows, waves, err := buildStormSchedule(cfg.K, cfg.HostsPerEdge, cfg.FlowsPerHost, cfg.Waves, cfg.WaveBatch)
+	if err != nil {
+		return nil, err
+	}
+
+	wall1, _, events, fct1, err := replayStorm(ft, flows, waves, false, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	wallN, _, _, fctN, err := replayStorm(ft, flows, waves, false, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fct1 {
+		if fct1[i] != fctN[i] {
+			return nil, fmt.Errorf("storm scale bench: flow %d FCT differs across worker counts: 1 worker %v, %d workers %v",
+				i, fct1[i], workers, fctN[i])
+		}
+	}
+	return &StormScaleResult{
+		Experiment:    "dataplane-storm-k48",
+		K:             cfg.K,
+		Flows:         len(flows),
+		Events:        events,
+		Smoke:         cfg.Smoke,
+		Workers:       workers,
+		Wall1MS:       float64(wall1.Nanoseconds()) / 1e6,
+		WallNMS:       float64(wallN.Nanoseconds()) / 1e6,
+		ParSpeedup:    wall1.Seconds() / wallN.Seconds(),
+		EventsPerSec:  float64(events) / wallN.Seconds(),
+		Deterministic: true,
 	}, nil
 }

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"sharebackup"
 	"sharebackup/internal/bench"
@@ -48,19 +50,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tolerance     = fs.Float64("tolerance", 0.10, "default allowed relative regression for metrics without their own tolerance")
 		noWrite       = fs.Bool("no-write", false, "gate against the prior files without updating them")
 		smoke         = fs.Bool("smoke", false, "shrink the data-plane storm comparison to CI scale (storm metrics reported but not gated)")
+		workers       = fs.Int("workers", 0, "simulator worker-pool bound for the data-plane benches (0 = GOMAXPROCS); results are bit-identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	meta := bench.Stamp()
-	fmt.Fprintf(stdout, "sbbench: %s %s/%s sha=%s\n", meta.GoVersion, meta.GOOS, meta.GOARCH, short(meta.GitSHA))
+	meta.Workers = *workers
+	if meta.Workers <= 0 {
+		meta.Workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(stdout, "sbbench: %s %s/%s sha=%s workers=%d\n", meta.GoVersion, meta.GOOS, meta.GOARCH, short(meta.GitSHA), meta.Workers)
 
 	status := 0
 	gate := func(path, name string, make func() (*bench.File, string, error)) {
 		if path == "" || status == 2 {
 			return
 		}
+		path = resolveRepoPath(path)
 		file, summary, err := make()
 		if err != nil {
 			fmt.Fprintf(stderr, "sbbench: %s: %v\n", name, err)
@@ -106,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return f, fmt.Sprintf("%d techs, %d recoveries each", len(res.Techs), res.Techs[0].Recoveries), nil
 	})
 	gate(*dataplanePath, "dataplane", func() (*bench.File, string, error) {
-		res, err := sharebackup.DataplaneBench(sharebackup.DataplaneBenchConfig{K: *k, Smoke: *smoke})
+		res, err := sharebackup.DataplaneBench(sharebackup.DataplaneBenchConfig{K: *k, Smoke: *smoke, Workers: *workers})
 		if err != nil {
 			return nil, "", err
 		}
@@ -121,8 +129,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if s.Smoke {
 				mode = " (smoke, ungated)"
 			}
-			summary += fmt.Sprintf("; storm k=%d %d flows: %.1fx work, %.1fx wall%s",
-				s.K, s.Flows, s.WorkRatio, s.WallSpeedup, mode)
+			summary += fmt.Sprintf("; storm k=%d %d flows: %.1fx work, %.1fx wall, %.0f events/s%s",
+				s.K, s.Flows, s.WorkRatio, s.WallSpeedup, s.EventsPerSec, mode)
+		}
+		if s := res.StormK48; s != nil {
+			mode := ""
+			if s.Smoke {
+				mode = " (smoke, ungated)"
+			}
+			summary += fmt.Sprintf("; scale k=%d %d flows: %.0f events/s, %.2fx at %d workers%s",
+				s.K, s.Flows, s.EventsPerSec, s.ParSpeedup, s.Workers, mode)
 		}
 		return f, summary, nil
 	})
@@ -192,6 +208,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "sbbench: FAIL — benchmark trajectory regressed")
 	}
 	return status
+}
+
+// resolveRepoPath anchors a relative trajectory-file path at the repo root
+// (the nearest ancestor of the working directory containing go.mod), so
+// `go test ./cmd/sbbench` or a `go run` from a subdirectory gates against —
+// and rewrites — the committed BENCH_*.json files instead of scattering
+// fresh baselines wherever the process happened to start. Absolute paths
+// (what the tests pass) are untouched, and without a go.mod ancestor the
+// path stays relative to the working directory.
+func resolveRepoPath(path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, path)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return path
+		}
+		dir = parent
+	}
 }
 
 func short(sha string) string {

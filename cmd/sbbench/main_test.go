@@ -18,6 +18,10 @@ func runGate(t *testing.T, dir string, extra ...string) (int, string) {
 		"-sweep", filepath.Join(dir, "BENCH_sweep.json"),
 		"-routing", filepath.Join(dir, "BENCH_routing.json"),
 		"-obs", filepath.Join(dir, "BENCH_obs.json"),
+		// Every gate gets an explicit temp path: an omitted flag would fall
+		// back to the repo-root default and rewrite a committed baseline
+		// from a smoke-scale test run.
+		"-ctlplane", filepath.Join(dir, "BENCH_ctlplane.json"),
 		"-k", "4", "-trials", "2", "-smoke",
 	}, extra...)
 	var out, errb bytes.Buffer

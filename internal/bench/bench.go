@@ -31,6 +31,12 @@ type Meta struct {
 	GOOS         string `json:"goos"`
 	GOARCH       string `json:"goarch"`
 	Host         string `json:"host,omitempty"`
+	// Workers is the simulator worker-pool bound the run used (0 =
+	// unstamped / not applicable). Results are deterministic across worker
+	// counts, but wall-clock metrics are not — a baseline stamped at one
+	// pool size gates fairly only against runs at the same size, so the
+	// count travels with the file.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Stamp collects the current provenance. The git fields are best-effort:

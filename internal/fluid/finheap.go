@@ -1,21 +1,25 @@
 package fluid
 
 // finEvent is one scheduled completion: the exact finish time implied by
-// the flow's rate at the epoch the event was pushed. Rate changes bump the
-// flow's epoch instead of searching the heap, and mismatched entries are
-// dropped when they surface — classic lazy invalidation, which keeps every
-// rate change O(log n) instead of O(n).
+// the flow's rate at the last seal. The heap is *indexed*: the fHeapPos
+// column maps each flow slot to its heap position, so a rate change moves
+// the flow's one entry in place (O(log n)) instead of abandoning it. The
+// heap therefore never holds stale entries — at most one event per active
+// flow, no validity checks on pop, no compaction sweeps. The event carries
+// the flow's slot and ID by value (24 bytes, no pointers), so heap
+// operations touch the flow columns only to maintain fHeapPos.
 type finEvent struct {
-	t     float64
-	epoch uint32
-	f     *Flow
+	t  float64
+	id FlowID
+	fi int32
 }
 
-// finHeap is a hand-rolled binary min-heap of finish events, ordered by
-// time then flow ID (the ID tie-break keeps cohort completion order
+// finHeap is a hand-rolled indexed binary min-heap of finish events, ordered
+// by time then flow ID (the ID tie-break keeps cohort completion order
 // deterministic and ID-sorted, matching the seed engine's scan order).
-// Hand-rolled rather than container/heap so push/pop stay inlineable and
-// allocation-free on the hot path.
+// Hand-rolled rather than container/heap so the sift loops stay inlineable
+// and allocation-free on the hot path; the sift helpers live on Simulator
+// because every swap must mirror into the fHeapPos column.
 type finHeap []finEvent
 
 func (h finHeap) Len() int { return len(h) }
@@ -24,72 +28,99 @@ func (h finHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
-	return h[i].f.ID < h[j].f.ID
+	return h[i].id < h[j].id
 }
 
-func (h *finHeap) push(e finEvent) {
-	*h = append(*h, e)
-	a := *h
-	for i := len(a) - 1; i > 0; {
+// finSchedule inserts — or, if the flow already has an event, re-keys in
+// place — fi's finish event at time t.
+func (s *Simulator) finSchedule(fi int32, t float64) {
+	if p := int(s.fHeapPos[fi]); p >= 0 {
+		old := s.fin[p].t
+		s.fin[p].t = t
+		if t < old {
+			s.finUp(p)
+		} else if t > old {
+			s.finDown(p)
+		}
+		return
+	}
+	s.fHeapPos[fi] = int32(len(s.fin))
+	s.fin = append(s.fin, finEvent{t: t, id: s.fID[fi], fi: fi})
+	s.finUp(len(s.fin) - 1)
+}
+
+// finRemove deletes fi's finish event if one is scheduled (rate dropped to
+// zero: stalled, or starved by background).
+func (s *Simulator) finRemove(fi int32) {
+	p := int(s.fHeapPos[fi])
+	if p < 0 {
+		return
+	}
+	s.fHeapPos[fi] = -1
+	h := s.fin
+	n := len(h) - 1
+	if p != n {
+		h[p] = h[n]
+		s.fHeapPos[h[p].fi] = int32(p)
+		s.fin = h[:n]
+		if !s.finDown(p) {
+			s.finUp(p)
+		}
+	} else {
+		s.fin = h[:n]
+	}
+}
+
+// finPopHead removes the minimum entry; callers peek s.fin[0] first.
+func (s *Simulator) finPopHead() {
+	h := s.fin
+	n := len(h) - 1
+	s.fHeapPos[h[0].fi] = -1
+	if n > 0 {
+		h[0] = h[n]
+		s.fHeapPos[h[0].fi] = 0
+	}
+	s.fin = h[:n]
+	s.finDown(0)
+}
+
+func (s *Simulator) finUp(i int) {
+	h := s.fin
+	pos := s.fHeapPos
+	for i > 0 {
 		parent := (i - 1) / 2
-		if !a.less(i, parent) {
+		if !h.less(i, parent) {
 			break
 		}
-		a[i], a[parent] = a[parent], a[i]
+		h[i], h[parent] = h[parent], h[i]
+		pos[h[i].fi] = int32(i)
+		pos[h[parent].fi] = int32(parent)
 		i = parent
 	}
 }
 
-// popHead removes the minimum entry. Callers peek h[0] first; popHead
-// exists separately so the peek-discard loops don't copy entries around
-// when the head is kept.
-func (h *finHeap) popHead() {
-	a := *h
-	n := len(a) - 1
-	a[0] = a[n]
-	a[n] = finEvent{}
-	a = a[:n]
-	*h = a
-	h.siftDown(0)
-}
-
-func (h *finHeap) siftDown(i int) {
-	a := *h
-	n := len(a)
+// finDown reports whether the entry moved, so finRemove's replacement entry
+// can try sifting up only when it did not sink.
+func (s *Simulator) finDown(i int) bool {
+	h := s.fin
+	pos := s.fHeapPos
+	n := len(h)
+	i0 := i
 	for {
 		c := 2*i + 1
 		if c >= n {
-			return
+			break
 		}
-		if c+1 < n && a.less(c+1, c) {
+		if c+1 < n && h.less(c+1, c) {
 			c++
 		}
-		if !a.less(c, i) {
-			return
+		if !h.less(c, i) {
+			break
 		}
-		a[i], a[c] = a[c], a[i]
+		h[i], h[c] = h[c], h[i]
+		pos[h[i].fi] = int32(i)
+		pos[h[c].fi] = int32(c)
 		i = c
 	}
-}
-
-// compact drops every invalidated entry in one pass and re-heapifies,
-// returning how many entries were discarded. Called when the heap is
-// dominated by stale debris (reroute storms invalidate aggressively).
-func (h *finHeap) compact() int {
-	a := *h
-	kept := a[:0]
-	for _, e := range a {
-		if !e.f.done && e.epoch == e.f.epoch {
-			kept = append(kept, e)
-		}
-	}
-	dropped := len(a) - len(kept)
-	for i := len(kept); i < len(a); i++ {
-		a[i] = finEvent{}
-	}
-	*h = kept
-	for i := len(kept)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-	return dropped
+	return i > i0
 }

@@ -6,20 +6,26 @@
 // model captures. The simulator supports mid-run rerouting and stalling, so
 // failure and recovery events can be injected between runs.
 //
-// The hot path is incremental (DESIGN.md §10): an event only recomputes
-// rates inside the connected component of flows sharing links with the
-// changed flow (full recomputation is the fallback for oversized
-// components), the next completion comes from a lazily-invalidated
-// finish-time heap instead of a scan, and bytes drain lazily so advancing
-// time is O(1). Max-min allocations decompose exactly over link-sharing
-// components, so scoped recomputation is equivalent to the global
-// algorithm; the differential property tests in property_test.go replay
-// randomized schedules through both engines to enforce it.
+// The hot path is incremental and cache-friendly (DESIGN.md §10, §15): flow
+// state lives in structure-of-arrays columns indexed by dense slot numbers
+// (no per-flow heap objects on the hot path), link incidence is packed into
+// shared index arenas, and a dirty event recomputes only a scoped flow set —
+// first trying a "ripple" pass that fills just the flows on the dirty links
+// and proves optimality via local bottleneck checks (ripple.go), falling
+// back to exact link-sharing component decomposition (parallel.go), which
+// can fill independent components on a bounded worker pool with bit-identical
+// results for any worker count. The next completion comes from a
+// lazily-invalidated finish-time heap instead of a scan, and bytes drain
+// lazily so advancing time is O(1). Max-min allocations decompose exactly
+// over link-sharing components, so scoped recomputation is equivalent to the
+// global algorithm; the differential property tests in property_test.go
+// replay randomized schedules through both engines to enforce it.
 package fluid
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync/atomic"
 
 	"sharebackup/internal/obs/prof"
@@ -29,41 +35,41 @@ import (
 // FlowID identifies a flow within one Simulator.
 type FlowID int64
 
-// Flow is the caller-visible record of a flow.
+// Flow is a stable handle onto one flow's state. The state itself lives in
+// the simulator's structure-of-arrays columns; the handle carries only the
+// slot index, so a *Flow held across reroutes, recomputes, and other flows'
+// slot recycling stays valid. Handles live in chunked slabs that never move.
+// A handle becomes invalid only when its own flow is ReleaseFlow'd.
 type Flow struct {
-	ID      FlowID
-	Bytes   float64 // total bytes to transfer
-	Arrival float64 // arrival time, seconds
-	// Path is the current route. An empty path means the flow is stalled
-	// (disconnected): it holds its remaining bytes at zero rate.
-	Path topo.Path
-
-	remaining float64 // bytes left as of lastT (drains lazily after that)
-	lastT     float64 // simulation time remaining was last materialized at
-	rate      float64
-	prevRate  float64 // scratch: rate before the in-flight recompute
-	started   bool
-	done      bool
-	finish    float64
-
-	epoch     uint32  // bumped on every rate change; stale heap entries differ
-	activeIdx int32   // index in sim.active, -1 when not active
-	visit     uint64  // component-BFS visit generation
-	linkPos   []int32 // linkPos[j] = this flow's slot in sim.linkFlows[Path.Links[j]]
-
+	id  FlowID
+	fi  int32
 	sim *Simulator
 }
+
+// ID returns the flow's identifier.
+func (f *Flow) ID() FlowID { return f.id }
+
+// Bytes returns the flow's total transfer size.
+func (f *Flow) Bytes() float64 { return f.sim.fBytes[f.fi] }
+
+// Arrival returns the flow's arrival time in seconds.
+func (f *Flow) Arrival() float64 { return f.sim.fArrival[f.fi] }
+
+// Path returns the flow's current route. An empty path means the flow is
+// stalled (disconnected): it holds its remaining bytes at zero rate.
+func (f *Flow) Path() topo.Path { return f.sim.fPath[f.fi] }
 
 // Remaining returns the bytes the flow still has to transfer. Bytes drain
 // lazily between rate changes, so the value is materialized on demand from
 // the current rate and the simulator clock.
 func (f *Flow) Remaining() float64 {
-	if f.sim == nil || !f.started || f.done {
-		return f.remaining
+	s, fi := f.sim, f.fi
+	r := s.fRemaining[fi]
+	if !s.fStarted[fi] || s.fDone[fi] {
+		return r
 	}
-	r := f.remaining
-	if f.rate > 0 {
-		r -= f.rate * (f.sim.now - f.lastT)
+	if rate := s.fRate[fi]; rate > 0 {
+		r -= rate * (s.now - s.fLastT[fi])
 		if r < 0 {
 			r = 0
 		}
@@ -72,22 +78,35 @@ func (f *Flow) Remaining() float64 {
 }
 
 // Rate returns the flow's current max-min fair rate.
-func (f *Flow) Rate() float64 { return f.rate }
+func (f *Flow) Rate() float64 { return f.sim.fRate[f.fi] }
 
 // Done reports whether the flow has completed.
-func (f *Flow) Done() bool { return f.done }
+func (f *Flow) Done() bool { return f.sim.fDone[f.fi] }
 
 // Finish returns the completion time; valid only when Done.
-func (f *Flow) Finish() float64 { return f.finish }
+func (f *Flow) Finish() float64 { return f.sim.fFinish[f.fi] }
 
 // Stalled reports whether the flow is active but disconnected.
-func (f *Flow) Stalled() bool { return f.started && !f.done && len(f.Path.Links) == 0 }
+func (f *Flow) Stalled() bool {
+	s, fi := f.sim, f.fi
+	return s.fStarted[fi] && !s.fDone[fi] && len(s.fPath[fi].Links) == 0
+}
 
-// linkRef is one entry of a per-link flow list: the flow plus which slot of
-// its path the link occupies, so swap-removal can repair the moved flow's
-// linkPos in O(1).
+// Handle slabs are fixed-size chunks so handle addresses are stable as the
+// flow population grows (appending chunks never moves existing ones).
+const (
+	handleShift = 8
+	handleSize  = 1 << handleShift
+	handleMask  = handleSize - 1
+)
+
+type handleChunk [handleSize]Flow
+
+// linkRef is one entry of a per-link flow list: the flow's slot plus which
+// position of its path the link occupies, so swap-removal can repair the
+// moved flow's position entry in O(1).
 type linkRef struct {
-	f    *Flow
+	fi   int32
 	slot int32
 }
 
@@ -95,45 +114,110 @@ type linkRef struct {
 // integers (telemetry-independent, so benchmarks and regression tests can
 // assert on algorithmic cost instead of wall-clock).
 type EngineStats struct {
-	Recomputes     int64 // rate recomputation passes (scoped or full)
-	FullRecomputes int64 // passes that ran over the whole active set
-	RecomputeWork  int64 // flow×link incidences touched by filling passes
-	HeapPops       int64 // finish events consumed from the heap
-	StalePops      int64 // lazily-invalidated heap entries discarded
+	Recomputes       int64 // rate recomputation passes (scoped or full)
+	FullRecomputes   int64 // passes that ran over the whole active set
+	RecomputeWork    int64 // flow×link incidences touched by filling passes
+	HeapPops         int64 // finish events consumed from the heap
+	RipplePasses     int64 // scoped passes settled by local verification
+	RippleExpansions int64 // verification-driven ripple set growths
+	RippleFallbacks  int64 // ripple passes abandoned to component BFS
+	ParallelPasses   int64 // component fills run on the worker pool
+	Components       int64 // link-sharing components filled across all passes
 }
 
 // Simulator advances a set of flows over a capacitated topology.
+//
+// Flow state is structure-of-arrays: every per-flow field is a column slice
+// indexed by the flow's slot (DESIGN.md §15). Component BFS, progressive
+// filling, and the ripple verification sweep walk these columns and the
+// packed link-incidence arena contiguously, with no per-flow pointer chasing.
 type Simulator struct {
 	topo *topo.Topology
 	caps []float64
 
-	now     float64
-	flows   map[FlowID]*Flow
-	active  []*Flow // started, not done; index-mapped via Flow.activeIdx
+	now float64
+
+	// --- per-flow columns, indexed by slot ---
+	fID        []FlowID // -1 marks a released slot
+	fBytes     []float64
+	fArrival   []float64
+	fPath      []topo.Path
+	fRemaining []float64 // bytes left as of fLastT (drains lazily after that)
+	fLastT     []float64
+	fRate      []float64
+	fPrevRate  []float64 // rate before the in-flight recompute pass
+	fFinish    []float64
+	fHeapPos   []int32 // position in the finish heap, -1 when unscheduled
+	fActive    []int32 // index in active, -1 when not active
+	// fCert is the flow's bottleneck certificate: a link where the flow was
+	// last verified saturated-and-maximal (its freeze link from the last fill
+	// that sealed it, or the link check (a) certified). -1 when unknown. The
+	// ripple background checks use it as an O(1) fast path; see ripple.go.
+	fCert      []topo.LinkID
+	fVisit     []uint64 // component/ripple membership generation
+	fPrep      []uint64 // prepare() generation; guards one-drain-per-pass
+	fStarted   []bool
+	fDone      []bool
+
+	// Link incidence: slot fi's attached links are linkArena[fOff[fi] :
+	// fOff[fi]+fNL[fi]], and posArena (same span) holds the flow's position
+	// in each link's linkFlows list. Spans are bump-allocated; retired spans
+	// are garbage, compacted away when they dominate.
+	fOff         []int32
+	fNL          []int32
+	fCap         []int32
+	linkArena    []topo.LinkID
+	posArena     []int32
+	arenaGarbage int
+
+	// Handles are chunked so they never move; byID maps IDs to slots and
+	// freeSlots recycles released ones.
+	handles   []*handleChunk
+	byID      map[FlowID]int32
+	freeSlots []int32
+
+	active  []int32 // started, not done; index-mapped via fActive
 	pending arrivalHeap
-	fin     finHeap // finish-time heap, lazily invalidated via Flow.epoch
+	fin     finHeap // indexed finish-time heap; positions mirrored in fHeapPos
 
 	linkFlows [][]linkRef // per-link lists of active flows crossing the link
+	// linkRate is each link's aggregate flow rate: adjusted eagerly on
+	// attach/detach and refreshed exactly (resummed) on every seal, so the
+	// ripple pass can judge links outside its scope without touching them.
+	linkRate []float64
 
 	// Dirty tracking: links whose flow set or demand changed since the last
-	// recompute seed the component BFS; fullDirty forces a global pass.
+	// recompute seed the scoped pass; fullDirty forces a global pass.
 	dirtySeeds []topo.LinkID
 	fullDirty  bool
 	forceFull  bool // ForceFullRecompute: retained reference engine
 
-	// Scratch buffers reused across recomputes (allocation-free steady
-	// state). linkIdx maps link ID -> engaged-link index and is kept
-	// all -1 between passes; linkGen/gen mark BFS-visited links.
-	linkIdx   []int32
+	// Component decomposition scratch (parallel.go): linkGen/gen mark
+	// BFS-visited links; comps spans index into compFlows/compLinks.
 	linkGen   []uint64
 	gen       uint64
-	engaged   []topo.LinkID
-	residual  []float64
-	count     []int32
-	satList   []int32
-	compFlows []*Flow
+	passGen   uint64
+	compFlows []int32
 	compLinks []topo.LinkID
-	utilBuf   []float64
+	comps     []compSpan
+
+	// Ripple scratch (ripple.go): rIdx maps link ID -> ripple-link index,
+	// kept all -1 between passes; the v* columns are the verification
+	// sweep's per-link results.
+	rIdx []int32
+	vSum []float64
+	vMax []float64
+	vBG  []float64
+	vSat []bool
+	vChg []bool
+
+	// Per-worker fill scratch; scratch[0] serves every serial pass.
+	scratch     []*fillScratch
+	workers     int
+	parMinFlows int
+	workerWork  []int64
+
+	utilBuf []float64
 
 	stats EngineStats
 
@@ -153,6 +237,10 @@ type Simulator struct {
 	OnComplete func(*Flow)
 }
 
+// defaultParMinFlows gates the worker pool: below this many flows in a pass
+// the goroutine handoff costs more than the fills.
+const defaultParMinFlows = 2048
+
 // New creates a simulator over t. Link capacities are taken from the
 // topology (bytes per second). The simulator samples into the process-wide
 // default telemetry if one is installed (SetDefaultTelemetry); override
@@ -164,19 +252,37 @@ func New(t *topo.Topology) *Simulator {
 		caps[i] = l.Capacity
 	}
 	s := &Simulator{
-		topo:      t,
-		caps:      caps,
-		flows:     make(map[FlowID]*Flow),
-		linkFlows: make([][]linkRef, nl),
-		linkIdx:   make([]int32, nl),
-		linkGen:   make([]uint64, nl),
+		topo:        t,
+		caps:        caps,
+		byID:        make(map[FlowID]int32),
+		linkFlows:   make([][]linkRef, nl),
+		linkRate:    make([]float64, nl),
+		linkGen:     make([]uint64, nl),
+		rIdx:        make([]int32, nl),
+		workers:     runtime.GOMAXPROCS(0),
+		parMinFlows: defaultParMinFlows,
 	}
-	for i := range s.linkIdx {
-		s.linkIdx[i] = -1
+	for i := range s.rIdx {
+		s.rIdx[i] = -1
 	}
 	s.tel.Store(defaultTel.Load())
 	return s
 }
+
+// SetWorkers bounds the worker pool used for parallel component fills
+// (default runtime.GOMAXPROCS(0); n < 1 clamps to 1). Results are
+// bit-identical for any worker count: every engine decision is made before
+// work is distributed, components are filled independently with per-worker
+// scratch, and sealing runs serially in deterministic component order.
+func (s *Simulator) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers returns the current worker-pool bound.
+func (s *Simulator) Workers() int { return s.workers }
 
 // Now returns the current simulation time.
 func (s *Simulator) Now() float64 { return s.now }
@@ -187,22 +293,67 @@ func (s *Simulator) ActiveCount() int { return len(s.active) }
 // PendingCount returns the number of flows that have not arrived yet.
 func (s *Simulator) PendingCount() int { return s.pending.Len() }
 
-// Flow returns the flow record, or nil if unknown.
-func (s *Simulator) Flow(id FlowID) *Flow { return s.flows[id] }
+// Flow returns the flow's handle, or nil if unknown.
+func (s *Simulator) Flow(id FlowID) *Flow {
+	fi, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	return s.handle(fi)
+}
 
 // Stats returns a snapshot of the engine's internal work counters.
 func (s *Simulator) Stats() EngineStats { return s.stats }
 
-// ForceFullRecompute disables component-scoped recomputation: every dirty
-// event triggers a global progressive-filling pass, exactly the seed
-// algorithm's behaviour. This is the retained reference engine the
-// differential property tests and the storm benchmark compare against.
+// ForceFullRecompute disables scoped recomputation: every dirty event
+// triggers a global progressive-filling pass over the whole active set,
+// exactly the seed algorithm's behaviour. This is the retained reference
+// engine the differential property tests and the storm benchmark compare
+// against.
 func (s *Simulator) ForceFullRecompute(on bool) { s.forceFull = on }
+
+func (s *Simulator) handle(fi int32) *Flow {
+	return &s.handles[fi>>handleShift][fi&handleMask]
+}
+
+// newSlot returns a free flow slot, growing every column (and the handle
+// slab) in lockstep when the free list is empty.
+func (s *Simulator) newSlot() int32 {
+	if n := len(s.freeSlots); n > 0 {
+		fi := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return fi
+	}
+	fi := int32(len(s.fID))
+	s.fID = append(s.fID, 0)
+	s.fBytes = append(s.fBytes, 0)
+	s.fArrival = append(s.fArrival, 0)
+	s.fPath = append(s.fPath, topo.Path{})
+	s.fRemaining = append(s.fRemaining, 0)
+	s.fLastT = append(s.fLastT, 0)
+	s.fRate = append(s.fRate, 0)
+	s.fPrevRate = append(s.fPrevRate, 0)
+	s.fFinish = append(s.fFinish, 0)
+	s.fHeapPos = append(s.fHeapPos, -1)
+	s.fCert = append(s.fCert, -1)
+	s.fActive = append(s.fActive, -1)
+	s.fVisit = append(s.fVisit, 0)
+	s.fPrep = append(s.fPrep, 0)
+	s.fStarted = append(s.fStarted, false)
+	s.fDone = append(s.fDone, false)
+	s.fOff = append(s.fOff, -1)
+	s.fNL = append(s.fNL, 0)
+	s.fCap = append(s.fCap, 0)
+	if int(fi)>>handleShift == len(s.handles) {
+		s.handles = append(s.handles, new(handleChunk))
+	}
+	return fi
+}
 
 // AddFlow schedules a flow. Arrival must not be in the simulator's past.
 // Bytes must be positive. A zero-length path stalls the flow from the start.
 func (s *Simulator) AddFlow(id FlowID, bytes, arrival float64, path topo.Path) error {
-	if _, dup := s.flows[id]; dup {
+	if _, dup := s.byID[id]; dup {
 		return fmt.Errorf("fluid: duplicate flow %d", id)
 	}
 	if bytes <= 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
@@ -211,20 +362,63 @@ func (s *Simulator) AddFlow(id FlowID, bytes, arrival float64, path topo.Path) e
 	if arrival < s.now {
 		return fmt.Errorf("fluid: flow %d arrives at %v, before now (%v)", id, arrival, s.now)
 	}
-	f := &Flow{ID: id, Bytes: bytes, Arrival: arrival, Path: path, remaining: bytes, activeIdx: -1, sim: s}
-	s.flows[id] = f
-	s.pending.push(f)
+	fi := s.newSlot()
+	s.fID[fi] = id
+	s.fBytes[fi] = bytes
+	s.fArrival[fi] = arrival
+	s.fPath[fi] = path
+	s.fRemaining[fi] = bytes
+	s.fLastT[fi] = 0
+	s.fRate[fi] = 0
+	s.fPrevRate[fi] = 0
+	s.fFinish[fi] = 0
+	s.fActive[fi] = -1
+	s.fStarted[fi] = false
+	s.fDone[fi] = false
+	s.fNL[fi] = 0
+	s.fHeapPos[fi] = -1 // already -1 for recycled slots (completion pops)
+	s.fCert[fi] = -1
+	// fVisit and fPrep deliberately survive slot recycling: the generations
+	// only grow, so a recycled slot can never alias a stale membership mark.
+	h := s.handle(fi)
+	h.id, h.fi, h.sim = id, fi, s
+	s.byID[id] = fi
+	s.pending.push(arrEvent{at: arrival, id: id, fi: fi})
+	return nil
+}
+
+// ReleaseFlow forgets a completed flow: the ID becomes reusable and the
+// state slot is recycled by a later AddFlow. Long-running workloads (storms
+// replaying millions of flows) call this from OnComplete so flow state is
+// bounded by the number of concurrent flows instead of growing forever.
+// Only completed flows can be released; handles to the flow are invalidated.
+func (s *Simulator) ReleaseFlow(id FlowID) error {
+	fi, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("fluid: ReleaseFlow: unknown flow %d", id)
+	}
+	if !s.fDone[fi] {
+		return fmt.Errorf("fluid: ReleaseFlow: flow %d has not completed", id)
+	}
+	delete(s.byID, id)
+	if s.fCap[fi] > 0 {
+		s.arenaGarbage += int(s.fCap[fi])
+		s.fOff[fi], s.fCap[fi] = -1, 0
+	}
+	s.fID[fi] = -1 // completion already removed the slot's finish event
+	s.fPath[fi] = topo.Path{}
+	s.freeSlots = append(s.freeSlots, fi)
 	return nil
 }
 
 // SetPath reroutes (or stalls, with an empty path) an active or pending
 // flow at the current time. Completed flows are rejected.
 func (s *Simulator) SetPath(id FlowID, path topo.Path) error {
-	f, ok := s.flows[id]
+	fi, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("fluid: SetPath: unknown flow %d", id)
 	}
-	if f.done {
+	if s.fDone[fi] {
 		return fmt.Errorf("fluid: SetPath: flow %d already completed", id)
 	}
 	if tel := s.tel.Load(); tel != nil {
@@ -234,68 +428,155 @@ func (s *Simulator) SetPath(id FlowID, path topo.Path) error {
 			tel.Reroutes.Inc()
 		}
 	}
-	if !f.started {
+	// The certificate names a link on the old path; it can't survive a
+	// route change.
+	s.fCert[fi] = -1
+	if !s.fStarted[fi] {
 		// Pending flow: just swap the path; rates don't depend on it yet.
-		f.Path = path
+		s.fPath[fi] = path
 		return nil
 	}
 	// Materialize bytes at the old rate before the route (and hence the
 	// rate) changes, then perturb both the old and new components. The
-	// epoch is NOT bumped here: if the recompute lands on the same rate,
-	// the flow's existing finish event is still exact. Only a rate change
-	// invalidates it — in fill, or right below for a stall (the one rate
-	// change that happens outside a filling pass).
-	s.drain(f)
-	s.detachLinks(f)
-	f.Path = path
-	s.attachLinks(f)
-	if len(path.Links) == 0 && f.rate != 0 {
-		f.rate = 0 // stalled immediately; no finish event until rerouted
-		f.epoch++
+	// finish event is NOT touched here: if the recompute lands on the same
+	// rate, the existing event is still exact. Only a rate change moves it —
+	// in seal, or right below for a stall (the one rate change that happens
+	// outside a filling pass).
+	s.drain(fi)
+	s.detachLinks(fi)
+	s.fPath[fi] = path
+	s.attachLinks(fi)
+	if len(path.Links) == 0 && s.fRate[fi] != 0 {
+		s.fRate[fi] = 0 // stalled immediately; no finish event until rerouted
+		s.finRemove(fi)
 	}
 	return nil
 }
 
-// drain materializes f's remaining bytes up to the current time at its
-// current rate. Must be called before any change to f.rate.
-func (s *Simulator) drain(f *Flow) {
-	if f.rate > 0 && s.now > f.lastT {
-		f.remaining -= f.rate * (s.now - f.lastT)
-		if f.remaining < 0 {
-			f.remaining = 0
+// drain materializes the flow's remaining bytes up to the current time at
+// its current rate. Must be called before any change to its rate.
+func (s *Simulator) drain(fi int32) {
+	if r := s.fRate[fi]; r > 0 && s.now > s.fLastT[fi] {
+		rem := s.fRemaining[fi] - r*(s.now-s.fLastT[fi])
+		if rem < 0 {
+			rem = 0
 		}
+		s.fRemaining[fi] = rem
 	}
-	f.lastT = s.now
+	s.fLastT[fi] = s.now
 }
 
-// attachLinks adds f to the per-link flow lists of its current path and
-// marks those links dirty.
-func (s *Simulator) attachLinks(f *Flow) {
-	if cap(f.linkPos) < len(f.Path.Links) {
-		f.linkPos = make([]int32, len(f.Path.Links))
+// prepare drains the flow and snapshots its pre-pass rate, exactly once per
+// recompute pass: the fPrep generation guards re-entry, so a ripple pass
+// that bails into the component fallback cannot clobber the true pre-pass
+// rate with abandoned fill state.
+func (s *Simulator) prepare(fi int32) {
+	if s.fPrep[fi] == s.passGen {
+		return
 	}
-	f.linkPos = f.linkPos[:len(f.Path.Links)]
-	for j, l := range f.Path.Links {
-		f.linkPos[j] = int32(len(s.linkFlows[l]))
-		s.linkFlows[l] = append(s.linkFlows[l], linkRef{f: f, slot: int32(j)})
+	s.fPrep[fi] = s.passGen
+	s.drain(fi)
+	s.fPrevRate[fi] = s.fRate[fi]
+}
+
+// attachLinks adds the flow to the per-link flow lists of its current path,
+// adds its rate into linkRate, and marks those links dirty.
+func (s *Simulator) attachLinks(fi int32) {
+	links := s.fPath[fi].Links
+	n := int32(len(links))
+	s.fNL[fi] = n
+	if n == 0 {
+		return
+	}
+	if s.fCap[fi] < n {
+		s.growSpan(fi, n)
+	}
+	off := s.fOff[fi]
+	rate := s.fRate[fi]
+	for j, l := range links {
+		s.linkArena[off+int32(j)] = l
+		s.posArena[off+int32(j)] = int32(len(s.linkFlows[l]))
+		s.linkFlows[l] = append(s.linkFlows[l], linkRef{fi: fi, slot: int32(j)})
+		if rate != 0 {
+			s.linkRate[l] += rate
+		}
 		s.markDirty(l)
 	}
 }
 
-// detachLinks removes f from the per-link flow lists of its current path
-// (swap-remove, repairing the moved entry's back-index) and marks those
-// links dirty.
-func (s *Simulator) detachLinks(f *Flow) {
-	for j, l := range f.Path.Links {
+// growSpan gives the slot a fresh incidence span of n entries at the arena
+// tail, retiring any previous span as garbage and compacting the arena when
+// garbage dominates it.
+func (s *Simulator) growSpan(fi, n int32) {
+	if old := s.fCap[fi]; old > 0 {
+		s.arenaGarbage += int(old)
+		s.fOff[fi], s.fCap[fi] = -1, 0
+	}
+	if s.arenaGarbage > len(s.linkArena)/2 && len(s.linkArena) > 4096 {
+		s.compactArena()
+	}
+	s.fOff[fi] = int32(len(s.linkArena))
+	s.fCap[fi] = n
+	for i := int32(0); i < n; i++ {
+		s.linkArena = append(s.linkArena, 0)
+		s.posArena = append(s.posArena, 0)
+	}
+}
+
+// compactArena rewrites the incidence arenas keeping only each slot's live
+// prefix (attached flows keep their fNL entries; detached and released
+// spans drop). posArena values are positions in linkFlows lists, unaffected
+// by the move.
+func (s *Simulator) compactArena() {
+	live := len(s.linkArena) - s.arenaGarbage
+	if live < 0 {
+		live = 0
+	}
+	nla := make([]topo.LinkID, 0, live)
+	npa := make([]int32, 0, live)
+	for fi := range s.fOff {
+		keep := s.fNL[fi]
+		if keep > s.fCap[fi] {
+			keep = s.fCap[fi]
+		}
+		if keep <= 0 {
+			s.fOff[fi], s.fCap[fi] = -1, 0
+			continue
+		}
+		off := s.fOff[fi]
+		s.fOff[fi] = int32(len(nla))
+		s.fCap[fi] = keep
+		nla = append(nla, s.linkArena[off:off+keep]...)
+		npa = append(npa, s.posArena[off:off+keep]...)
+	}
+	s.linkArena, s.posArena = nla, npa
+	s.arenaGarbage = 0
+}
+
+// detachLinks removes the flow from the per-link flow lists of its current
+// path (swap-remove, repairing the moved entry's back-position), subtracts
+// its rate from linkRate, and marks those links dirty.
+func (s *Simulator) detachLinks(fi int32) {
+	off := s.fOff[fi]
+	n := s.fNL[fi]
+	rate := s.fRate[fi]
+	for j := int32(0); j < n; j++ {
+		l := s.linkArena[off+j]
 		list := s.linkFlows[l]
-		i := f.linkPos[j]
+		i := s.posArena[off+j]
 		last := int32(len(list) - 1)
 		moved := list[last]
 		list[i] = moved
-		moved.f.linkPos[moved.slot] = i
+		s.posArena[s.fOff[moved.fi]+moved.slot] = i
 		s.linkFlows[l] = list[:last]
+		if last == 0 {
+			s.linkRate[l] = 0 // emptied: exact zero, no float residue
+		} else if rate != 0 {
+			s.linkRate[l] -= rate
+		}
 		s.markDirty(l)
 	}
+	s.fNL[fi] = 0
 }
 
 // maxDirtySeeds bounds the dirty-link list; past it the next recompute is
@@ -325,7 +606,7 @@ func (s *Simulator) Run(until float64) error {
 		s.recompute()
 		tArr := math.Inf(1)
 		if s.pending.Len() > 0 {
-			tArr = s.pending[0].Arrival
+			tArr = s.pending[0].at
 		}
 		tFin := s.nextFinishTime()
 		t := math.Min(tArr, tFin)
@@ -350,7 +631,7 @@ func (s *Simulator) RunToCompletion() error {
 		s.recompute()
 		tArr := math.Inf(1)
 		if s.pending.Len() > 0 {
-			tArr = s.pending[0].Arrival
+			tArr = s.pending[0].at
 		}
 		tFin := s.nextFinishTime()
 		if math.IsInf(tArr, 1) && math.IsInf(tFin, 1) {
@@ -371,13 +652,14 @@ func (s *Simulator) RunToCompletion() error {
 // of simultaneous arrivals costs one rate recomputation instead of one each.
 func (s *Simulator) admitArrivals(t float64) {
 	admitted := 0
-	for s.pending.Len() > 0 && s.pending[0].Arrival == t {
-		f := s.pending.pop()
-		f.started = true
-		f.lastT = t
-		f.activeIdx = int32(len(s.active))
-		s.active = append(s.active, f)
-		s.attachLinks(f)
+	for s.pending.Len() > 0 && s.pending[0].at == t {
+		e := s.pending.pop()
+		fi := e.fi
+		s.fStarted[fi] = true
+		s.fLastT[fi] = t
+		s.fActive[fi] = int32(len(s.active))
+		s.active = append(s.active, fi)
+		s.attachLinks(fi)
 		admitted++
 	}
 	if tel := s.tel.Load(); tel != nil {
@@ -387,40 +669,30 @@ func (s *Simulator) admitArrivals(t float64) {
 	}
 }
 
-// nextFinishTime peeks the earliest valid finish event, discarding entries
-// whose epoch no longer matches their flow (the lazy half of invalidation).
+// nextFinishTime peeks the earliest finish event. The indexed heap holds at
+// most one — always current — entry per active flow, so the head is the
+// answer with no validity filtering.
 func (s *Simulator) nextFinishTime() float64 {
-	for s.fin.Len() > 0 {
-		e := s.fin[0]
-		if e.f.done || e.epoch != e.f.epoch {
-			s.fin.popHead()
-			s.stats.StalePops++
-			continue
-		}
-		return e.t
+	if s.fin.Len() > 0 {
+		return s.fin[0].t
 	}
 	return math.Inf(1)
 }
 
-// completeDue completes every flow whose (valid) finish event falls within
-// relEps of the current time, so cohorts finishing together cost one rate
+// completeDue completes every flow whose finish event falls within relEps of
+// the current time, so cohorts finishing together cost one rate
 // recomputation instead of one each. The heap orders ties by flow ID, which
 // keeps completion order deterministic and ID-sorted like the seed's scan.
 func (s *Simulator) completeDue() {
 	tol := relEps * (math.Abs(s.now) + 1)
 	for s.fin.Len() > 0 {
 		e := s.fin[0]
-		if e.f.done || e.epoch != e.f.epoch {
-			s.fin.popHead()
-			s.stats.StalePops++
-			continue
-		}
 		if e.t > s.now+tol {
 			return
 		}
-		s.fin.popHead()
+		s.finPopHead()
 		s.stats.HeapPops++
-		s.complete(e.f)
+		s.complete(e.fi)
 	}
 }
 
@@ -441,32 +713,31 @@ const (
 	satTol = 1e-12
 )
 
-func (s *Simulator) complete(f *Flow) {
-	f.done = true
-	f.finish = s.now
-	rate := f.rate
-	f.rate = 0
-	f.remaining = 0
-	f.lastT = s.now
-	s.detachLinks(f)
-	// Swap-remove from the active set; the index map keeps this O(1)
-	// regardless of cohort size (the seed's pointer-equality splice was
-	// O(active) per completion).
-	i := f.activeIdx
+func (s *Simulator) complete(fi int32) {
+	s.fDone[fi] = true
+	s.fFinish[fi] = s.now
+	rate := s.fRate[fi]
+	s.detachLinks(fi) // subtracts the still-current rate from linkRate
+	s.fRate[fi] = 0
+	s.fRemaining[fi] = 0
+	s.fLastT[fi] = s.now
+	// Swap-remove from the active set; the index column keeps this O(1)
+	// regardless of cohort size.
+	i := s.fActive[fi]
 	last := len(s.active) - 1
 	moved := s.active[last]
 	s.active[i] = moved
-	moved.activeIdx = i
+	s.fActive[moved] = i
 	s.active = s.active[:last]
-	f.activeIdx = -1
+	s.fActive[fi] = -1
 	if tel := s.tel.Load(); tel != nil {
 		tel.FlowsCompleted.Inc()
 		tel.ActiveFlows.Set(int64(len(s.active)))
-		tel.FCT.Record(int64((f.finish - f.Arrival) * 1e6)) // seconds → µs
-		tel.FlowRate.Record(int64(rate))
+		tel.FCT.Record(int64((s.now - s.fArrival[fi]) * 1e6)) // seconds → µs
+		tel.FlowRate.Record(int64(rate*1e3 + 0.5))            // bytes/s → milli-bytes/s
 	}
 	if s.OnComplete != nil {
-		s.OnComplete(f)
+		s.OnComplete(s.handle(fi))
 	}
 }
 
@@ -487,9 +758,11 @@ func (s *Simulator) UtilizationInto(buf []float64) []float64 {
 	for i := range buf {
 		buf[i] = 0
 	}
-	for _, f := range s.active {
-		for _, l := range f.Path.Links {
-			buf[l] += f.rate
+	for _, fi := range s.active {
+		off, n := s.fOff[fi], s.fNL[fi]
+		r := s.fRate[fi]
+		for j := int32(0); j < n; j++ {
+			buf[s.linkArena[off+j]] += r
 		}
 	}
 	for i := range buf {
@@ -500,13 +773,11 @@ func (s *Simulator) UtilizationInto(buf []float64) []float64 {
 	return buf
 }
 
-// recompute refreshes rates if any link is dirty. The dirty component —
-// every flow reachable from the seed links via link-sharing — is
-// recomputed in isolation; by construction no flow outside the component
-// shares a link with one inside, and max-min allocations decompose exactly
-// over such components, so the scoped result equals the global one. When
-// the component exceeds half the active set (or the seed list overflowed),
-// the global pass is cheaper than BFS + scoped filling and runs instead.
+// recompute refreshes rates if any link is dirty. The scoped pass — ripple
+// with component-decomposition fallback — recomputes only flows that can be
+// affected; by construction no flow outside the recomputed set shares an
+// unverified link with one inside, and max-min allocations decompose exactly
+// over link-sharing components, so the scoped result equals the global one.
 func (s *Simulator) recompute() {
 	if !s.fullDirty && len(s.dirtySeeds) == 0 {
 		return
@@ -521,202 +792,102 @@ func (s *Simulator) recompute() {
 	s.recomputeDirty()
 }
 
-// recomputeDirty is recompute past its cheap not-dirty guard — split out so
-// the profiler can label it without taxing the unprofiled path.
+// recomputeDirty dispatches the dirty event to an engine pass:
+//
+//   - forceFull: one progressive fill over the whole active set (the
+//     reference engine, seed semantics).
+//   - fullDirty (seed list overflowed): exact decomposition into
+//     link-sharing components, filled serially or on the worker pool.
+//   - otherwise: the ripple pass (fill only flows on dirty links, prove
+//     optimality locally), falling back to seeded component decomposition
+//     when the proof doesn't close.
+//
+// Every dispatch decision depends only on simulator state, never on the
+// worker count, which is what keeps parallel runs bit-identical.
 func (s *Simulator) recomputeDirty() {
 	s.stats.Recomputes++
+	s.passGen++
 	tel := s.tel.Load()
 	if tel != nil {
 		tel.RateRecomputes.Inc()
 	}
-	full := s.forceFull || s.fullDirty
-	if !full {
-		comp := s.componentOfDirty()
-		if 2*len(comp) > len(s.active) {
-			full = true
-		} else {
-			s.fill(comp, tel)
-		}
-	}
-	if full {
+	switch {
+	case s.forceFull:
 		s.stats.FullRecomputes++
 		if tel != nil {
 			tel.FullRecomputes.Inc()
 		}
-		s.fill(s.active, tel)
+		s.fillUnion(tel)
+	case s.fullDirty:
+		s.stats.FullRecomputes++
+		if tel != nil {
+			tel.FullRecomputes.Inc()
+		}
+		s.decomposeAll()
+		s.fillComponents(tel)
+	default:
+		if !s.ripple(tel) {
+			s.decomposeFromSeeds()
+			s.fillComponents(tel)
+		}
 	}
 	s.fullDirty = false
 	s.dirtySeeds = s.dirtySeeds[:0]
 }
 
-// componentOfDirty BFSes the link-sharing graph outward from the dirty seed
-// links: a link pulls in every flow crossing it, a flow pulls in every link
-// on its path. The result (kept in reusable scratch) is closed under
-// sharing: all flows on any collected link are collected.
-func (s *Simulator) componentOfDirty() []*Flow {
-	s.gen++
+// fillUnion is the reference pass: prepare and fill the whole active set as
+// one union, exactly the seed algorithm's behaviour.
+func (s *Simulator) fillUnion(tel *Telemetry) {
+	for _, fi := range s.active {
+		s.prepare(fi)
+	}
 	links := s.compLinks[:0]
-	comp := s.compFlows[:0]
-	for _, l := range s.dirtySeeds {
-		if s.linkGen[l] != s.gen {
-			s.linkGen[l] = s.gen
-			links = append(links, l)
-		}
-	}
-	for qi := 0; qi < len(links); qi++ {
-		for _, ref := range s.linkFlows[links[qi]] {
-			f := ref.f
-			if f.visit == s.gen {
-				continue
-			}
-			f.visit = s.gen
-			comp = append(comp, f)
-			for _, l2 := range f.Path.Links {
-				if s.linkGen[l2] != s.gen {
-					s.linkGen[l2] = s.gen
-					links = append(links, l2)
-				}
-			}
-		}
-	}
-	s.compLinks, s.compFlows = links, comp
-	return comp
+	work, _ := s.fillRates(s.active, s.scratchFor(0), 0, false, &links)
+	s.compLinks = links
+	s.sealFlows(s.active)
+	s.sealLinks(links)
+	s.finishPass(work, tel)
 }
 
-// fill runs progressive filling over flowSet: all unfrozen flows' rates
-// rise together; when a link saturates, its flows freeze at the current
-// level. Stalled flows get rate zero. flowSet must be closed under link
-// sharing (a component union, or the whole active set), so every engaged
-// link's full capacity belongs to the set. Flows whose rate changed get a
-// new epoch and a fresh finish event; unchanged flows keep their exact
-// heap entries.
-func (s *Simulator) fill(flowSet []*Flow, tel *Telemetry) {
-	// Engaged links are gathered into dense slices so the per-iteration
-	// min-search and residual updates are cache-friendly scans; the
-	// linkIdx scratch array (sized to the topology, all -1 between passes)
-	// translates link IDs once, during setup. Freezing walks the saturated
-	// links' flow lists rather than rescanning every unfrozen flow per
-	// round, and links whose flows have all frozen are swap-removed, so a
-	// pass costs O(setup + rounds×live links + flow×link incidences)
-	// instead of the seed's O(rounds × flows×links).
-	var (
-		residual = s.residual[:0]
-		count    = s.count[:0]
-		engaged  = s.engaged[:0]
-		satList  = s.satList[:0]
-		work     int64
-	)
-	unfrozen := 0
-	for _, f := range flowSet {
-		s.drain(f)
-		f.prevRate = f.rate
-		f.rate = 0
-		if len(f.Path.Links) == 0 {
-			continue
+// sealFlows re-keys the finish event of every flow whose rate actually
+// changed in the pass; bit-identical rates keep their exact heap entries
+// untouched. Always serial and in deterministic flow order (the indexed heap
+// makes the result order-independent anyway: each flow's single entry ends
+// at the same key).
+func (s *Simulator) sealFlows(flows []int32) {
+	fRate, fPrevRate := s.fRate, s.fPrevRate
+	fLastT, fRemaining := s.fLastT, s.fRemaining
+	for _, fi := range flows {
+		r := fRate[fi]
+		if r < 0 {
+			r = 0 // defensive: unfrozen sentinel from an aborted fill round
+			fRate[fi] = 0
 		}
-		unfrozen++
-		work += int64(len(f.Path.Links))
-		for _, l := range f.Path.Links {
-			li := s.linkIdx[l]
-			if li < 0 {
-				li = int32(len(residual))
-				s.linkIdx[l] = li
-				engaged = append(engaged, l)
-				residual = append(residual, s.caps[l])
-				count = append(count, 0)
-			}
-			count[li]++
-		}
-	}
-	level := 0.0
-	for unfrozen > 0 {
-		// Swap-remove links whose flows have all frozen, then find the
-		// next saturating increment over the (all-live) rest. Dropping
-		// dead links keeps late rounds proportional to what is still
-		// contested, and min over floats is order-independent, so the
-		// reshuffling cannot change any computed rate.
-		delta := math.Inf(1)
-		for i := 0; i < len(residual); {
-			if count[i] == 0 {
-				last := len(residual) - 1
-				s.linkIdx[engaged[i]] = -1
-				if i != last {
-					residual[i], count[i], engaged[i] = residual[last], count[last], engaged[last]
-					s.linkIdx[engaged[i]] = int32(i)
-				}
-				residual, count, engaged = residual[:last], count[:last], engaged[:last]
-				continue
-			}
-			if d := residual[i] / float64(count[i]); d < delta {
-				delta = d
-			}
-			i++
-		}
-		work += int64(len(residual))
-		if math.IsInf(delta, 1) {
-			break // defensive; cannot happen while unfrozen > 0
-		}
-		level += delta
-		satList = satList[:0]
-		// Links whose fair share ties the bottleneck within satTol
-		// saturate together (exact ties in symmetric fabrics collapse into
-		// one round; satTol stays at rounding scale — see its comment).
-		for i := range residual {
-			slack := delta * float64(count[i]) * satTol
-			residual[i] -= delta * float64(count[i])
-			if residual[i] < eps+slack {
-				residual[i] = 0
-				satList = append(satList, int32(i))
-			}
-		}
-		if len(satList) == 0 {
-			// Defensive: float underflow could leave the chosen
-			// bottleneck fractionally positive; force progress by
-			// saturating the first live link.
-			residual[0] = 0
-			satList = append(satList, 0)
-		}
-		// Freeze the saturated links' unfrozen flows at the current level
-		// via the per-link flow lists. flowSet is closed under link
-		// sharing, so every flow on an engaged link is in this pass and
-		// had its rate zeroed above; rate != 0 marks "already frozen".
-		for _, li := range satList {
-			for _, ref := range s.linkFlows[engaged[li]] {
-				f := ref.f
-				work++
-				if f.rate != 0 {
-					continue
-				}
-				f.rate = level
-				unfrozen--
-				work += int64(len(f.Path.Links))
-				for _, l := range f.Path.Links {
-					count[s.linkIdx[l]]--
-				}
+		if r != fPrevRate[fi] {
+			if r > 0 {
+				s.finSchedule(fi, fLastT[fi]+fRemaining[fi]/r)
+			} else {
+				s.finRemove(fi)
 			}
 		}
 	}
-	// Re-index finish events for every flow whose rate actually changed;
-	// bit-identical rates keep their exact heap entries valid.
-	for _, f := range flowSet {
-		if f.rate != f.prevRate {
-			f.epoch++
-			if f.rate > 0 {
-				s.fin.push(finEvent{t: f.lastT + f.remaining/f.rate, epoch: f.epoch, f: f})
-			}
+}
+
+// sealLinks refreshes linkRate with the exact sum of attached rates for
+// every link touched by the pass, so eager attach/detach adjustments can't
+// accumulate float drift between passes.
+func (s *Simulator) sealLinks(links []topo.LinkID) {
+	for _, l := range links {
+		sum := 0.0
+		for _, ref := range s.linkFlows[l] {
+			sum += s.fRate[ref.fi]
 		}
+		s.linkRate[l] = sum
 	}
-	// At most one valid entry exists per active flow; past 4×active the
-	// heap is mostly invalidated debris — compact it in one O(n) pass.
-	if len(s.fin) > 4*len(s.active)+64 {
-		s.stats.StalePops += int64(s.fin.compact())
-	}
-	// Restore the linkIdx all -1 invariant and hand scratch back.
-	for _, l := range engaged {
-		s.linkIdx[l] = -1
-	}
-	s.engaged = engaged[:0]
-	s.residual, s.count, s.satList = residual, count, satList[:0]
+}
+
+// finishPass books the pass work into stats and telemetry.
+func (s *Simulator) finishPass(work int64, tel *Telemetry) {
 	s.stats.RecomputeWork += work
 	if tel != nil {
 		tel.RateRecomputeWork.Add(work)
@@ -724,21 +895,370 @@ func (s *Simulator) fill(flowSet []*Flow, tel *Telemetry) {
 	}
 }
 
-// arrivalHeap orders pending flows by arrival time, then ID for determinism.
+// fillScratch is one worker's progressive-filling state. linkIdx is sized to
+// the topology and kept all -1 between passes; each worker owns one scratch,
+// so parallel component fills never share mutable state. mo/mn/mIdx hold the
+// CSR member-incidence lists built per background-mode fill (see fillRates).
+type fillScratch struct {
+	linkIdx []int32
+	engaged []topo.LinkID
+	avail   []float64
+	count   []int32
+	satLv   []float64
+	prevSum []float64
+	satList []int32
+	mo      []int32
+	mn      []int32
+	mCur    []int32
+	mIdx    []int32
+}
+
+// scratchFor returns worker w's fill scratch, allocating through w on first
+// use. scratch[0] serves every serial pass.
+func (s *Simulator) scratchFor(w int) *fillScratch {
+	for len(s.scratch) <= w {
+		sc := &fillScratch{linkIdx: make([]int32, len(s.caps))}
+		for i := range sc.linkIdx {
+			sc.linkIdx[i] = -1
+		}
+		s.scratch = append(s.scratch, sc)
+	}
+	return s.scratch[w]
+}
+
+// bgUnknown marks a vBG entry whose link carries background flows but whose
+// background maximum has not been walked yet this round; the ripple checks
+// resolve it lazily (and cache it) only when a decision actually needs it.
+const bgUnknown = -2
+
+// ensureVCap grows the per-link verification arrays (indexed by rIdx) to at
+// least n entries. Entries are rewritten from scratch every fill round, so
+// growth never copies.
+func (s *Simulator) ensureVCap(n int) {
+	if len(s.vSum) >= n {
+		return
+	}
+	n *= 2
+	s.vSum = make([]float64, n)
+	s.vMax = make([]float64, n)
+	s.vBG = make([]float64, n)
+	s.vSat = make([]bool, n)
+	s.vChg = make([]bool, n)
+}
+
+// fillRates runs progressive filling (water-filling) over flowSet: all
+// unfrozen flows' rates rise together; when a link saturates, its flows
+// freeze at the current level. Stalled flows get rate zero. The level a link
+// saturates at is tracked directly (satLv = avail/count), so each round's
+// bottleneck search is a pure compare scan and divisions happen only when a
+// link's unfrozen count actually changes.
+//
+// In closed mode (withBG false) flowSet must be closed under link sharing —
+// a component, or the whole active set — so every engaged link's full
+// capacity belongs to the set; outLinks, when non-nil, collects the engaged
+// links for the caller's seal.
+//
+// In background mode (withBG true, the ripple pass) flows outside the set
+// (fVisit != memberGen) stay frozen at their current rates and each engaged
+// link offers only its residual capacity. Links whose member count equals
+// their list length carry no background at all — the common case for the
+// rack-local links a scoped pass centres on — and keep full capacity without
+// any list walk; the rest derive their background sum from the maintained
+// linkRate aggregate minus the members' pre-pass rates, again without a
+// walk. Background mode also owns the ripple bookkeeping: newly engaged
+// links are appended to *outLinks with s.rIdx assigned, and the verification
+// arrays are maintained in-pass — vSum starts at the background sum and
+// accumulates member rates as they freeze, vMax tracks the member maximum
+// (freeze levels are nondecreasing, so the last write is the max), vChg
+// marks links whose members moved, and vBG is the no-background/-unknown
+// marker resolved lazily by the checks. Freeze rounds walk CSR member lists
+// built at setup, never the full per-link flow lists.
+//
+// While unfrozen, member rates are parked at -1: a member can legitimately
+// freeze at level 0 (background consuming a full link), so zero cannot mark
+// frozenness. The caller seals afterwards — rates are final on return, but
+// epochs, finish events, and linkRate are not yet updated — which is what
+// makes concurrent fills of disjoint components safe: this function writes
+// only member rate entries and its own scratch. The boolean result is false
+// only on the defensive no-live-links break, which leaves the verification
+// arrays inconsistent; ripple must fall back.
+func (s *Simulator) fillRates(flowSet []int32, sc *fillScratch, memberGen uint64, withBG bool, outLinks *[]topo.LinkID) (int64, bool) {
+	var (
+		engaged = sc.engaged[:0]
+		avail   = sc.avail[:0]
+		count   = sc.count[:0]
+		prevSum = sc.prevSum[:0]
+		linkIdx = sc.linkIdx
+		work    int64
+	)
+	// Hoist the flow columns the hot loops touch: going through s.field in a
+	// loop reloads the slice header (and re-checks bounds against it) every
+	// iteration, which is measurable at millions of incidences per storm.
+	fOff, fNL := s.fOff, s.fNL
+	arena := s.linkArena
+	fRate, fPrevRate := s.fRate, s.fPrevRate
+	fCert := s.fCert
+	rIdx := s.rIdx
+	unfrozen := 0
+	incid := 0
+	for _, fi := range flowSet {
+		off, n := fOff[fi], fNL[fi]
+		if n == 0 {
+			fRate[fi] = 0 // stalled: no links, rate zero
+			continue
+		}
+		fRate[fi] = -1 // unfrozen sentinel; see doc comment
+		unfrozen++
+		incid += int(n)
+		pr := fPrevRate[fi]
+		for _, l := range arena[off : off+n] {
+			li := linkIdx[l]
+			if li < 0 {
+				li = int32(len(engaged))
+				linkIdx[l] = li
+				engaged = append(engaged, l)
+				avail = append(avail, s.caps[l])
+				count = append(count, 0)
+				if outLinks != nil {
+					if withBG {
+						if rIdx[l] < 0 {
+							rIdx[l] = int32(len(*outLinks))
+							*outLinks = append(*outLinks, l)
+						}
+					} else {
+						*outLinks = append(*outLinks, l)
+					}
+				}
+				if withBG {
+					prevSum = append(prevSum, 0)
+				}
+			}
+			count[li]++
+			if withBG {
+				prevSum[li] += pr
+			}
+		}
+	}
+	work += int64(incid)
+
+	mo, mn, mIdx := sc.mo[:0], sc.mn[:0], sc.mIdx
+	var vSum, vMax []float64
+	var vChg []bool
+	if withBG {
+		s.ensureVCap(len(*outLinks))
+		vSum, vMax, vChg = s.vSum, s.vMax, s.vChg
+		vBG := s.vBG
+		for i, l := range engaged {
+			ri := rIdx[l]
+			vMax[ri] = 0
+			vChg[ri] = false
+			if int(count[i]) == len(s.linkFlows[l]) {
+				// No background: full capacity, bit-identical to a
+				// closed-mode engagement of the same link.
+				vSum[ri], vBG[ri] = 0, -1
+				continue
+			}
+			bg := s.linkRate[l] - prevSum[i]
+			if bg < 0 {
+				bg = 0
+			}
+			vSum[ri], vBG[ri] = bg, bgUnknown
+			a := s.caps[l] - bg
+			if a < 0 {
+				a = 0
+			}
+			avail[i] = a
+		}
+		work += int64(len(engaged))
+
+		// CSR member lists: mIdx[mo[i]:mo[i]+mn[i]] are the members on
+		// engaged link i, so freeze rounds touch exactly the member
+		// incidences instead of walking full per-link flow lists.
+		if cap(mIdx) < incid {
+			mIdx = make([]int32, incid)
+		}
+		mIdx = mIdx[:incid]
+		cur := sc.mCur[:0]
+		pos := int32(0)
+		for i := range engaged {
+			mo = append(mo, pos)
+			mn = append(mn, count[i])
+			cur = append(cur, pos)
+			pos += count[i]
+		}
+		for _, fi := range flowSet {
+			off, n := fOff[fi], fNL[fi]
+			for _, l := range arena[off : off+n] {
+				li := linkIdx[l]
+				mIdx[cur[li]] = fi
+				cur[li]++
+			}
+		}
+		sc.mCur = cur[:0]
+		work += int64(incid)
+	}
+
+	satLv := sc.satLv[:0]
+	for i := range engaged {
+		satLv = append(satLv, avail[i]/float64(count[i]))
+	}
+	satList := sc.satList[:0]
+	level := 0.0
+	broke := false
+	for unfrozen > 0 {
+		// Swap-remove links whose flows have all frozen, then find the
+		// lowest saturation level over the (all-live) rest. Dropping dead
+		// links keeps late rounds proportional to what is still contested,
+		// and min over floats is order-independent, so the reshuffling
+		// cannot change any computed rate.
+		minL := math.Inf(1)
+		for i := 0; i < len(engaged); {
+			if count[i] == 0 {
+				last := len(engaged) - 1
+				linkIdx[engaged[i]] = -1
+				if i != last {
+					engaged[i], avail[i], count[i], satLv[i] = engaged[last], avail[last], count[last], satLv[last]
+					if withBG {
+						mo[i], mn[i] = mo[last], mn[last]
+					}
+					linkIdx[engaged[i]] = int32(i)
+				}
+				engaged, avail, count, satLv = engaged[:last], avail[:last], count[:last], satLv[:last]
+				if withBG {
+					mo, mn = mo[:last], mn[:last]
+				}
+				continue
+			}
+			if satLv[i] < minL {
+				minL = satLv[i]
+			}
+			i++
+		}
+		work += int64(len(engaged))
+		if math.IsInf(minL, 1) {
+			broke = true
+			break // defensive; cannot happen while unfrozen > 0
+		}
+		if minL < level {
+			minL = level // rounding guard: the level never decreases
+		}
+		level = minL
+		// Links whose saturation level ties the bottleneck within satTol
+		// saturate together (exact ties in symmetric fabrics collapse into
+		// one round; satTol stays at rounding scale — see its comment).
+		satList = satList[:0]
+		slack := satTol*level + eps
+		for i := range satLv {
+			if satLv[i] <= level+slack {
+				satList = append(satList, int32(i))
+			}
+		}
+		// Freeze the saturated links' unfrozen member flows at the current
+		// level: CSR member lists in background mode, the (all-member)
+		// per-link flow lists in closed mode. The freeze body is inlined in
+		// both branches (it is far too large for the compiler to inline, and
+		// runs per member incidence): rate set, certificate recorded, every
+		// touched link loses one unfrozen count and the frozen allocation,
+		// saturation levels re-derived for survivors, and in background mode
+		// the member folds into the verification arrays.
+		for _, li := range satList {
+			cert := engaged[li]
+			if withBG {
+				for _, fi := range mIdx[mo[li] : mo[li]+mn[li]] {
+					if fRate[fi] >= 0 {
+						continue // already frozen this pass
+					}
+					fRate[fi] = level
+					fCert[fi] = cert
+					pr := fPrevRate[fi]
+					chg := math.Abs(level-pr) > rippleTol*(pr+1)
+					off, n := fOff[fi], fNL[fi]
+					for _, l2 := range arena[off : off+n] {
+						li2 := linkIdx[l2]
+						c := count[li2] - 1
+						count[li2] = c
+						a := avail[li2] - level
+						avail[li2] = a
+						if c > 0 {
+							satLv[li2] = a / float64(c)
+						}
+						ri := rIdx[l2]
+						vSum[ri] += level
+						vMax[ri] = level
+						if chg {
+							vChg[ri] = true
+						}
+					}
+					work += int64(n)
+					unfrozen--
+				}
+			} else {
+				for _, ref := range s.linkFlows[cert] {
+					fi := ref.fi
+					if fRate[fi] >= 0 {
+						continue // already frozen this pass
+					}
+					fRate[fi] = level
+					fCert[fi] = cert
+					off, n := fOff[fi], fNL[fi]
+					for _, l2 := range arena[off : off+n] {
+						li2 := linkIdx[l2]
+						c := count[li2] - 1
+						count[li2] = c
+						a := avail[li2] - level
+						avail[li2] = a
+						if c > 0 {
+							satLv[li2] = a / float64(c)
+						}
+					}
+					work += int64(n)
+					unfrozen--
+				}
+			}
+		}
+	}
+	if broke {
+		for _, fi := range flowSet {
+			if fRate[fi] < 0 {
+				fRate[fi] = 0
+			}
+		}
+	}
+	// Restore the linkIdx all -1 invariant and hand scratch back.
+	for _, l := range engaged {
+		linkIdx[l] = -1
+	}
+	sc.engaged = engaged[:0]
+	sc.avail, sc.count, sc.satLv = avail[:0], count[:0], satLv[:0]
+	sc.prevSum, sc.satList = prevSum[:0], satList[:0]
+	sc.mo, sc.mn, sc.mIdx = mo[:0], mn[:0], mIdx[:0]
+	return work, !broke
+}
+
+
+
+// arrEvent is one scheduled arrival.
+type arrEvent struct {
+	at float64
+	id FlowID
+	fi int32
+}
+
+// arrivalHeap orders pending arrivals by time, then ID for determinism.
 // Hand-rolled (not container/heap) so push/pop stay inlineable and free of
 // interface boxing on the hot path.
-type arrivalHeap []*Flow
+type arrivalHeap []arrEvent
 
 func (h arrivalHeap) Len() int { return len(h) }
 func (h arrivalHeap) less(i, j int) bool {
-	if h[i].Arrival != h[j].Arrival {
-		return h[i].Arrival < h[j].Arrival
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	return h[i].ID < h[j].ID
+	return h[i].id < h[j].id
 }
 
-func (h *arrivalHeap) push(f *Flow) {
-	*h = append(*h, f)
+func (h *arrivalHeap) push(e arrEvent) {
+	*h = append(*h, e)
 	a := *h
 	for i := len(a) - 1; i > 0; {
 		parent := (i - 1) / 2
@@ -750,12 +1270,11 @@ func (h *arrivalHeap) push(f *Flow) {
 	}
 }
 
-func (h *arrivalHeap) pop() *Flow {
+func (h *arrivalHeap) pop() arrEvent {
 	a := *h
-	f := a[0]
+	e := a[0]
 	n := len(a) - 1
 	a[0] = a[n]
-	a[n] = nil
 	a = a[:n]
 	*h = a
 	for i := 0; ; {
@@ -772,5 +1291,5 @@ func (h *arrivalHeap) pop() *Flow {
 		a[i], a[c] = a[c], a[i]
 		i = c
 	}
-	return f
+	return e
 }

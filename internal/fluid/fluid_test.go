@@ -232,7 +232,7 @@ func TestOnCompleteCallback(t *testing.T) {
 	s := New(g)
 	p := pathOf(t, g, n[0], n[1])
 	var order []FlowID
-	s.OnComplete = func(f *Flow) { order = append(order, f.ID) }
+	s.OnComplete = func(f *Flow) { order = append(order, f.ID()) }
 	if err := s.AddFlow(1, 100, 0, p); err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestCapacityConservationProperty(t *testing.T) {
 			if f.Rate() <= 0 {
 				t.Fatalf("trial %d: flow %d starved (rate %v)", trial, i, f.Rate())
 			}
-			for _, l := range f.Path.Links {
+			for _, l := range f.Path().Links {
 				usage[l] += f.Rate()
 			}
 		}
@@ -311,7 +311,7 @@ func TestCapacityConservationProperty(t *testing.T) {
 		for i := 0; i < nf; i++ {
 			f := s.Flow(FlowID(i))
 			bottlenecked := false
-			for _, l := range f.Path.Links {
+			for _, l := range f.Path().Links {
 				if usage[l] >= ft.Link(l).Capacity*(1-1e-6) {
 					bottlenecked = true
 					break

@@ -1,0 +1,217 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"sharebackup/internal/topo"
+)
+
+// TestDifferentialParallelWorkers extends the differential fuzz harness to
+// the parallel fill path: every randomized schedule is replayed in lockstep
+// through the serial incremental engine (workers=1), parallel variants at
+// worker counts {2, GOMAXPROCS, 13} with the pool threshold forced to zero
+// so even tiny passes dispatch to workers, and the forced-full reference.
+//
+// The contract under test is the strong one from DESIGN.md §15: parallel
+// fills are *bit-identical* to serial — every rate, remaining-byte count,
+// and FCT compared with ==, not a tolerance. (The full-recompute reference
+// takes a different arithmetic path, so it gets the usual relEps-scale
+// tolerance, same as TestDifferentialIncrementalVsFull.)
+func TestDifferentialParallelWorkers(t *testing.T) {
+	schedules := 400
+	if testing.Short() {
+		schedules = 60
+	}
+	workerCounts := []int{2, runtime.GOMAXPROCS(0), 13}
+	var parallelPasses int64
+	for seed := 0; seed < schedules; seed++ {
+		parallelPasses += parallelDifferentialSchedule(t, int64(seed), workerCounts)
+		if t.Failed() {
+			t.Fatalf("schedule %d diverged", seed)
+		}
+	}
+	// The suite must actually have exercised the worker pool, or the ==
+	// comparisons above proved nothing about the parallel path.
+	if parallelPasses == 0 {
+		t.Fatal("no schedule dispatched a parallel fill; the pool threshold override is broken")
+	}
+}
+
+// parallelDifferentialSchedule replays one randomized schedule (same
+// generator shape as differentialSchedule: random connected graph, staggered
+// arrivals, mid-run reroutes/stalls/recoveries) through the serial engine,
+// the parallel variants, and the full reference, comparing state after every
+// event batch. Returns the parallel passes the variants ran.
+func parallelDifferentialSchedule(t *testing.T, seed int64, workerCounts []int) int64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+
+	n := 4 + r.Intn(8)
+	g := &topo.Topology{}
+	var nodes []topo.NodeID
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, g.AddNode(topo.KindEdge, 0, i))
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddLink(nodes[i], nodes[r.Intn(i)], 0.5+r.Float64()*4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for extra := 0; extra < n; extra++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b || g.LinkBetween(nodes[a], nodes[b]) != topo.NoLink {
+			continue
+		}
+		if _, err := g.AddLink(nodes[a], nodes[b], 0.5+r.Float64()*4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pool []topo.Path
+	for i := 0; i < 2*n; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			b = (b + 1) % n
+		}
+		if p, ok := g.ShortestPath(nodes[a], nodes[b], nil); ok {
+			pool = append(pool, p)
+		}
+	}
+	if len(pool) == 0 {
+		return 0
+	}
+
+	serial := New(g)
+	serial.SetWorkers(1)
+	var par []*Simulator
+	for _, w := range workerCounts {
+		s := New(g)
+		s.SetWorkers(w)
+		// Force the pool to engage on the tiny fuzz passes; production runs
+		// gate on defaultParMinFlows purely for handoff amortization.
+		s.parMinFlows = 0
+		par = append(par, s)
+	}
+	full := New(g)
+	full.ForceFullRecompute(true)
+	all := append(append([]*Simulator{serial}, par...), full)
+
+	// checkLockstep asserts the parallel variants match the serial engine
+	// bit-for-bit on every live flow.
+	nf := 2 + r.Intn(11)
+	checkLockstep := func(when string) {
+		for i := 0; i < nf; i++ {
+			fs := serial.Flow(FlowID(i))
+			if fs == nil {
+				continue
+			}
+			for vi, s := range par {
+				fp := s.Flow(FlowID(i))
+				if fs.Rate() != fp.Rate() || fs.Remaining() != fp.Remaining() {
+					t.Errorf("seed %d %s flow %d: workers=%d diverged from serial: rate %.17g != %.17g or remaining %.17g != %.17g",
+						seed, when, i, workerCounts[vi], fp.Rate(), fs.Rate(), fp.Remaining(), fs.Remaining())
+				}
+			}
+		}
+	}
+
+	for i := 0; i < nf; i++ {
+		bytes := 1 + r.Float64()*500
+		arrival := r.Float64() * 5
+		p := pool[r.Intn(len(pool))]
+		for _, s := range all {
+			if err := s.AddFlow(FlowID(i), bytes, arrival, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	stalled := make(map[FlowID]bool)
+	now := 0.0
+	for op := 0; op < 3+r.Intn(6); op++ {
+		now += r.Float64() * 4
+		for _, s := range all {
+			if err := s.Run(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkLockstep("mid-run")
+		if t.Failed() {
+			return 0
+		}
+		id := FlowID(r.Intn(nf))
+		if serial.Flow(id).Done() || full.Flow(id).Done() {
+			continue
+		}
+		switch r.Intn(3) {
+		case 0: // reroute
+			p := pool[r.Intn(len(pool))]
+			for _, s := range all {
+				if err := s.SetPath(id, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			delete(stalled, id)
+		case 1: // stall
+			for _, s := range all {
+				if err := s.SetPath(id, topo.Path{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stalled[id] = true
+		case 2: // recover a stalled flow, if any
+			for sid := range stalled {
+				if serial.Flow(sid).Done() || full.Flow(sid).Done() {
+					continue
+				}
+				p := pool[r.Intn(len(pool))]
+				for _, s := range all {
+					if err := s.SetPath(sid, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				delete(stalled, sid)
+				break
+			}
+		}
+	}
+	for sid := range stalled {
+		if serial.Flow(sid).Done() || full.Flow(sid).Done() {
+			continue
+		}
+		p := pool[r.Intn(len(pool))]
+		for _, s := range all {
+			if err := s.SetPath(sid, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, s := range all {
+		if err := s.RunToCompletion(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < nf; i++ {
+		fs := serial.Flow(FlowID(i))
+		for vi, s := range par {
+			if fp := s.Flow(FlowID(i)); fp.Finish() != fs.Finish() {
+				t.Errorf("seed %d flow %d: workers=%d finish %.17g != serial %.17g",
+					seed, i, workerCounts[vi], fp.Finish(), fs.Finish())
+			}
+		}
+		ff := full.Flow(FlowID(i))
+		tol := 64 * relEps * (math.Abs(ff.Finish()) + 1)
+		if math.Abs(fs.Finish()-ff.Finish()) > tol {
+			t.Errorf("seed %d flow %d: serial finish %v, full finish %v (Δ=%g > %g)",
+				seed, i, fs.Finish(), ff.Finish(), math.Abs(fs.Finish()-ff.Finish()), tol)
+		}
+	}
+	var passes int64
+	for _, s := range par {
+		passes += s.Stats().ParallelPasses
+	}
+	return passes
+}

@@ -65,7 +65,7 @@ func TestQuickMaxMinInvariants(t *testing.T) {
 			if fl.Rate() <= 0 {
 				return false // starvation
 			}
-			for _, l := range fl.Path.Links {
+			for _, l := range fl.Path().Links {
 				usage[l] += fl.Rate()
 			}
 		}
@@ -79,7 +79,7 @@ func TestQuickMaxMinInvariants(t *testing.T) {
 		for i := 0; i < nf; i++ {
 			fl := sim.Flow(FlowID(i))
 			ok := false
-			for _, l := range fl.Path.Links {
+			for _, l := range fl.Path().Links {
 				saturated := usage[l] >= g.Link(l).Capacity*(1-tol)
 				if !saturated {
 					continue
@@ -87,7 +87,7 @@ func TestQuickMaxMinInvariants(t *testing.T) {
 				maximal := true
 				for j := 0; j < nf; j++ {
 					other := sim.Flow(FlowID(j))
-					if other.Path.ContainsLink(l) && other.Rate() > fl.Rate()*(1+tol) {
+					if other.Path().ContainsLink(l) && other.Rate() > fl.Rate()*(1+tol) {
 						maximal = false
 						break
 					}
@@ -141,15 +141,15 @@ func TestQuickByteConservation(t *testing.T) {
 		// with remaining == 0.
 		for i := 0; i < nf; i++ {
 			fl := sim.Flow(FlowID(i))
-			if !fl.Done() || fl.Remaining() > 1e-6*fl.Bytes {
+			if !fl.Done() || fl.Remaining() > 1e-6*fl.Bytes() {
 				return false
 			}
-			if fl.Finish() < fl.Arrival-1e-12 {
+			if fl.Finish() < fl.Arrival()-1e-12 {
 				return false
 			}
 			// A flow can never beat the line rate.
-			minTime := fl.Bytes / minCapOn(g, p)
-			if fl.Finish()-fl.Arrival < minTime*(1-1e-6) {
+			minTime := fl.Bytes() / minCapOn(g, p)
+			if fl.Finish()-fl.Arrival() < minTime*(1-1e-6) {
 				return false
 			}
 		}

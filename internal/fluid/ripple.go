@@ -1,0 +1,356 @@
+package fluid
+
+import "sharebackup/internal/topo"
+
+// The ripple pass (DESIGN.md §15). A dirty event — one completion, one
+// reroute — usually perturbs a tiny neighbourhood, but the link-sharing
+// component containing it can be almost the whole fabric (an all-to-all
+// workload is one giant component), which made the component-scoped engine
+// refill thousands of flows to absorb a two-flow change. The ripple pass
+// fills only the flows on the dirty links, holding every other flow frozen
+// at its current rate, and then *proves* the result is the global max-min
+// allocation by checking the Bertsekas–Gallager bottleneck condition
+// locally:
+//
+//	a rate vector is max-min fair iff every flow has a bottleneck link —
+//	a saturated link on which its rate is maximal.
+//
+// Two check families close the proof over the scoped set S:
+//
+//   - (a) every member of S must have a bottleneck among its own links
+//     (all of which are in links(S), so the verification sweep has their
+//     exact post-fill sums and maxima). A member beaten everywhere adopts
+//     the faster background flows on its saturated links into S.
+//   - (b) every background flow on a *changed* link of links(S) must keep a
+//     bottleneck somewhere. Its links inside links(S) use the sweep's
+//     results; its links outside carry no members — their flow sets and
+//     rates are exactly what they were before the pass, when the global
+//     allocation was valid — so the maintained linkRate aggregate plus a
+//     list scan answers saturation/maximality there. Links(S) entries whose
+//     member rates did not change (vChg) need no background checks at all:
+//     nothing about them moved.
+//
+// Failed checks expand S deterministically and refill; the expansion
+// strictly grows S, so the loop terminates, and it is capped (rounds and
+// |S| vs the active set) with the component decomposition as the
+// always-correct fallback. Correctness never rests on the checks being
+// tight — a spuriously failed check only costs an expansion round — and the
+// differential fuzz suite replays thousands of schedules through this path
+// against the reference engine.
+const (
+	// rippleMaxRounds bounds fill+verify rounds before falling back to
+	// component decomposition; each round strictly grows the member set, so
+	// a pass needing many rounds is drifting toward the component anyway.
+	rippleMaxRounds = 6
+	// rippleTol is the relative tolerance of the optimality verification.
+	// Deliberately much looser than satTol: failing a check spuriously only
+	// costs an expansion round (performance), while the differential fuzz
+	// suite would catch a missed expansion (correctness), so the bias is
+	// toward expanding.
+	rippleTol = 1e-10
+)
+
+// ripple attempts the scoped pass. It returns false — leaving all flow
+// rates prepared but unsealed — when the caller should fall back to
+// component decomposition; every flow whose rate it dirtied is on or
+// adjacent to a dirty link, so the seeded BFS re-covers them.
+func (s *Simulator) ripple(tel *Telemetry) bool {
+	if len(s.active) == 0 {
+		return true
+	}
+	s.gen++
+	gen := s.gen
+	flows := s.compFlows[:0]
+	links := s.compLinks[:0]
+	// S starts as every flow on a dirty link. (Departed flows' links are
+	// dirty, so the flows left behind — the ones whose rates can rise —
+	// are members; arrivals and reroute targets are on dirty links
+	// directly.)
+	for _, seed := range s.dirtySeeds {
+		for _, ref := range s.linkFlows[seed] {
+			fi := ref.fi
+			if s.fVisit[fi] == gen {
+				continue
+			}
+			s.fVisit[fi] = gen
+			s.prepare(fi)
+			flows = append(flows, fi)
+		}
+	}
+	if len(flows) == 0 {
+		// Dirty links with nothing on them (last flow on a rack finished):
+		// no rate can change, and linkRate was zeroed by the eager detach.
+		s.compFlows, s.compLinks = flows, links
+		return true
+	}
+	if 2*len(flows) > len(s.active) {
+		// Not "scoped" in any useful sense; decompose instead. No links
+		// were marked yet, so there is nothing to unwind.
+		s.compFlows, s.compLinks = flows, links
+		return false
+	}
+
+	var work int64
+	bail := func() bool {
+		for _, l := range links {
+			s.rIdx[l] = -1
+		}
+		s.compFlows, s.compLinks = flows, links
+		s.stats.RippleFallbacks++
+		return false
+	}
+
+	sc := s.scratchFor(0)
+	for round := 0; ; round++ {
+		// The background-mode fill engages every member link (appending new
+		// ones to links with rIdx assigned), computes residuals from the
+		// maintained linkRate aggregate, and leaves the verification arrays
+		// populated: vSum = background sum + member rates, vMax = member
+		// maximum, vChg = some member moved, vBG = -1 (no background) or
+		// bgUnknown (background present, maximum resolved lazily below).
+		w, filled := s.fillRates(flows, sc, gen, true, &links)
+		work += w
+		if !filled {
+			return bail() // defensive fill break: arrays are inconsistent
+		}
+		vSum := s.vSum
+		vMax := s.vMax
+		vBG := s.vBG
+		vSat := s.vSat
+		vChg := s.vChg
+		work += int64(len(links))
+		for i, l := range links {
+			c := s.caps[l]
+			vSat[i] = vSum[i] >= c-rippleTol*(c+1)
+		}
+
+		// (a) every member needs a bottleneck link: a saturated link where
+		// neither a member (vMax) nor a background flow (vBG, resolved
+		// lazily) outruns it.
+		roundStart := len(flows)
+		expanded := false
+		for k := 0; k < roundStart; k++ {
+			fi := flows[k]
+			off, n := s.fOff[fi], s.fNL[fi]
+			if n == 0 {
+				continue // stalled member; rate 0 by construction
+			}
+			r := s.fRate[fi]
+			rtol := r + rippleTol*(r+1)
+			ok := false
+			for j := int32(0); j < n; j++ {
+				l := s.linkArena[off+j]
+				i := s.rIdx[l]
+				if !vSat[i] || vMax[i] > rtol {
+					continue
+				}
+				b := vBG[i]
+				if b == bgUnknown {
+					b = s.lazyBG(i, l, gen, &work)
+				}
+				if b <= rtol {
+					// Certified here: record the certificate so later passes
+					// can re-validate this flow as background in O(1).
+					s.fCert[fi] = l
+					ok = true
+					break
+				}
+			}
+			if ok {
+				continue
+			}
+			// Beaten everywhere it saturates: adopt the background flows
+			// outrunning it there — they hold capacity this member deserves.
+			// A beater that is already generation-marked was adopted by an
+			// earlier member of this same loop; the set has already grown,
+			// the refill will re-judge this member, and that is success,
+			// not a dead end — hence the roundStart growth check below.
+			found := false
+			for j := int32(0); j < n; j++ {
+				l := s.linkArena[off+j]
+				i := s.rIdx[l]
+				if !vSat[i] {
+					continue
+				}
+				b := vBG[i]
+				if b == bgUnknown {
+					b = s.lazyBG(i, l, gen, &work)
+				}
+				if b <= r {
+					continue
+				}
+				for _, ref := range s.linkFlows[l] {
+					fj := ref.fi
+					if s.fVisit[fj] == gen || s.fRate[fj] <= r {
+						continue
+					}
+					s.fVisit[fj] = gen
+					s.prepare(fj)
+					flows = append(flows, fj)
+					found = true
+				}
+				work += int64(len(s.linkFlows[l]))
+			}
+			if !found && len(flows) == roundStart {
+				// No background flow explains the failure and nothing else
+				// grew the set this round — a numeric corner this proof
+				// can't close; decompose instead.
+				return bail()
+			}
+			expanded = true
+		}
+
+		// (b) background flows on changed links must keep a bottleneck.
+		// Skipped when (a) already expanded: the refill re-verifies
+		// everything anyway. vBG == -1 means the link had no background at
+		// fill time, so there is nothing to check.
+		if !expanded {
+			for i, l := range links {
+				if !vChg[i] || vBG[i] == -1 {
+					continue
+				}
+				for _, ref := range s.linkFlows[l] {
+					fj := ref.fi
+					if s.fVisit[fj] == gen {
+						continue
+					}
+					if s.bgStillBottlenecked(fj, gen, &work) {
+						continue
+					}
+					s.fVisit[fj] = gen
+					s.prepare(fj)
+					flows = append(flows, fj)
+					expanded = true
+				}
+				work += int64(len(s.linkFlows[l]))
+			}
+		}
+
+		if !expanded {
+			break // proof closed: the scoped fill is the global allocation
+		}
+		s.stats.RippleExpansions++
+		if round+1 >= rippleMaxRounds || 2*len(flows) > len(s.active) {
+			return bail()
+		}
+	}
+
+	// Seal: linkRate from the verification sums, finish events for changed
+	// rates, scratch invariants restored.
+	for i, l := range links {
+		s.linkRate[l] = s.vSum[i]
+		s.rIdx[l] = -1
+	}
+	s.sealFlows(flows)
+	s.stats.RipplePasses++
+	s.compFlows, s.compLinks = flows, links
+	s.finishPass(work, tel)
+	return true
+}
+
+// lazyBG resolves and caches the fastest background (non-member) rate on
+// links(S) entry i / link l. It is the only place the ripple checks walk a
+// full per-link flow list, and it runs only when a check is inconclusive
+// from the member-side arrays alone. Adoption during the same round can
+// shrink the background set, so the cached value reflects the background as
+// of the walk — the growth-excused bail in check (a) is what keeps that
+// sound.
+func (s *Simulator) lazyBG(i int32, l topo.LinkID, gen uint64, work *int64) float64 {
+	b := -1.0
+	for _, ref := range s.linkFlows[l] {
+		if s.fVisit[ref.fi] != gen {
+			if r := s.fRate[ref.fi]; r > b {
+				b = r
+			}
+		}
+	}
+	*work += int64(len(s.linkFlows[l]))
+	s.vBG[i] = b
+	return b
+}
+
+// bgStillBottlenecked is check (b) for one background flow on a changed
+// link: does it still have a saturated link on which its rate is maximal?
+//
+// The certificate fast path usually answers in O(1). fCert names a link
+// where the flow was verified saturated-and-maximal the last time that
+// link's allocation was sealed (freeze link or check (a) link), and a
+// link's allocation only changes in a pass that seals it — a pass in which
+// every flow on it is either a member (re-certified at freeze/(a)) or a
+// checked background flow (re-certified right here). So between passes the
+// certificate stays truthful on its own:
+//
+//   - certificate inside links(S): the verification arrays re-validate it
+//     against this pass's fresh sums/maxima (the one case where it can have
+//     just changed).
+//   - certificate outside links(S): no member touches it, so its flow set
+//     and every rate on it are exactly what they were when the certificate
+//     was written; the linkRate saturation gate is a defensive re-check and
+//     no list walk is needed.
+//
+// A failed or missing certificate falls back to the full link scan, which
+// re-certifies on success. A spurious fast-path failure only costs that
+// walk; the fuzz suite (which replays schedules against the reference
+// engine) is the backstop for the invariant itself.
+func (s *Simulator) bgStillBottlenecked(fi int32, gen uint64, work *int64) bool {
+	r := s.fRate[fi]
+	rtol := r + rippleTol*(r+1)
+	if lc := s.fCert[fi]; lc >= 0 {
+		if i := s.rIdx[lc]; i >= 0 {
+			if s.vSat[i] && s.vMax[i] <= rtol {
+				b := s.vBG[i]
+				if b == bgUnknown {
+					b = s.lazyBG(i, lc, gen, work)
+				}
+				if b <= rtol {
+					return true
+				}
+			}
+		} else {
+			c := s.caps[lc]
+			if s.linkRate[lc] >= c-rippleTol*(c+1) {
+				return true
+			}
+		}
+	}
+
+	// Full scan: links inside links(S) use the verification arrays (with the
+	// background maximum resolved lazily — it includes this flow itself, so
+	// a background-maximal flow passes); links outside carry no members, so
+	// their state is exactly pre-pass — the maintained linkRate aggregate
+	// gates a list scan.
+	off, n := s.fOff[fi], s.fNL[fi]
+	for j := int32(0); j < n; j++ {
+		l := s.linkArena[off+j]
+		if i := s.rIdx[l]; i >= 0 {
+			if !s.vSat[i] || s.vMax[i] > rtol {
+				continue
+			}
+			b := s.vBG[i]
+			if b == bgUnknown {
+				b = s.lazyBG(i, l, gen, work)
+			}
+			if b <= rtol {
+				s.fCert[fi] = l
+				return true
+			}
+			continue
+		}
+		c := s.caps[l]
+		if s.linkRate[l] < c-rippleTol*(c+1) {
+			continue
+		}
+		mx := 0.0
+		for _, ref := range s.linkFlows[l] {
+			if rr := s.fRate[ref.fi]; rr > mx {
+				mx = rr
+			}
+		}
+		*work += int64(len(s.linkFlows[l]))
+		if mx <= rtol {
+			s.fCert[fi] = l
+			return true
+		}
+	}
+	return false
+}

@@ -17,7 +17,9 @@ import (
 // "one atomic load when no sink" contract).
 //
 // Units: completion times are recorded in microseconds of simulated time,
-// rates in bytes/second, utilization in permille (0..1000) of capacity.
+// rates in milli-bytes/second (experiment capacities are O(1..100) bytes/s,
+// so whole-byte buckets would round most rates to zero), utilization in
+// permille (0..1000) of capacity.
 type Telemetry struct {
 	reg *obs.Registry
 
@@ -33,7 +35,7 @@ type Telemetry struct {
 	PendingFlows *obs.Gauge // scheduled, not yet arrived
 
 	FCT           *obs.Histogram // flow completion time, µs of simulated time
-	FlowRate      *obs.Histogram // max-min rate at completion, bytes/s
+	FlowRate      *obs.Histogram // max-min rate at completion, milli-bytes/s
 	LinkUtil      *obs.Histogram // per-link utilization samples, permille
 	RecomputeWork *obs.Histogram // flow×link incidences per filling pass
 
@@ -65,7 +67,7 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 		ActiveFlows:       reg.Gauge("fluid.active_flows"),
 		PendingFlows:      reg.Gauge("fluid.pending_flows"),
 		FCT:               reg.Histogram("fluid.fct_us"),
-		FlowRate:          reg.Histogram("fluid.flow_rate_Bps"),
+		FlowRate:          reg.Histogram("fluid.flow_rate_mBps"),
 		LinkUtil:          reg.Histogram("fluid.link_util_permille"),
 		RecomputeWork:     reg.Histogram("fluid.recompute_work_per_pass"),
 		MaxLinkUtil:       reg.Gauge("fluid.max_link_util_permille"),
