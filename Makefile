@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-race vet build test race soak-failover bench bench-smoke tools
+.PHONY: check check-race vet build test race soak-failover soak-fleet bench bench-smoke tools
 
 check: vet build test race
 
@@ -34,6 +34,12 @@ race:
 # timeout draw.
 soak-failover:
 	$(GO) test -race -count 8 -run 'TestCluster|TestElectionSafety' ./internal/ctlnet/... ./internal/ctlplane/...
+
+# Fleet-scale keep-alive soak: 1000 grouped agents hammer one server's
+# multiplexed pollers under the race detector, and the test asserts the
+# server's goroutine count stays bounded by shards+pollers, not fleet size.
+soak-fleet:
+	$(GO) test -race -run 'TestFleetSoak' -v ./internal/ctlnet/
 
 # Recovery-path microbenchmarks; instrumentation must stay free when no
 # event sink is attached, so watch these against the seed numbers.

@@ -196,9 +196,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := f.SetDetail(res); err != nil {
 			return nil, "", err
 		}
-		return f, fmt.Sprintf("%d replicas, first election %.1fms, failover %.1fms, commit %.0fµs seq %.0f/s, pipelined x%d %.0f/s, snapshot %.0fµs/%dB",
+		curve := ""
+		for _, p := range res.KACurve {
+			curve += fmt.Sprintf(" %dk=%.0fka/s(g%d)", p.Agents/1000, p.KAPerSec, p.ServerGoroutines)
+		}
+		return f, fmt.Sprintf("%d replicas, first election %.1fms, failover %.1fms, commit %.0fµs seq %.0f/s, pipelined x%d %.0f/s, snapshot %.0fµs/%dB; storm %d recoveries/%d rounds = %.1fx; fleet%s",
 			res.Replicas, res.FirstElectionMS, res.FailoverMS, res.CommitNSOp/1e3, res.CommitsPerSec,
-			res.PipelineDepth, res.PipelinedPerSec, res.SnapshotNSOp/1e3, res.SnapshotBytes), nil
+			res.PipelineDepth, res.PipelinedPerSec, res.SnapshotNSOp/1e3, res.SnapshotBytes,
+			res.StormRecoveries, res.StormRounds, res.StormBatchRatio, curve), nil
 	})
 
 	switch status {

@@ -69,6 +69,7 @@ func main() {
 		sloBudget  = flag.Duration("slo-budget", 0, "recovery-time SLO budget; breaches trip the watchdog (0 disables)")
 		flightRec  = flag.Bool("flight-recorder", false, "keep an always-on event ring and dump a diagnostic bundle on anomalies")
 		profileDir = flag.String("profile-dir", "", "continuous profiler: rotating phase-labeled CPU/heap bundles in this directory (default $SHAREBACKUP_PROF_DIR; empty disables)")
+		kaBatch    = flag.Bool("ka-batch", false, "run the fleet-scale keep-alive demo: -agents batched agents through one multiplexed server, printing sustained ingest and server goroutine count")
 	)
 	flag.Parse()
 
@@ -89,6 +90,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sbemu: continuous profiler writing bundles to %s\n", dir)
 	}
 
+	if *kaBatch {
+		runFleetDemo(*numAgents)
+		return
+	}
 	if *ctlnetMode {
 		if *cluster > 0 {
 			runCtlnetCluster(*k, *n, *numAgents, *numCS, *cluster, *traceDir)
@@ -208,6 +213,25 @@ func main() {
 // controller server, switch agents, and circuit-switch services over loopback
 // TCP, one trace file per process. One link failure is injected per agent,
 // then the per-process files are listed for stitching.
+// runFleetDemo drives the fleet-scale keep-alive path: agents are grouped
+// onto shared connections sending batched keep-alive frames, the server reads
+// them through its multiplexed pollers, and the sustained ingest rate plus
+// the (fleet-size-independent) server goroutine count are printed.
+func runFleetDemo(agents int) {
+	if agents <= 0 {
+		fatal(fmt.Errorf("-ka-batch requires -agents > 0"))
+	}
+	fmt.Printf("fleet demo: %d agents, batched keep-alives over grouped connections...\n", agents)
+	res, err := ctlnet.RunFleet(ctlnet.FleetConfig{Agents: agents})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d agents on %d conns (group size %d): %.0f keep-alives/s sustained\n",
+		res.Agents, res.Conns, res.GroupSize, res.KAPerSec)
+	fmt.Printf("server goroutines: %d (independent of fleet size); batched frames: %d; wire errors: %d\n",
+		res.ServerGoroutines, res.Batches, res.WireErrors)
+}
+
 func runCtlnet(k, n, agents, cs int, traceDir string, budget time.Duration, flight bool) {
 	if traceDir == "" {
 		dir, err := os.MkdirTemp("", "sbemu-ctlnet-")

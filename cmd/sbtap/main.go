@@ -263,11 +263,74 @@ func renderBenchFile(name string, f *bench.File, hist bool) string {
 		}
 		fmt.Fprintf(&out, "  %-34s %14.6g %-10s better=%s\n", n, m.Value, m.Unit, better)
 	}
-	if hist && len(f.Detail) > 0 {
+	if len(f.Detail) > 0 {
 		var v interface{}
 		if err := json.Unmarshal(f.Detail, &v); err == nil {
-			out.WriteString(renderDetailHists("detail", v))
+			out.WriteString(renderKACurve(v))
+			if hist {
+				out.WriteString(renderDetailHists("detail", v))
+			}
 		}
+	}
+	return out.String()
+}
+
+// renderKACurve renders the fleet keep-alive throughput curve a ctlplane
+// trajectory embeds in its detail (the ka_curve array from `sbbench
+// -ctlplane`): one bar per agent count, scaled to the fastest point, with
+// the server goroutine count alongside — flat goroutines as agents grow is
+// the multiplexed-reader contract made visible.
+func renderKACurve(v interface{}) string {
+	m, ok := v.(map[string]interface{})
+	if !ok {
+		return ""
+	}
+	arr, ok := m["ka_curve"].([]interface{})
+	if !ok || len(arr) == 0 {
+		return ""
+	}
+	type point struct {
+		agents, conns, goros int
+		kps                  float64
+	}
+	var pts []point
+	var max float64
+	for _, e := range arr {
+		pm, ok := e.(map[string]interface{})
+		if !ok {
+			return ""
+		}
+		num := func(key string) float64 {
+			f, _ := pm[key].(float64)
+			return f
+		}
+		p := point{
+			agents: int(num("agents")),
+			conns:  int(num("conns")),
+			goros:  int(num("server_goroutines")),
+			kps:    num("ka_per_sec"),
+		}
+		if p.agents == 0 {
+			return ""
+		}
+		if p.kps > max {
+			max = p.kps
+		}
+		pts = append(pts, p)
+	}
+	if max <= 0 {
+		return ""
+	}
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "keep-alive throughput vs fleet size (%d points):\n", len(pts))
+	const width = 40
+	for _, p := range pts {
+		n := int(p.kps / max * width)
+		if n < 1 {
+			n = 1
+		}
+		fmt.Fprintf(&out, "  %6d agents |%-*s| %9.0f ka/s  (%d conns, %d server goroutines)\n",
+			p.agents, width, strings.Repeat("#", n), p.kps, p.conns, p.goros)
 	}
 	return out.String()
 }

@@ -162,6 +162,50 @@ func TestRenderRoutingBenchFile(t *testing.T) {
 	}
 }
 
+// TestRenderKACurve pins the fleet-throughput curve rendering for the
+// ctlplane trajectory: one scaled bar per agent count, with connection and
+// server-goroutine counts alongside.
+func TestRenderKACurve(t *testing.T) {
+	f := &bench.File{
+		Metrics: map[string]bench.Metric{
+			"ctlnet.ka_per_sec_10k":      {Value: 1.0e6, Unit: "ka/s", Better: "higher"},
+			"ctlplane.storm_batch_ratio": {Value: 32, Unit: "x", Better: "higher"},
+		},
+	}
+	if err := f.SetDetail(map[string]interface{}{
+		"ka_curve": []map[string]interface{}{
+			{"agents": 1000, "conns": 20, "ka_per_sec": 1.0e5, "server_goroutines": 13},
+			{"agents": 4000, "conns": 80, "ka_per_sec": 4.0e5, "server_goroutines": 13},
+			{"agents": 10000, "conns": 200, "ka_per_sec": 1.0e6, "server_goroutines": 13},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := parseBenchFile(data)
+	if !ok {
+		t.Fatal("ctlplane bench file not recognized")
+	}
+	out := renderBenchFile("BENCH_ctlplane.json", bf, false)
+	for _, want := range []string{
+		"keep-alive throughput vs fleet size (3 points)",
+		"10000 agents",
+		"200 conns, 13 server goroutines",
+		"ctlplane.storm_batch_ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The 10k bar is the tallest; the 1k bar is scaled down, not clipped out.
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Errorf("max point not rendered at full width:\n%s", out)
+	}
+}
+
 // TestControlPlaneSummaryGolden pins the control-plane timeline rendering:
 // elections, stepdowns, and agent failovers each get a line, the header
 // counts them and reports the highest term seen, and a trace without any

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sharebackup/internal/bench"
+	"sharebackup/internal/ctlnet"
 	"sharebackup/internal/ctlplane"
 )
 
@@ -48,6 +49,31 @@ type CtlplaneBenchResult struct {
 	SnapshotNSOp     float64 `json:"snapshot_ns_op"`
 	SnapshotBytes    int64   `json:"snapshot_bytes"`
 	SnapshotLogIndex uint64  `json:"snapshot_log_index"`
+
+	// KACurve is the keep-alive-throughput-vs-agent-count sweep: each point
+	// drives a batched agent fleet through one ctlnet server (multiplexed
+	// readers, coalesced keep-alive frames) and records the sustained
+	// ingest rate plus the server's steady-state goroutine count — which
+	// must stay flat as agents grow.
+	KACurve     []KAPoint `json:"ka_curve"`
+	KAPerSec10k float64   `json:"ka_per_sec_10k"`
+
+	// Storm batching: concurrent recovery proposals folded through a
+	// BatchProposer. The ratio is recoveries committed per consensus round
+	// — the whole point of batched consensus.
+	StormRecoveries int64   `json:"storm_recoveries"`
+	StormRounds     int64   `json:"storm_rounds"`
+	StormBatchRatio float64 `json:"storm_batch_ratio"`
+}
+
+// KAPoint is one agent-count sample of the fleet throughput curve.
+type KAPoint struct {
+	Agents           int     `json:"agents"`
+	Conns            int     `json:"conns"`
+	GroupSize        int     `json:"group_size"`
+	KAPerSec         float64 `json:"ka_per_sec"`
+	ServerGoroutines int     `json:"server_goroutines"`
+	WireErrors       int64   `json:"wire_errors"`
 }
 
 // benchCluster is a minimal 3-replica cluster over loopback TCP whose state
@@ -61,7 +87,12 @@ type benchCluster struct {
 	applied [][][]byte
 }
 
-func newBenchCluster(n int, tick time.Duration) (*benchCluster, error) {
+// newBenchCluster builds the cluster. With decodeCmds false the apply hook
+// just records raw blobs (the proposal benches use opaque payloads); with
+// decodeCmds true it decodes ctlplane commands and expands CmdBatch into
+// per-sub-command results, the contract the storm bench's BatchProposer
+// needs.
+func newBenchCluster(n int, tick time.Duration, decodeCmds bool) (*benchCluster, error) {
 	bc := &benchCluster{applied: make([][][]byte, n)}
 	peers := make([]int, n)
 	addrs := make(map[int]string, n)
@@ -103,7 +134,26 @@ func newBenchCluster(n int, tick time.Duration) (*benchCluster, error) {
 				bc.applied[i] = append(bc.applied[i], data)
 				k := len(bc.applied[i])
 				bc.mu.Unlock()
-				return k, nil
+				if !decodeCmds {
+					return k, nil
+				}
+				cmd, err := ctlplane.DecodeCommand(data)
+				if err != nil {
+					return nil, err
+				}
+				if cmd.Kind != ctlplane.CmdBatch {
+					return int(cmd.Switch), nil
+				}
+				out := make([]ctlplane.BatchResult, len(cmd.Sub))
+				for j, sub := range cmd.Sub {
+					sc, err := ctlplane.DecodeCommand(sub)
+					if err != nil {
+						out[j] = ctlplane.BatchResult{Err: err}
+						continue
+					}
+					out[j] = ctlplane.BatchResult{Val: int(sc.Switch)}
+				}
+				return out, nil
 			},
 			Snapshot: func() []byte {
 				bc.mu.Lock()
@@ -183,7 +233,7 @@ func CtlplaneBench(cfg CtlplaneBenchConfig) (*CtlplaneBenchResult, error) {
 	// few survivors for a quorum by the second kill.
 	var coldTotal, failTotal time.Duration
 	for tr := 0; tr < trials; tr++ {
-		bc, err := newBenchCluster(replicas, tick)
+		bc, err := newBenchCluster(replicas, tick, false)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +259,7 @@ func CtlplaneBench(cfg CtlplaneBenchConfig) (*CtlplaneBenchResult, error) {
 	res.FailoverMS = float64(failTotal) / float64(trials) / float64(time.Millisecond)
 
 	// --- Proposal latency and throughput on a steady cluster.
-	bc, err := newBenchCluster(replicas, tick)
+	bc, err := newBenchCluster(replicas, tick, false)
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +320,92 @@ func CtlplaneBench(cfg CtlplaneBenchConfig) (*CtlplaneBenchResult, error) {
 	if snap.LastIndex == 0 {
 		return nil, fmt.Errorf("ctlplane bench: snapshot covers no log")
 	}
+
+	// --- Storm batching: many concurrent recovery proposals through a
+	// BatchProposer on a fresh cluster with a command-decoding state
+	// machine. 64 proposers modelling a pod-wide failure burst; the fold
+	// ratio (recoveries per consensus round) is the batching win.
+	sbc, err := newBenchCluster(replicas, tick, true)
+	if err != nil {
+		return nil, err
+	}
+	defer sbc.close()
+	sld, err := sbc.waitLeader(-1, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	bp := ctlnet.NewBatchProposer(sld.Propose)
+	const stormProposers, perProposer = 64, 4
+	var swg sync.WaitGroup
+	stormErr := make(chan error, stormProposers)
+	for w := 0; w < stormProposers; w++ {
+		swg.Add(1)
+		go func(w int) {
+			defer swg.Done()
+			for i := 0; i < perProposer; i++ {
+				id := w*perProposer + i
+				data := ctlplane.Command{Kind: ctlplane.CmdRecoverNode, Switch: int32(id)}.Encode()
+				val, err := bp.Propose(data, 5*time.Second)
+				if err == nil {
+					if got, ok := val.(int); !ok || got != id {
+						err = fmt.Errorf("storm proposal %d got result %v", id, val)
+					}
+				}
+				if err != nil {
+					stormErr <- err
+					return
+				}
+			}
+		}(w)
+	}
+	swg.Wait()
+	select {
+	case err := <-stormErr:
+		return nil, fmt.Errorf("ctlplane bench: storm propose: %w", err)
+	default:
+	}
+	res.StormRecoveries = bp.Commands()
+	res.StormRounds = bp.Rounds()
+	if res.StormRounds > 0 {
+		res.StormBatchRatio = float64(res.StormRecoveries) / float64(res.StormRounds)
+	}
+	if !cfg.Smoke && res.StormBatchRatio < 4 {
+		return nil, fmt.Errorf("ctlplane bench: storm batch ratio %.1fx (%d recoveries / %d rounds), want >= 4x",
+			res.StormBatchRatio, res.StormRecoveries, res.StormRounds)
+	}
+
+	// --- The 10k-agent curve: keep-alive ingest vs fleet size through one
+	// ctlnet server. Smoke shrinks the measurement window, not the fleet —
+	// the 10k point is the gated number either way.
+	fleetWindow, fleetWarmup := time.Second, 300*time.Millisecond
+	if cfg.Smoke {
+		fleetWindow, fleetWarmup = 350*time.Millisecond, 150*time.Millisecond
+	}
+	for _, agents := range []int{1000, 4000, 10000} {
+		fr, err := ctlnet.RunFleet(ctlnet.FleetConfig{
+			Agents:   agents,
+			Interval: 10 * time.Millisecond,
+			Warmup:   fleetWarmup,
+			Duration: fleetWindow,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ctlplane bench: fleet %d agents: %w", agents, err)
+		}
+		if fr.KAs == 0 {
+			return nil, fmt.Errorf("ctlplane bench: fleet %d agents: no keep-alives landed", agents)
+		}
+		res.KACurve = append(res.KACurve, KAPoint{
+			Agents:           fr.Agents,
+			Conns:            fr.Conns,
+			GroupSize:        fr.GroupSize,
+			KAPerSec:         fr.KAPerSec,
+			ServerGoroutines: fr.ServerGoroutines,
+			WireErrors:       fr.WireErrors,
+		})
+		if agents == 10000 {
+			res.KAPerSec10k = fr.KAPerSec
+		}
+	}
 	return res, nil
 }
 
@@ -296,6 +432,12 @@ func (r *CtlplaneBenchResult) GateMetrics() map[string]bench.Metric {
 		},
 		"ctlplane.snapshot_ns_op": {
 			Value: r.SnapshotNSOp, Unit: "ns", Better: "lower", Tolerance: 2.0,
+		},
+		"ctlplane.storm_batch_ratio": {
+			Value: r.StormBatchRatio, Unit: "x", Better: "higher", Tolerance: 0.5,
+		},
+		"ctlnet.ka_per_sec_10k": {
+			Value: r.KAPerSec10k, Unit: "ka/s", Better: "higher", Tolerance: 0.6,
 		},
 	}
 }

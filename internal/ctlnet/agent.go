@@ -256,8 +256,11 @@ func (a *Agent) ClockOffset() (time.Duration, bool) {
 // Unknown message types are skipped (forward compatibility). It exits when
 // the connection closes — in cluster mode after kicking off a reconnect.
 func (a *Agent) readLoop(conn net.Conn, gen uint64) {
+	// One reusable frame buffer for the connection's lifetime; every case
+	// below decodes (or copies) the payload before the next frame is read.
+	fr := frameReader{r: conn}
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := fr.next()
 		if err != nil {
 			a.reconnect(gen, "")
 			return
@@ -549,8 +552,9 @@ func Subscribe(addr string) (*Monitor, error) {
 
 func (m *Monitor) readLoop() {
 	defer close(m.Events)
+	fr := frameReader{r: m.conn}
 	for {
-		typ, payload, err := readFrame(m.conn)
+		typ, payload, err := fr.next()
 		if err != nil {
 			m.setErr(err)
 			return

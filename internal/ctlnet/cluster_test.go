@@ -260,7 +260,7 @@ func TestClusterQuorumLossDrill(t *testing.T) {
 	srv2, err := NewServer("127.0.0.1:0", ctl2, ServerConfig{
 		Interval:   e.cfg.Interval,
 		CheckEvery: e.cfg.Interval,
-		Cluster:    &clusterHooks{dir: dir2, self: 9},
+		Cluster:    newClusterHooks(dir2, 9),
 	})
 	if err != nil {
 		t.Fatal(err)

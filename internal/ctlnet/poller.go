@@ -1,0 +1,257 @@
+package ctlnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The multiplexed reader path. Historically every accepted connection got
+// its own handleConn goroutine, so a 10k-agent fleet cost 10k parked reader
+// stacks. Now a connection is *parked* in a poller (epoll on Linux, a
+// bounded reader pool elsewhere) and its steady-state frames — keep-alives,
+// batched keep-alives, clock syncs, leader queries — are dispatched inline
+// by the poller's own goroutine. Only slow-path frames (hello, link
+// reports, subscriptions, varz/timeseries queries) promote the connection
+// to a short-lived serveActive goroutine, which handles the burst and
+// re-parks. Steady-state goroutine count is O(shards + pollers), not
+// O(agents).
+//
+// Ownership protocol: a pollConn is owned by exactly one party at a time —
+// the poller (parked) or a serveActive goroutine (active). Only the owner
+// reads from the connection. The poller's backends must evict a connection
+// from their own data structures *before* anyone closes it (see dropConn),
+// so a recycled file descriptor can never be confused with a parked one.
+
+// connPoller multiplexes parked connections onto a bounded reader set.
+type connPoller interface {
+	// park transfers ownership of pc to the poller. If the poller is
+	// closed, park closes the connection instead.
+	park(pc *pollConn)
+	// evict removes pc from the poller's structures if parked there; a
+	// no-op for active or already-evicted connections. Required before a
+	// non-owner closes pc's connection.
+	evict(pc *pollConn)
+	// close stops the poller's readers and waits for them to exit. Parked
+	// connections are left open (Server.Close severs them afterwards).
+	close()
+}
+
+// pollConn is one connection's parked state.
+type pollConn struct {
+	conn net.Conn
+	fd   int // raw fd (Linux poller); -1 when unavailable
+
+	// acc accumulates raw bytes across poller visits until whole frames
+	// can be extracted; a partial frame survives a re-park. Empty accs are
+	// returned to the poller's buffer pool between visits.
+	acc []byte
+
+	// lastRedirect paces msgNotLeader replies on the keep-alive firehose.
+	lastRedirect time.Time
+
+	// subscribed marks recovery-event subscribers; their conns are owned
+	// by the publish path once set (dropConn then never closes them).
+	subscribed bool
+
+	// dropped guards the teardown path: the first CompareAndSwap winner
+	// runs dropConn's bookkeeping, every later caller is a no-op.
+	dropped atomic.Bool
+
+	// evicted marks a conn removed from the portable pool's rotation, so
+	// a queued entry popped after eviction is skipped.
+	evicted atomic.Bool
+}
+
+// readCtx is per-reader scratch shared across every connection a reader
+// serves: the shard-index staging for keep-alive batch fan-in lives here so
+// the steady state allocates nothing.
+type readCtx struct {
+	shardOf []uint8
+}
+
+// accBufSize is the pooled accumulator capacity — enough for a whole
+// keep-alive batch flush from a mid-sized agent group without growing.
+const accBufSize = 4096
+
+var accPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, accBufSize)
+		return &b
+	},
+}
+
+func getAcc() []byte {
+	return (*accPool.Get().(*[]byte))[:0]
+}
+
+func putAcc(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	accPool.Put(&b)
+}
+
+// releaseAcc returns a fully-drained accumulator to the pool.
+func (pc *pollConn) releaseAcc() {
+	if pc.acc != nil && len(pc.acc) == 0 {
+		putAcc(pc.acc)
+		pc.acc = nil
+	}
+}
+
+// accSpare grows pc.acc as needed and returns its spare capacity to read
+// into; commit the bytes with pc.acc = pc.acc[:len(pc.acc)+n].
+func (pc *pollConn) accSpare(min int) []byte {
+	if pc.acc == nil {
+		pc.acc = getAcc()
+	}
+	if cap(pc.acc)-len(pc.acc) < min {
+		grown := make([]byte, len(pc.acc), 2*cap(pc.acc)+min)
+		copy(grown, pc.acc)
+		putAcc(pc.acc[:0])
+		pc.acc = grown
+	}
+	return pc.acc[len(pc.acc):cap(pc.acc)]
+}
+
+// isSlowFrame reports whether a frame type needs a dedicated handler
+// goroutine: it may block (consensus proposals run up to proposeTimeout),
+// write large replies, or mutate subscription state.
+func isSlowFrame(typ byte) bool {
+	switch typ {
+	case msgHello, msgLinkFail, msgLinkFailTraced, msgSubscribe, msgVarzReq, msgTSReq:
+		return true
+	}
+	return false
+}
+
+// pumpBuffered dispatches the complete fast frames at the head of pc.acc.
+// It stops at the first slow frame — left at the head of acc, handoff=true,
+// for serveActive to consume — or at a partial frame (handoff=false, the
+// bytes wait for the next poller visit). A framing or dispatch error means
+// the connection must drop.
+func (s *Server) pumpBuffered(pc *pollConn, rc *readCtx) (handoff bool, err error) {
+	consumed := 0
+	for {
+		typ, payload, n, ferr := extractFrame(pc.acc[consumed:])
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		if n == 0 {
+			break
+		}
+		if isSlowFrame(typ) {
+			handoff = true
+			break
+		}
+		if derr := s.handleFrame(pc, typ, payload, rc); derr != nil {
+			consumed += n
+			err = derr
+			break
+		}
+		consumed += n
+	}
+	if consumed > 0 {
+		pc.acc = pc.acc[:copy(pc.acc, pc.acc[consumed:])]
+	}
+	return handoff, err
+}
+
+// activeLinger is how long serveActive waits for a follow-up frame before
+// re-parking — shorter than any keep-alive interval, so a connection whose
+// slow burst is over returns to the poller within one tick.
+const activeLinger = 500 * time.Microsecond
+
+// serveActive owns one promoted connection: it drains the buffered frames
+// (the slow frame that triggered promotion first), lingers briefly for a
+// follow-up, and re-parks. This is the only place slow frames are handled,
+// and the connection has exactly one such goroutine at a time.
+func (s *Server) serveActive(pc *pollConn) {
+	defer s.wg.Done()
+	rc := &readCtx{}
+	for {
+		for {
+			typ, payload, n, err := extractFrame(pc.acc)
+			if err != nil {
+				s.dropConn(pc, err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			if err := s.handleFrame(pc, typ, payload, rc); err != nil {
+				s.dropConn(pc, err)
+				return
+			}
+			pc.acc = pc.acc[:copy(pc.acc, pc.acc[n:])]
+		}
+		pc.conn.SetReadDeadline(time.Now().Add(activeLinger))
+		spare := pc.accSpare(512)
+		n, err := pc.conn.Read(spare)
+		pc.conn.SetReadDeadline(time.Time{})
+		if n > 0 {
+			pc.acc = pc.acc[:len(pc.acc)+n]
+			continue
+		}
+		if err == nil {
+			continue
+		}
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			pc.releaseAcc()
+			s.poller.park(pc)
+			return
+		}
+		s.dropConn(pc, err)
+		return
+	}
+}
+
+// serveActiveBlocking is the degenerate path for connections the platform
+// poller cannot multiplex (no raw fd, or epoll setup failed): one dedicated
+// goroutine per connection, the pre-poller cost model, same frame dispatch.
+func (s *Server) serveActiveBlocking(pc *pollConn) {
+	defer s.wg.Done()
+	rc := &readCtx{}
+	fr := frameReader{r: pc.conn}
+	for {
+		typ, payload, err := fr.next()
+		if err != nil {
+			s.dropConn(pc, err)
+			return
+		}
+		if err := s.handleFrame(pc, typ, payload, rc); err != nil {
+			s.dropConn(pc, err)
+			return
+		}
+	}
+}
+
+// dropConn finishes a connection: the first caller wins, unregisters it,
+// and closes it (unless a subscriber — the publish path owns those). The
+// caller must have evicted pc from the poller first, or be the poller
+// backend itself having already removed it; dropConn calls evict again
+// defensively, which backends tolerate for unparked conns.
+func (s *Server) dropConn(pc *pollConn, err error) {
+	if !pc.dropped.CompareAndSwap(false, true) {
+		return
+	}
+	s.poller.evict(pc)
+	s.mu.Lock()
+	delete(s.conns, pc.conn)
+	s.mu.Unlock()
+	s.gConns.Add(-1)
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		s.logf("ctlnet: conn %v: %v", pc.conn.RemoteAddr(), err)
+	}
+	pc.releaseAcc()
+	if !pc.subscribed {
+		pc.conn.Close()
+	}
+}

@@ -1,0 +1,265 @@
+//go:build linux
+
+package ctlnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"syscall"
+)
+
+// The Linux backend: each of cfg.Pollers loops owns an epoll instance and
+// the connections assigned to it (fd mod pollers). Go sockets are already
+// non-blocking, so raw syscall.Read on the extracted fd drains a readable
+// connection without touching the runtime netpoller; level-triggered epoll
+// re-reports anything left behind.
+//
+// fd-recycling safety: events are processed under the loop's mutex, and a
+// connection is always removed from the fd map (evict) before anything
+// closes it. An event dequeued for an fd that was since evicted finds no
+// map entry and is ignored; an fd recycled onto a *new* parked connection
+// resolves, at processing time, to the new pollConn — which is exactly the
+// connection that is readable.
+
+// newPoller builds the platform poller: n epoll loops.
+func newPoller(s *Server, n int) connPoller {
+	set := &epollSet{}
+	for i := 0; i < n; i++ {
+		set.loops = append(set.loops, newEpollLoop(s))
+	}
+	return set
+}
+
+type epollSet struct {
+	loops []*epollLoop
+}
+
+func (p *epollSet) loopFor(pc *pollConn) *epollLoop {
+	if pc.fd >= 0 {
+		return p.loops[pc.fd%len(p.loops)]
+	}
+	return p.loops[0]
+}
+
+func (p *epollSet) park(pc *pollConn)  { p.loopFor(pc).park(pc) }
+func (p *epollSet) evict(pc *pollConn) { p.loopFor(pc).evict(pc) }
+func (p *epollSet) close() {
+	for _, l := range p.loops {
+		l.close()
+	}
+}
+
+type epollLoop struct {
+	s    *Server
+	epfd int
+	// wake unblocks EpollWait for shutdown (self-pipe).
+	wakeR, wakeW int
+	rc           readCtx
+
+	mu     sync.Mutex
+	conns  map[int]*pollConn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+func newEpollLoop(s *Server) *epollLoop {
+	l := &epollLoop{s: s, epfd: -1, wakeR: -1, wakeW: -1, conns: make(map[int]*pollConn)}
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return l // degenerate loop: park falls back to serveActive-per-conn
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return l
+	}
+	l.epfd, l.wakeR, l.wakeW = epfd, p[0], p[1]
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(l.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, l.wakeR, &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(p[0])
+		syscall.Close(p[1])
+		l.epfd, l.wakeR, l.wakeW = -1, -1, -1
+		return l
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// connFD extracts a TCP connection's raw file descriptor; (-1, false) for
+// non-TCP conns (tests with pipes) or extraction failures.
+func connFD(conn net.Conn) (int, bool) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return -1, false
+	}
+	rc, err := tc.SyscallConn()
+	if err != nil {
+		return -1, false
+	}
+	fd := -1
+	if err := rc.Control(func(f uintptr) { fd = int(f) }); err != nil || fd < 0 {
+		return -1, false
+	}
+	return fd, true
+}
+
+func (l *epollLoop) park(pc *pollConn) {
+	if l.epfd < 0 || pc.fd < 0 {
+		// No epoll (or no raw fd): fall back to a dedicated handler
+		// goroutine, preserving correctness at the old cost for this conn.
+		l.s.mu.Lock()
+		closed := l.s.closed
+		l.s.mu.Unlock()
+		if closed {
+			pc.conn.Close()
+			return
+		}
+		l.s.wg.Add(1)
+		go l.s.serveActiveBlocking(pc)
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		pc.conn.Close()
+		return
+	}
+	l.conns[pc.fd] = pc
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN | syscall.EPOLLRDHUP, Fd: int32(pc.fd)}
+	err := syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_ADD, pc.fd, &ev)
+	if err != nil {
+		delete(l.conns, pc.fd)
+	}
+	l.mu.Unlock()
+	if err != nil {
+		l.s.dropConn(pc, err)
+	}
+}
+
+func (l *epollLoop) evict(pc *pollConn) {
+	if l.epfd < 0 || pc.fd < 0 {
+		return
+	}
+	l.mu.Lock()
+	l.evictLocked(pc)
+	l.mu.Unlock()
+}
+
+func (l *epollLoop) evictLocked(pc *pollConn) {
+	if cur, ok := l.conns[pc.fd]; ok && cur == pc {
+		delete(l.conns, pc.fd)
+		syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_DEL, pc.fd, nil)
+	}
+}
+
+func (l *epollLoop) close() {
+	if l.epfd < 0 {
+		return
+	}
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if !already {
+		var one [1]byte
+		syscall.Write(l.wakeW, one[:])
+	}
+	l.wg.Wait()
+	syscall.Close(l.epfd)
+	syscall.Close(l.wakeR)
+	syscall.Close(l.wakeW)
+}
+
+func (l *epollLoop) run() {
+	defer l.wg.Done()
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(l.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		var drops []*pollConn
+		var dropErrs []error
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == l.wakeR {
+				continue // closed flag re-checked next wait
+			}
+			pc, ok := l.conns[fd]
+			if !ok {
+				continue
+			}
+			if err := l.serveReadable(pc); err != nil {
+				if _, promoted := err.(handoffMarker); promoted {
+					continue
+				}
+				l.evictLocked(pc)
+				drops = append(drops, pc)
+				dropErrs = append(dropErrs, err)
+			}
+		}
+		closed := l.closed
+		l.mu.Unlock()
+		for i, pc := range drops {
+			l.s.dropConn(pc, dropErrs[i])
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// errHandoff is serveReadable's "not an error" signal that the conn was
+// promoted to serveActive and must leave the fd map without dropping.
+type handoffMarker struct{}
+
+func (handoffMarker) Error() string { return "handoff" }
+
+// serveReadable drains one readable parked connection (l.mu held): raw
+// non-blocking reads into the accumulator, fast frames dispatched inline,
+// slow frames promoting the conn to serveActive. Returns nil to keep the
+// conn parked, handoffMarker{} after promotion, or a real error to drop.
+func (l *epollLoop) serveReadable(pc *pollConn) error {
+	for {
+		spare := pc.accSpare(512)
+		n, err := syscall.Read(pc.fd, spare)
+		if n > 0 {
+			pc.acc = pc.acc[:len(pc.acc)+n]
+			handoff, perr := l.s.pumpBuffered(pc, &l.rc)
+			if perr != nil {
+				return perr
+			}
+			if handoff {
+				l.evictLocked(pc)
+				l.s.wg.Add(1)
+				go l.s.serveActive(pc)
+				return handoffMarker{}
+			}
+			continue
+		}
+		if n == 0 && err == nil {
+			return io.EOF
+		}
+		switch err {
+		case syscall.EAGAIN:
+			pc.releaseAcc()
+			return nil
+		case syscall.EINTR:
+			continue
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,127 @@
+//go:build !linux
+
+package ctlnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// The portable backend: a bounded pool of reader workers round-robins over
+// the parked connections with short deadline-bounded reads. Goroutine count
+// is O(workers), matching the epoll backend's contract; per-connection read
+// latency grows with conns/workers, which is acceptable for the platforms
+// this fallback serves (development hosts, not the 10k-agent bench).
+
+// poolSweep is one worker's read window per connection visit.
+const poolSweep = time.Millisecond
+
+// connFD has no portable use: the pool reads through net.Conn directly.
+func connFD(net.Conn) (int, bool) { return -1, false }
+
+func newPoller(s *Server, n int) connPoller {
+	p := &poolPoller{s: s}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+type poolPoller struct {
+	s    *Server
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue is the rotation of parked connections; a worker pops one,
+	// serves one read window, and re-enqueues it.
+	queue  []*pollConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (p *poolPoller) park(pc *pollConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		pc.conn.Close()
+		return
+	}
+	pc.evicted.Store(false)
+	p.queue = append(p.queue, pc)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *poolPoller) evict(pc *pollConn) {
+	// The queue entry (if any) is skipped when popped.
+	pc.evicted.Store(true)
+}
+
+func (p *poolPoller) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *poolPoller) worker() {
+	defer p.wg.Done()
+	rc := &readCtx{}
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		pc := p.queue[0]
+		p.queue = p.queue[:copy(p.queue, p.queue[1:])]
+		p.mu.Unlock()
+		if pc.evicted.Load() || pc.dropped.Load() {
+			continue
+		}
+		p.serve(pc, rc)
+	}
+}
+
+// serve gives one parked connection one read window: bytes that arrive are
+// pumped through the shared fast-frame dispatch; a slow frame promotes the
+// conn to serveActive; a quiet window re-enqueues it.
+func (p *poolPoller) serve(pc *pollConn, rc *readCtx) {
+	pc.conn.SetReadDeadline(time.Now().Add(poolSweep))
+	spare := pc.accSpare(512)
+	n, err := pc.conn.Read(spare)
+	pc.conn.SetReadDeadline(time.Time{})
+	if n > 0 {
+		pc.acc = pc.acc[:len(pc.acc)+n]
+		handoff, perr := p.s.pumpBuffered(pc, rc)
+		if perr != nil {
+			p.evict(pc)
+			p.s.dropConn(pc, perr)
+			return
+		}
+		if handoff {
+			p.evict(pc)
+			p.s.wg.Add(1)
+			go p.s.serveActive(pc)
+			return
+		}
+		pc.releaseAcc()
+		p.park(pc)
+		return
+	}
+	var nerr net.Error
+	if err == nil || (errors.As(err, &nerr) && nerr.Timeout()) {
+		pc.releaseAcc()
+		p.park(pc)
+		return
+	}
+	p.evict(pc)
+	p.s.dropConn(pc, err)
+}

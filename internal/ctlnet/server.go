@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -84,8 +83,21 @@ type ServerConfig struct {
 	// Shards is the number of keep-alive fan-in shards (see shard.go): a
 	// connection reader only appends to its shard's pending list, and one
 	// goroutine per shard folds and scans — the keep-alive hot path never
-	// takes the server or controller lock. Default 8.
+	// takes the server or controller lock. Default 8, capped at 254.
 	Shards int
+	// Pollers is the number of multiplexed reader loops (epoll instances
+	// on Linux, pool workers elsewhere) parked connections are spread
+	// over. Together with Shards it bounds the steady-state goroutine
+	// count regardless of how many agents connect. Default 2.
+	Pollers int
+	// FleetSize widens the keep-alive tracking range beyond the network
+	// model: switch IDs in [0, max(FleetSize, NumSwitches)) are accepted
+	// on the keep-alive path (sharded by ID for out-of-model entries), but
+	// only in-model switches are recovery-eligible — a silent synthetic ID
+	// is simply forgotten. This is how the fleet bench drives 10k+ agents
+	// through a server whose fat-tree model is far smaller. Default 0
+	// (track exactly the network model).
+	FleetSize int
 	// Cluster, when set, makes this server one replica of a replicated
 	// controller cluster: recovery mutations are proposed into the
 	// replicated log instead of applied directly, non-leaders redirect
@@ -109,6 +121,12 @@ func (c *ServerConfig) setDefaults() {
 	}
 	if c.Shards == 0 {
 		c.Shards = 8
+	}
+	if c.Shards > 254 {
+		c.Shards = 254 // shard indexes stage in uint8 scratch (see seenBatch)
+	}
+	if c.Pollers == 0 {
+		c.Pollers = 2
 	}
 }
 
@@ -134,6 +152,8 @@ type Server struct {
 	mProbeMisses *obs.Counter
 	mLogLines    *obs.Counter
 	mUnknownMsgs *obs.Counter
+	mWireErrors  *obs.Counter
+	mKABatches   *obs.Counter
 	gSubscribers *obs.Gauge
 	gConns       *obs.Gauge
 
@@ -144,10 +164,17 @@ type Server struct {
 	shards []*kaShard
 	deadCh chan deadCandidate
 
+	// poller multiplexes parked connections (poller.go); numSwitches and
+	// fleetSize are fixed at construction so the keep-alive hot path never
+	// consults the network model's size under a lock.
+	poller      connPoller
+	numSwitches int
+	fleetSize   int
+
 	mu     sync.Mutex
 	subs   []net.Conn
-	conns  map[net.Conn]bool // live agent sessions, closed on shutdown
-	tables map[int][]byte    // per-pod serialized combined tables
+	conns  map[net.Conn]*pollConn // live agent sessions, closed on shutdown
+	tables map[int][]byte         // per-pod serialized combined tables
 	// appliedCmds is the ordered replicated-command history — the replay
 	// snapshot (SnapshotState) and the restore cursor (RestoreState applies
 	// only the tail past this prefix).
@@ -212,9 +239,14 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 		ln:     ln,
 		start:  time.Now(),
 		bus:    cfg.Obs,
-		conns:  make(map[net.Conn]bool),
-		deadCh: make(chan deadCandidate, 64),
+		conns:  make(map[net.Conn]*pollConn),
+		deadCh: make(chan deadCandidate, 1024),
 		quit:   make(chan struct{}),
+	}
+	s.numSwitches = ctl.Network().NumSwitches()
+	s.fleetSize = s.numSwitches
+	if cfg.FleetSize > s.fleetSize {
+		s.fleetSize = cfg.FleetSize
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, &kaShard{lastSeen: make(map[sbnet.SwitchID]time.Time)})
@@ -227,8 +259,11 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 	s.mProbeMisses = reg.Counter("ctlnet.probe_misses")
 	s.mLogLines = reg.Counter("ctlnet.log_lines")
 	s.mUnknownMsgs = reg.Counter("ctlnet.unknown_msgs")
+	s.mWireErrors = reg.Counter("ctlnet.wire_errors")
+	s.mKABatches = reg.Counter("ctlnet.ka_batches")
 	s.gSubscribers = reg.Gauge("ctlnet.subscribers")
 	s.gConns = reg.Gauge("ctlnet.connections")
+	s.poller = newPoller(s, cfg.Pollers)
 	s.tsdb = cfg.TSDB
 	if s.tsdb == nil {
 		s.tsdb = tsdb.New(tsdb.Config{Registry: reg})
@@ -250,6 +285,7 @@ func NewServer(addr string, ctl *controller.Controller, cfg ServerConfig) (*Serv
 			for _, c := range s.csClients {
 				c.Close()
 			}
+			s.poller.close()
 			ln.Close()
 			return nil, fmt.Errorf("ctlnet: cs dial %s: %w", addr, err)
 		}
@@ -295,7 +331,10 @@ func (s *Server) syncCSClock(cl *CSClient) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for its goroutines.
+// Close stops the server and waits for its goroutines. The poller stops
+// before any parked connection is closed — its readers use raw descriptors
+// on Linux, and a descriptor must never be closed while a reader loop could
+// still dequeue an event for it (see poller_linux.go on fd recycling).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -312,6 +351,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	s.poller.close()
 	for _, c := range subs {
 		c.Close()
 	}
@@ -349,161 +389,192 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = true
+		pc := &pollConn{conn: conn, fd: -1}
+		if fd, ok := connFD(conn); ok {
+			pc.fd = fd
+		}
+		s.conns[conn] = pc
 		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.handleConn(conn)
+		s.gConns.Add(1)
+		// Park immediately: no per-connection goroutine. The first frame
+		// (usually a hello) promotes the conn to a serveActive handler.
+		s.poller.park(pc)
 	}
 }
 
-func (s *Server) handleConn(conn net.Conn) {
-	defer s.wg.Done()
-	s.gConns.Add(1)
-	defer s.gConns.Add(-1)
-	subscribed := false
-	defer func() {
+// replyWriteTimeout bounds server->agent reply writes. Fast-path replies
+// are written from poller context, so a stalled peer must fail fast rather
+// than wedge a reader loop that serves thousands of other connections.
+const replyWriteTimeout = 2 * time.Second
+
+// writeReply writes one reply frame with a bounded write deadline.
+func writeReply(conn net.Conn, typ byte, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(replyWriteTimeout))
+	err := writeFrame(conn, typ, payload)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// wireError counts a malformed steady-state payload. The frame is already
+// length-delimited and consumed, so the stream stays in sync — skip it and
+// keep the session (and, with batching, the whole agent group behind it)
+// alive. Only unrecoverable framing errors disconnect.
+func (s *Server) wireError(err error) {
+	s.mWireErrors.Inc()
+	s.logf("ctlnet: wire error (frame skipped): %v", err)
+}
+
+// handleFrame dispatches one frame for pc. It is the single dispatch point
+// shared by the poller fast path (keep-alives, clock syncs) and serveActive
+// (slow frames). A non-nil return tears the connection down; malformed
+// payloads on steady-state message types are skipped via wireError instead.
+// payload may alias a reader buffer and must not be retained.
+func (s *Server) handleFrame(pc *pollConn, typ byte, payload []byte, rc *readCtx) error {
+	conn := pc.conn
+	switch typ {
+	case msgHello:
+		id, err := decodeHello(payload)
+		if err != nil {
+			// Handshake integrity: a malformed hello is a protocol
+			// violation from a client that never registered — drop it.
+			s.logf("ctlnet: %v", err)
+			return err
+		}
+		s.mHellos.Inc()
+		if !s.isLeader() {
+			return s.redirect(conn)
+		}
+		s.seen(id)
+		// Hot-standby provisioning (Section 4.3): edge-group
+		// switches — regular and backup alike — receive their
+		// pod's combined failure-group table on registration.
+		// Out-of-model fleet IDs have no table.
+		if int(id) >= s.numSwitches {
+			return nil
+		}
+		if tbl := s.tableFor(id); tbl != nil {
+			if err := writeReply(conn, msgTableLoad, tbl); err != nil {
+				s.logf("ctlnet: table push to %d: %v", id, err)
+				return err
+			}
+			s.mTablePushes.Inc()
+			if s.bus.Enabled() {
+				ev := obs.NewEvent(obs.KindTablesPreloaded, time.Since(s.start))
+				ev.Wall = true
+				ev.Switch = int32(id)
+				ev.Count = int32(len(tbl))
+				s.bus.Emit(ev)
+			}
+		}
+	case msgKeepAlive:
+		id, _, err := decodeKeepAlive(payload)
+		if err != nil {
+			s.wireError(err)
+			return nil
+		}
+		s.mKeepalives.Inc()
+		if !s.isLeader() {
+			return s.redirectPaced(pc)
+		}
+		s.seen(id)
+	case msgKeepAliveBatch:
+		cnt, err := kaBatchCount(payload)
+		if err != nil {
+			s.wireError(err)
+			return nil
+		}
+		s.mKABatches.Inc()
+		s.mKeepalives.Add(int64(cnt))
+		if !s.isLeader() {
+			return s.redirectPaced(pc)
+		}
+		s.seenBatch(payload, cnt, rc)
+	case msgLinkFail:
+		aSw, aPort, bSw, bPort, err := decodeLinkFail(payload)
+		if err != nil {
+			s.wireError(err)
+			return nil
+		}
+		s.mLinkReports.Inc()
+		s.handleLinkFail(conn, obs.TraceContext{}, 0, aSw, aPort, bSw, bPort)
+	case msgLinkFailTraced:
+		ctx, detection, aSw, aPort, bSw, bPort, err := decodeLinkFailTraced(payload)
+		if err != nil {
+			s.wireError(err)
+			return nil
+		}
+		s.mLinkReports.Inc()
+		s.handleLinkFail(conn, ctx, detection, aSw, aPort, bSw, bPort)
+	case msgLeaderReq:
+		isLeader := s.isLeader()
+		addr := s.Addr()
+		if !isLeader {
+			addr = s.leaderAddr()
+		}
+		if err := writeReply(conn, msgLeaderInfo, encodeLeaderInfo(isLeader, addr)); err != nil {
+			s.logf("ctlnet: leader info reply: %v", err)
+			return err
+		}
+	case msgClockSync:
+		t1, err := decodeClockSync(payload)
+		if err != nil {
+			s.wireError(err)
+			return nil
+		}
+		ack := encodeClockSyncAck(t1, time.Since(s.start).Nanoseconds(), s.bus.Proc())
+		if err := writeReply(conn, msgClockSyncAck, ack); err != nil {
+			s.logf("ctlnet: clock sync ack: %v", err)
+			return err
+		}
+	case msgVarzReq:
+		if err := writeReply(conn, msgVarz, []byte(s.Varz())); err != nil {
+			s.logf("ctlnet: varz reply: %v", err)
+			return err
+		}
+	case msgTSReq:
+		n := 0
+		if len(payload) >= 2 {
+			n = int(payload[0])<<8 | int(payload[1])
+		}
+		if err := writeReply(conn, msgTS, s.timeSeriesJSON(n)); err != nil {
+			s.logf("ctlnet: timeseries reply: %v", err)
+			return err
+		}
+	case msgSubscribe:
+		subscribed := false
 		s.mu.Lock()
-		delete(s.conns, conn)
+		if !s.closed {
+			s.subs = append(s.subs, conn)
+			pc.subscribed = true
+			subscribed = true
+			s.gSubscribers.Set(int64(len(s.subs)))
+		}
 		s.mu.Unlock()
 		if !subscribed {
-			conn.Close()
+			return net.ErrClosed
 		}
-	}()
-	// Redirect pacing: a follower answers every hello and link report with
-	// msgNotLeader, but rate-limits redirects on the keep-alive firehose.
-	var lastRedirect time.Time
-	for {
-		typ, payload, err := readFrame(conn)
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("ctlnet: conn %v: %v", conn.RemoteAddr(), err)
-			}
-			return
+		if err := writeReply(conn, msgSubAck, nil); err != nil {
+			s.logf("ctlnet: subscribe ack: %v", err)
+			return err
 		}
-		switch typ {
-		case msgHello:
-			id, err := decodeHello(payload)
-			if err != nil {
-				s.logf("ctlnet: %v", err)
-				return
-			}
-			s.mHellos.Inc()
-			if !s.isLeader() {
-				if err := s.redirect(conn); err != nil {
-					return
-				}
-				continue
-			}
-			s.seen(id)
-			// Hot-standby provisioning (Section 4.3): edge-group
-			// switches — regular and backup alike — receive their
-			// pod's combined failure-group table on registration.
-			if tbl := s.tableFor(id); tbl != nil {
-				if err := writeFrame(conn, msgTableLoad, tbl); err != nil {
-					s.logf("ctlnet: table push to %d: %v", id, err)
-					return
-				}
-				s.mTablePushes.Inc()
-				if s.bus.Enabled() {
-					ev := obs.NewEvent(obs.KindTablesPreloaded, time.Since(s.start))
-					ev.Wall = true
-					ev.Switch = int32(id)
-					ev.Count = int32(len(tbl))
-					s.bus.Emit(ev)
-				}
-			}
-		case msgKeepAlive:
-			id, _, err := decodeKeepAlive(payload)
-			if err != nil {
-				s.logf("ctlnet: %v", err)
-				return
-			}
-			s.mKeepalives.Inc()
-			if !s.isLeader() {
-				if time.Since(lastRedirect) >= 250*time.Millisecond {
-					lastRedirect = time.Now()
-					if err := s.redirect(conn); err != nil {
-						return
-					}
-				}
-				continue
-			}
-			s.seen(id)
-		case msgLinkFail:
-			aSw, aPort, bSw, bPort, err := decodeLinkFail(payload)
-			if err != nil {
-				s.logf("ctlnet: %v", err)
-				return
-			}
-			s.mLinkReports.Inc()
-			s.handleLinkFail(conn, obs.TraceContext{}, 0, aSw, aPort, bSw, bPort)
-		case msgLinkFailTraced:
-			ctx, detection, aSw, aPort, bSw, bPort, err := decodeLinkFailTraced(payload)
-			if err != nil {
-				s.logf("ctlnet: %v", err)
-				return
-			}
-			s.mLinkReports.Inc()
-			s.handleLinkFail(conn, ctx, detection, aSw, aPort, bSw, bPort)
-		case msgLeaderReq:
-			isLeader := s.isLeader()
-			addr := s.Addr()
-			if !isLeader {
-				addr = s.leaderAddr()
-			}
-			if err := writeFrame(conn, msgLeaderInfo, encodeLeaderInfo(isLeader, addr)); err != nil {
-				s.logf("ctlnet: leader info reply: %v", err)
-				return
-			}
-		case msgClockSync:
-			t1, err := decodeClockSync(payload)
-			if err != nil {
-				s.logf("ctlnet: %v", err)
-				return
-			}
-			ack := encodeClockSyncAck(t1, time.Since(s.start).Nanoseconds(), s.bus.Proc())
-			if err := writeFrame(conn, msgClockSyncAck, ack); err != nil {
-				s.logf("ctlnet: clock sync ack: %v", err)
-				return
-			}
-		case msgVarzReq:
-			if err := writeFrame(conn, msgVarz, []byte(s.Varz())); err != nil {
-				s.logf("ctlnet: varz reply: %v", err)
-				return
-			}
-		case msgTSReq:
-			n := 0
-			if len(payload) >= 2 {
-				n = int(payload[0])<<8 | int(payload[1])
-			}
-			if err := writeFrame(conn, msgTS, s.timeSeriesJSON(n)); err != nil {
-				s.logf("ctlnet: timeseries reply: %v", err)
-				return
-			}
-		case msgSubscribe:
-			s.mu.Lock()
-			if !s.closed {
-				s.subs = append(s.subs, conn)
-				subscribed = true
-				s.gSubscribers.Set(int64(len(s.subs)))
-			}
-			s.mu.Unlock()
-			if !subscribed {
-				return
-			}
-			if err := writeFrame(conn, msgSubAck, nil); err != nil {
-				s.logf("ctlnet: subscribe ack: %v", err)
-				return
-			}
-		default:
-			// Forward compatibility: frames are length-prefixed, so the
-			// payload of an unrecognized type is already consumed — skip it
-			// and keep the session alive rather than killing a newer agent
-			// that speaks additional message types.
-			s.mUnknownMsgs.Inc()
-			s.logf("ctlnet: skipping unknown message type %d", typ)
-		}
+	default:
+		// Forward compatibility: frames are length-prefixed, so the
+		// payload of an unrecognized type is already consumed — skip it
+		// and keep the session alive rather than killing a newer agent
+		// that speaks additional message types.
+		s.mUnknownMsgs.Inc()
+		s.logf("ctlnet: skipping unknown message type %d", typ)
 	}
+	return nil
+}
+
+// redirectPaced rate-limits msgNotLeader on the keep-alive firehose.
+func (s *Server) redirectPaced(pc *pollConn) error {
+	if time.Since(pc.lastRedirect) < 250*time.Millisecond {
+		return nil
+	}
+	pc.lastRedirect = time.Now()
+	return s.redirect(pc.conn)
 }
 
 // isLeader reports whether this server may mutate controller state:
@@ -643,32 +714,102 @@ func (s *Server) recoverDead(c deadCandidate) {
 }
 
 // ApplyCommand applies one committed (or, standalone, direct) controller
-// mutation. In cluster mode this is the consensus node's Apply hook: every
-// replica — leader and follower alike — runs the identical command against
-// its own controller and network copy, with all timestamps taken from the
-// command, so the applied state is deterministic across the cluster.
+// mutation and returns its recovery. Kept for callers that know they hold a
+// single recover command; batch commands apply fine but return a nil
+// recovery — use ApplyReplicated to see per-sub-command results.
 func (s *Server) ApplyCommand(data []byte) (*controller.Recovery, error) {
-	return s.applyCommand(data, true)
+	res, err := s.applyReplicated(data, true)
+	rec, _ := res.(*controller.Recovery)
+	return rec, err
 }
 
-func (s *Server) applyCommand(data []byte, live bool) (*controller.Recovery, error) {
+// ApplyReplicated is the consensus node's Apply hook: every replica —
+// leader and follower alike — runs the identical command against its own
+// controller and network copy, with all timestamps taken from the command,
+// so the applied state is deterministic across the cluster. A batch command
+// applies its sub-commands in encoded order under one lock acquisition and
+// returns []ctlplane.BatchResult; a single command returns its
+// *controller.Recovery.
+func (s *Server) ApplyReplicated(data []byte) (any, error) {
+	return s.applyReplicated(data, true)
+}
+
+// appliedResult carries one command's outcome from the locked apply to the
+// live side effects (event emit, CS mirroring, subscriber publish).
+type appliedResult struct {
+	cmd        ctlplane.Command
+	rec        *controller.Recovery
+	err        error
+	processing time.Duration
+}
+
+func (s *Server) applyReplicated(data []byte, live bool) (any, error) {
 	cmd, err := ctlplane.DecodeCommand(data)
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	var rec *controller.Recovery
+	if cmd.Kind == ctlplane.CmdBatch {
+		results := make([]ctlplane.BatchResult, len(cmd.Sub))
+		applied := make([]appliedResult, 0, len(cmd.Sub))
+		s.mu.Lock()
+		// One history entry for the whole batch: replay re-applies it as a
+		// batch, in the same sub-command order, so the rebuilt state is
+		// identical (the order is fixed by the log entry, not by which
+		// proposer goroutine won a race).
+		s.appliedCmds = append(s.appliedCmds, append([]byte(nil), data...))
+		for i, sub := range cmd.Sub {
+			sc, derr := ctlplane.DecodeCommand(sub)
+			if derr != nil || sc.Kind == ctlplane.CmdBatch {
+				if derr == nil {
+					derr = errors.New("ctlnet: nested batch command")
+				}
+				results[i] = ctlplane.BatchResult{Err: derr}
+				continue
+			}
+			ar := s.applyLocked(sc, live)
+			results[i] = ctlplane.BatchResult{Val: ar.rec, Err: ar.err}
+			if ar.rec != nil {
+				applied = append(applied, ar)
+			}
+		}
+		s.mu.Unlock()
+		if live {
+			for _, ar := range applied {
+				s.finishLive(ar)
+			}
+		}
+		return results, nil
+	}
 	s.mu.Lock()
 	// Record the command before knowing its outcome: failed recoveries are
 	// part of the deterministic history too (replicas replaying the log
 	// must fail them identically).
 	s.appliedCmds = append(s.appliedCmds, append([]byte(nil), data...))
+	ar := s.applyLocked(cmd, live)
+	s.mu.Unlock()
+	if ar.err != nil && ar.rec == nil {
+		return nil, ar.err
+	}
+	if !live {
+		// Snapshot replay rebuilds state only; the leader already emitted,
+		// mirrored, and published this recovery when it happened.
+		return ar.rec, ar.err
+	}
+	s.finishLive(ar)
+	return ar.rec, ar.err
+}
+
+// applyLocked runs one decoded recover command against the controller.
+// Caller holds s.mu.
+func (s *Server) applyLocked(cmd ctlplane.Command, live bool) appliedResult {
+	t0 := time.Now()
+	ar := appliedResult{cmd: cmd}
 	switch cmd.Kind {
 	case ctlplane.CmdRecoverNode:
 		if cmd.LastSeenNS > 0 {
 			s.ctl.Heartbeat(sbnet.SwitchID(cmd.Switch), time.Duration(cmd.LastSeenNS))
 		}
-		rec, err = s.ctl.RecoverNode(sbnet.SwitchID(cmd.Switch), time.Duration(cmd.AtNS))
+		ar.rec, ar.err = s.ctl.RecoverNode(sbnet.SwitchID(cmd.Switch), time.Duration(cmd.AtNS))
 	case ctlplane.CmdRecoverLink:
 		traced := live && cmd.Trace != 0
 		if traced {
@@ -676,41 +817,37 @@ func (s *Server) applyCommand(data []byte, live bool) (*controller.Recovery, err
 			// controller's BeginSpan below joins it as a child.
 			s.bus.SetRemoteParent(obs.TraceContext{Trace: cmd.Trace, Span: cmd.Span, Proc: cmd.Proc})
 		}
-		rec, err = s.ctl.ReportLinkFailure(
+		ar.rec, ar.err = s.ctl.ReportLinkFailure(
 			controller.EndPoint{Switch: sbnet.SwitchID(cmd.ASwitch), Port: int(cmd.APort)},
 			controller.EndPoint{Switch: sbnet.SwitchID(cmd.BSwitch), Port: int(cmd.BPort)},
 			time.Duration(cmd.AtNS),
 		)
-		if err != nil && rec == nil && traced {
+		if ar.err != nil && ar.rec == nil && traced {
 			// Recovery never opened a span; drop the staged remote parent so
 			// it cannot leak into an unrelated recovery.
 			s.bus.EndSpan()
 		}
 	}
-	s.mu.Unlock()
-	if err != nil && rec == nil {
-		return nil, err
-	}
-	if !live {
-		// Snapshot replay rebuilds state only; the leader already emitted,
-		// mirrored, and published this recovery when it happened.
-		return rec, err
-	}
-	processing := time.Since(t0)
-	detection := time.Duration(cmd.DetectionNS)
-	s.emitRecovered(rec, time.Since(s.start)-processing, processing, detection)
+	ar.processing = time.Since(t0)
+	return ar
+}
+
+// finishLive runs the leader-visible side effects of one applied recovery.
+func (s *Server) finishLive(ar appliedResult) {
+	processing := ar.processing
+	detection := time.Duration(ar.cmd.DetectionNS)
+	s.emitRecovered(ar.rec, time.Since(s.start)-processing, processing, detection)
 	if s.isLeader() {
 		// Followers apply the same command but must not re-reconfigure the
 		// shared circuit switches the leader already drove.
-		s.mirrorCS(rec)
+		s.mirrorCS(ar.rec)
 	}
-	ev := RecoveryEvent{Kind: "link", Failed: rec.Failed, Backup: rec.Backup, Latency: processing}
-	if cmd.Kind == ctlplane.CmdRecoverNode {
+	ev := RecoveryEvent{Kind: "link", Failed: ar.rec.Failed, Backup: ar.rec.Backup, Latency: processing}
+	if ar.cmd.Kind == ctlplane.CmdRecoverNode {
 		ev.Kind = "node"
-		ev.Latency = time.Duration(cmd.AtNS-cmd.LastSeenNS) + processing
+		ev.Latency = time.Duration(ar.cmd.AtNS-ar.cmd.LastSeenNS) + processing
 	}
 	s.publish(ev)
-	return rec, err
 }
 
 // SnapshotState serializes the applied command history — the replay-based
@@ -735,7 +872,7 @@ func (s *Server) RestoreState(data []byte) error {
 	for i := n; i < len(rl.Commands); i++ {
 		// Per-command errors are part of the history being replayed (the
 		// leader logged them when they happened); only decode failures abort.
-		if _, err := s.applyCommand(rl.Commands[i], false); err != nil {
+		if _, err := s.applyReplicated(rl.Commands[i], false); err != nil {
 			if _, decodeErr := ctlplane.DecodeCommand(rl.Commands[i]); decodeErr != nil {
 				return decodeErr
 			}

@@ -40,25 +40,67 @@ type deadCandidate struct {
 	lastSeen time.Time
 }
 
-// shardFor maps a switch to its shard by failure group, so one group's
-// agents land on one shard and a recovery storm in a group cannot convoy
-// every other group's scans.
-func (s *Server) shardFor(id sbnet.SwitchID) *kaShard {
-	g := s.ctl.Network().Switch(id).Group
-	return s.shards[int(g)%len(s.shards)]
+// shardIndex maps a switch to its shard. In-model switches shard by failure
+// group, so one group's agents land on one shard and a recovery storm in a
+// group cannot convoy every other group's scans. Synthetic fleet IDs (beyond
+// the model, admitted by ServerConfig.FleetSize for scale benches) shard by
+// ID directly.
+func (s *Server) shardIndex(id sbnet.SwitchID) int {
+	if int(id) < s.numSwitches {
+		g := s.ctl.Network().Switch(id).Group
+		return int(g) % len(s.shards)
+	}
+	return int(id) % len(s.shards)
 }
 
 // seen records a heartbeat from id on the wall clock. Hot path: one
 // shard-local lock, one append.
 func (s *Server) seen(id sbnet.SwitchID) {
-	if int(id) < 0 || int(id) >= s.ctl.Network().NumSwitches() {
+	if int(id) < 0 || int(id) >= s.fleetSize {
 		return
 	}
-	sh := s.shardFor(id)
+	sh := s.shards[s.shardIndex(id)]
 	rec := kaRecord{id: id, at: time.Now()}
 	sh.mu.Lock()
 	sh.pending = append(sh.pending, rec)
 	sh.mu.Unlock()
+}
+
+// seenBatch records every valid pair in a keep-alive batch payload, taking
+// each destination shard's lock at most once per batch instead of once per
+// pair. Shard indices are staged in the reader's scratch (rc.shardOf), so
+// the steady state allocates nothing.
+func (s *Server) seenBatch(p []byte, cnt int, rc *readCtx) {
+	now := time.Now()
+	if cap(rc.shardOf) < cnt {
+		rc.shardOf = make([]uint8, cnt)
+	}
+	so := rc.shardOf[:cnt]
+	for i := 0; i < cnt; i++ {
+		id, _ := kaBatchPair(p, i)
+		if int(id) < 0 || int(id) >= s.fleetSize {
+			so[i] = 0xFF // out of model and fleet: forget the pair
+			continue
+		}
+		so[i] = uint8(s.shardIndex(id)) // Shards capped at 254 in setDefaults
+	}
+	for si := range s.shards {
+		locked := false
+		for i := 0; i < cnt; i++ {
+			if int(so[i]) != si {
+				continue
+			}
+			if !locked {
+				s.shards[si].mu.Lock()
+				locked = true
+			}
+			id, _ := kaBatchPair(p, i)
+			s.shards[si].pending = append(s.shards[si].pending, kaRecord{id: id, at: now})
+		}
+		if locked {
+			s.shards[si].mu.Unlock()
+		}
+	}
 }
 
 // shardLoop drains and scans one shard every CheckEvery.
@@ -105,6 +147,12 @@ func (s *Server) shardLoop(sh *kaShard) {
 				s.mu.Lock()
 				nw := s.ctl.Network()
 				for _, c := range silent {
+					// Synthetic fleet IDs have no role and no backup to
+					// fail over to — a silent one is simply forgotten.
+					if int(c.id) >= s.numSwitches {
+						delete(sh.lastSeen, c.id)
+						continue
+					}
 					if nw.Switch(c.id).Role != sbnet.RoleActive {
 						continue
 					}
@@ -127,15 +175,41 @@ func (s *Server) shardLoop(sh *kaShard) {
 	}
 }
 
-// recoverLoop serializes node failovers from every shard.
+// recoverLoop drains node failovers from every shard. A failure storm
+// arrives as a burst of candidates; draining the burst and recovering them
+// concurrently lets the cluster's batch proposer fold the proposals into a
+// few consensus rounds instead of one round per dead switch.
 func (s *Server) recoverLoop() {
 	defer s.wg.Done()
+	const maxBurst = 256
 	for {
 		select {
 		case <-s.quit:
 			return
 		case c := <-s.deadCh:
-			s.recoverDead(c)
+			burst := []deadCandidate{c}
+			for len(burst) < maxBurst {
+				select {
+				case more := <-s.deadCh:
+					burst = append(burst, more)
+				default:
+					goto drained
+				}
+			}
+		drained:
+			if len(burst) == 1 {
+				s.recoverDead(burst[0])
+				continue
+			}
+			var wg sync.WaitGroup
+			for _, cand := range burst {
+				wg.Add(1)
+				go func(cand deadCandidate) {
+					defer wg.Done()
+					s.recoverDead(cand)
+				}(cand)
+			}
+			wg.Wait()
 		}
 	}
 }

@@ -65,32 +65,46 @@ const (
 	// committed (or duplicate of an already-completed recovery), 1 = the
 	// recovery failed (no backup left, controller halted, ...).
 	msgReportAck byte = 18 // server -> agent: byte status
+
+	// msgKeepAliveBatch coalesces one flush tick's worth of keep-alives
+	// from co-located agents sharing a connection (AgentGroup): uint16
+	// count, then count × (uint32 switch ID, uint64 seq). One frame, one
+	// syscall, one decode on the server — the fleet-scale ingest format.
+	msgKeepAliveBatch byte = 19 // agent group -> server: batched (id, seq) pairs
 )
 
 // maxFrame bounds frame sizes; control messages are tiny.
 const maxFrame = 64 * 1024
 
 // writeFrame writes a length-prefixed frame: uint32 length, byte type,
-// payload.
+// payload. Header and payload go out in a single Write so two goroutines
+// writing different frames to the same connection can never interleave a
+// header with a foreign payload (net.Conn serializes each Write call).
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload)+1 > maxFrame {
 		return fmt.Errorf("ctlnet: frame too large (%d bytes)", len(payload)+1)
 	}
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)+1))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendFrame appends a complete frame to dst — the zero-extra-Write path
+// for senders that batch several frames into one syscall (AgentGroup).
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame, allocating a fresh payload. Hot paths use
+// frameReader (reusable scratch) or extractFrame (zero-copy from a poller
+// buffer) instead.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -105,6 +119,57 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil
+}
+
+// frameReader reads frames into a reusable scratch buffer. The returned
+// payload aliases the buffer and is valid only until the next call — for
+// read loops whose handlers decode (and copy what escapes) before the next
+// frame, it removes the per-frame allocation of readFrame.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func (fr *frameReader) next() (typ byte, payload []byte, err error) {
+	if cap(fr.buf) < 4 {
+		fr.buf = make([]byte, 0, 512)
+	}
+	hdr := fr.buf[:4]
+	if _, err := io.ReadFull(fr.r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("ctlnet: bad frame length %d", n)
+	}
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, 0, n)
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// extractFrame parses one frame from the head of buf without copying:
+// payload aliases buf and must not be retained past the caller's dispatch.
+// n is the total bytes consumed; n == 0 with a nil error means the buffer
+// holds only part of a frame. A bad length is the one unrecoverable framing
+// error — resynchronization is impossible, so the connection must drop.
+func extractFrame(buf []byte) (typ byte, payload []byte, n int, err error) {
+	if len(buf) < 5 {
+		return 0, nil, 0, nil
+	}
+	ln := binary.BigEndian.Uint32(buf[:4])
+	if ln == 0 || ln > maxFrame {
+		return 0, nil, 0, fmt.Errorf("ctlnet: bad frame length %d", ln)
+	}
+	if uint32(len(buf)-4) < ln {
+		return 0, nil, 0, nil
+	}
+	end := 4 + int(ln)
+	return buf[4], buf[5:end], end, nil
 }
 
 func encodeHello(id sbnet.SwitchID) []byte {
@@ -132,6 +197,45 @@ func decodeKeepAlive(p []byte) (sbnet.SwitchID, uint64, error) {
 		return 0, 0, fmt.Errorf("ctlnet: keepalive payload %d bytes, want 12", len(p))
 	}
 	return sbnet.SwitchID(binary.BigEndian.Uint32(p[:4])), binary.BigEndian.Uint64(p[4:]), nil
+}
+
+// Keep-alive batch payload: uint16 count, then count kaPairSize-byte
+// (uint32 id, uint64 seq) records. maxKAPairs is what fits one frame.
+const (
+	kaPairSize = 12
+	maxKAPairs = (maxFrame - 1 - 2) / kaPairSize
+)
+
+// appendKeepAliveBatch appends a batch payload for ids[from:to) at seq.
+func appendKeepAliveBatch(dst []byte, ids []sbnet.SwitchID, seq uint64) []byte {
+	var cnt [2]byte
+	binary.BigEndian.PutUint16(cnt[:], uint16(len(ids)))
+	dst = append(dst, cnt[:]...)
+	for _, id := range ids {
+		var rec [kaPairSize]byte
+		binary.BigEndian.PutUint32(rec[:4], uint32(id))
+		binary.BigEndian.PutUint64(rec[4:], seq)
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// kaBatchCount validates a batch payload's shape and returns its pair count.
+func kaBatchCount(p []byte) (int, error) {
+	if len(p) < 2 {
+		return 0, fmt.Errorf("ctlnet: keepalive batch payload %d bytes, want >= 2", len(p))
+	}
+	n := int(binary.BigEndian.Uint16(p[:2]))
+	if len(p) != 2+n*kaPairSize {
+		return 0, fmt.Errorf("ctlnet: keepalive batch promises %d pairs, payload %d bytes", n, len(p))
+	}
+	return n, nil
+}
+
+// kaBatchPair returns pair i of a payload kaBatchCount already validated.
+func kaBatchPair(p []byte, i int) (sbnet.SwitchID, uint64) {
+	rec := p[2+i*kaPairSize:]
+	return sbnet.SwitchID(binary.BigEndian.Uint32(rec[:4])), binary.BigEndian.Uint64(rec[4:kaPairSize])
 }
 
 func encodeLinkFail(aSw sbnet.SwitchID, aPort int, bSw sbnet.SwitchID, bPort int) []byte {
